@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+One synthetic trace (24 houses, half a simulated day, fixed seed) is
+generated per session and reused by every table/figure benchmark; each
+benchmark then times its own analysis stage over that trace.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.context import ContextStudy
+from repro.workload.generate import generate_trace
+from repro.workload.scenario import benchmark_scenario
+
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def trace():
+    """The session-wide synthetic trace (generated once)."""
+    return generate_trace(benchmark_scenario(seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def study(trace):
+    """A fully-computed ContextStudy over the session trace."""
+    prepared = ContextStudy(trace)
+    # Force the pipeline so individual benchmarks time only their stage.
+    _ = prepared.classified
+    return prepared
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

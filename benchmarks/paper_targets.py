@@ -1,0 +1,101 @@
+"""Paper-reported values for every table and figure, plus tolerance helpers.
+
+The reproduction runs on a synthetic residential workload (the CCZ traces
+are private), so benchmarks assert the paper's *shape*: each quantity must
+fall inside a band around the published value, and every ordering the
+paper highlights must hold. Bands are deliberately loose enough to absorb
+seed-to-seed variation at benchmark scale (24 houses, half a simulated
+day) while still failing if a code change breaks the phenomenology.
+"""
+
+from __future__ import annotations
+
+# ---- Table 1: resolver platform usage (percent) -------------------------
+TABLE1 = {
+    "local": {"houses": 92.4, "lookups": 72.8, "conns": 74.0, "bytes": 70.8},
+    "google": {"houses": 83.5, "lookups": 12.9, "conns": 8.3, "bytes": 9.2},
+    "opendns": {"houses": 25.3, "lookups": 9.4, "conns": 14.2, "bytes": 13.5},
+    "cloudflare": {"houses": 3.8, "lookups": 3.9, "conns": 2.9, "bytes": 5.7},
+}
+LOCAL_ONLY_HOUSES = 16.0
+
+# ---- Table 2: connection classification (percent of connections) --------
+TABLE2 = {"N": 7.2, "LC": 42.9, "P": 7.8, "SC": 26.3, "R": 15.7}
+BLOCKED_FRACTION = 42.1
+SHARED_CACHE_HIT_RATE = 62.6
+
+# ---- Table 3: refresh simulation ----------------------------------------
+TABLE3_STANDARD_HIT = 61.0
+TABLE3_REFRESH_HIT = 96.6
+TABLE3_BLOWUP = 144.0
+
+# ---- Figure 1 / §4 -------------------------------------------------------
+FIG1_KNEE_MS = 20.0
+FIG1_FIRST_USE_BELOW = 91.0
+FIG1_FIRST_USE_ABOVE = 21.0
+UNIQUE_CANDIDATE = 82.0
+
+# ---- §5.1 -----------------------------------------------------------------
+N_HIGH_PORT = 81.6
+UNPAIRED_NON_P2P_MAX = 1.3
+
+# ---- §5.2 -----------------------------------------------------------------
+LC_EXPIRED = 22.2
+VIOLATION_OVER_30S = 82.0
+VIOLATION_MEDIAN_S = 890.0
+P_EXPIRED = 12.4
+UNUSED_LOOKUPS = 37.8
+SPECULATIVE_USED = 22.3
+P_REUSE_LAG_S = 310.0
+LC_REUSE_LAG_S = 1033.0
+
+# ---- §6 --------------------------------------------------------------------
+LOOKUP_MEDIAN_MS = 8.5
+LOOKUP_P75_MS = 20.0
+LOOKUP_OVER_100MS = 3.3
+CONTRIB_OVER_1PCT = 20.0
+CONTRIB_OVER_10PCT = 8.0
+CONTRIB_OVER_1PCT_R = 30.0
+QUADRANT = {
+    "insignificant_both": 64.0,
+    "relative_only": 11.5,
+    "absolute_only": 15.9,
+    "significant_both": 8.6,
+}
+SIGNIFICANT_OF_ALL = 3.6
+
+# ---- §7 --------------------------------------------------------------------
+HIT_RATES = {"cloudflare": 83.6, "local": 71.2, "opendns": 58.8, "google": 23.0}
+CONNECTIVITY_SHARE_GOOGLE = 23.5
+CONNECTIVITY_SHARE_OTHER = 0.3
+
+# ---- §8 --------------------------------------------------------------------
+WHOLE_HOUSE_MOVED = 9.8
+WHOLE_HOUSE_SC = 22.0
+WHOLE_HOUSE_R = 25.0
+
+
+def assert_band(measured: float, paper: float, abs_tol: float, label: str) -> None:
+    """Assert measured (percent) is within abs_tol points of the paper value."""
+    assert abs(measured - paper) <= abs_tol, (
+        f"{label}: measured {measured:.1f}% vs paper {paper:.1f}% "
+        f"(tolerance ±{abs_tol:.1f} points)"
+    )
+
+
+def assert_ratio(measured: float, paper: float, low: float, high: float, label: str) -> None:
+    """Assert measured/paper lies in [low, high]."""
+    assert paper > 0, label
+    ratio = measured / paper
+    assert low <= ratio <= high, (
+        f"{label}: measured {measured:.4g} vs paper {paper:.4g} "
+        f"(ratio {ratio:.2f} outside [{low}, {high}])"
+    )
+
+
+def assert_ordering(values: dict[str, float], order: list[str], label: str) -> None:
+    """Assert values[order[0]] >= values[order[1]] >= ... (weak ordering)."""
+    for first, second in zip(order, order[1:]):
+        assert values[first] >= values[second], (
+            f"{label}: expected {first} ({values[first]:.4g}) >= {second} ({values[second]:.4g})"
+        )

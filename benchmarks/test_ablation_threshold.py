@@ -1,0 +1,102 @@
+"""Ablations: the blocking threshold (§4 fn 5) and SC/R threshold policy
+(§5.3 fn 7).
+
+The paper: "we ran our analysis with a range of thresholds and find that
+while the numbers change slightly, the overall insights remain as we
+present them", and similarly for the per-resolver duration thresholds.
+"""
+
+from conftest import run_once
+
+from repro.core.blocking import analyze_gaps
+from repro.core.classify import (
+    Classifier,
+    ClassifierConfig,
+    ConnClass,
+    ThresholdPolicy,
+    class_breakdown,
+)
+
+
+def test_ablation_blocking_threshold(benchmark, study):
+    """Sweep the 100 ms blocking threshold (20 ms .. 500 ms)."""
+
+    def sweep():
+        results = {}
+        for threshold in (0.02, 0.05, 0.1, 0.2, 0.5):
+            config = ClassifierConfig(blocking_threshold=threshold)
+            classifier = Classifier(study.trace.dns, config)
+            results[threshold] = class_breakdown(classifier.classify_all(study.paired))
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print("threshold   blocked   LC+P")
+    blocked_shares = []
+    for threshold, breakdown in sorted(results.items()):
+        blocked = breakdown.blocked_fraction()
+        unblocked = breakdown.share(ConnClass.LOCAL_CACHE) + breakdown.share(ConnClass.PREFETCHED)
+        blocked_shares.append(blocked)
+        print(f"  {1000 * threshold:6.0f}ms {100 * blocked:8.1f}% {100 * unblocked:7.1f}%")
+
+    # Larger thresholds can only reclassify unblocked -> blocked.
+    assert blocked_shares == sorted(blocked_shares)
+    # The insight is threshold-insensitive: blocked stays a minority
+    # across the full sweep (the paper calls 100 ms "conservative").
+    assert all(share < 0.55 for share in blocked_shares)
+    # And the overall movement across a 25x threshold range is modest.
+    assert blocked_shares[-1] - blocked_shares[0] < 0.15
+
+
+def test_ablation_sc_r_threshold_policy(benchmark, study):
+    """Compare the per-resolver derived thresholds with a fixed 5 ms."""
+
+    def run_policies():
+        derived = Classifier(study.trace.dns, ClassifierConfig())
+        fixed = Classifier(
+            study.trace.dns,
+            ClassifierConfig(
+                threshold_policy=ThresholdPolicy(min_lookups=10**9, default_threshold=0.005)
+            ),
+        )
+        return (
+            class_breakdown(derived.classify_all(study.paired)),
+            class_breakdown(fixed.classify_all(study.paired)),
+        )
+
+    derived_breakdown, fixed_breakdown = run_once(benchmark, run_policies)
+    derived_rate = derived_breakdown.shared_cache_hit_rate()
+    fixed_rate = fixed_breakdown.shared_cache_hit_rate()
+    print()
+    print(f"SC/(SC+R): per-resolver thresholds {100 * derived_rate:.1f}%, fixed 5ms {100 * fixed_rate:.1f}%")
+
+    # A fixed 5 ms threshold misclassifies remote platforms' cache hits
+    # (Google/OpenDNS RTT ~20 ms) as R, deflating the hit rate — this is
+    # exactly why the paper derives thresholds per resolver.
+    assert fixed_rate < derived_rate
+    # Blocked total is unaffected (the boundary only splits SC vs R).
+    import pytest
+
+    assert derived_breakdown.blocked_fraction() == pytest.approx(
+        fixed_breakdown.blocked_fraction()
+    )
+
+
+def test_ablation_knee_vs_conservative_threshold(benchmark, study):
+    """The detected knee and the conservative 100 ms threshold bracket
+    the same population split (Fig. 1)."""
+
+    def run_analysis():
+        return analyze_gaps(study.paired)
+
+    analysis = run_once(benchmark, run_analysis)
+    at_knee = analysis.cdf.evaluate(analysis.knee)
+    at_conservative = analysis.cdf.evaluate(0.1)
+    print()
+    print(
+        f"blocked at knee ({1000 * analysis.knee:.0f}ms): {100 * at_knee:.1f}%; "
+        f"at 100ms: {100 * at_conservative:.1f}%"
+    )
+    # The conservative threshold adds only a thin slice over the knee:
+    # the gap distribution is genuinely bimodal.
+    assert at_conservative - at_knee < 0.08

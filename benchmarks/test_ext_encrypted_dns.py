@@ -1,0 +1,55 @@
+"""Extension: the §3 encrypted-DNS what-if.
+
+The paper notes that "widespread use of encrypted DNS would render the
+study we conduct in this paper impossible" from a network vantage point.
+This benchmark quantifies the degradation: as DoT deployment grows, the
+monitor loses pairings, connections collapse into class N, and the
+blocked classes become invisible.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.core.classify import ConnClass
+from repro.core.context import ContextStudy
+from repro.report.tables import render_table
+from repro.workload.generate import generate_trace
+from repro.workload.scenario import ScenarioConfig
+
+
+def test_ext_encrypted_dns_sweep(benchmark):
+    base = ScenarioConfig(seed=4, houses=10, duration=4 * 3600.0)
+
+    def sweep():
+        results = {}
+        for fraction in (0.0, 0.5, 1.0):
+            config = dataclasses.replace(
+                base, mix=dataclasses.replace(base.mix, encrypted_dns_fraction=fraction)
+            )
+            study = ContextStudy(generate_trace(config))
+            results[fraction] = study.breakdown
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for fraction, breakdown in sorted(results.items()):
+        rows.append(
+            (
+                f"{100 * fraction:.0f}%",
+                f"{100 * breakdown.share(ConnClass.NO_DNS):.1f}%",
+                f"{100 * breakdown.blocked_fraction():.1f}%",
+                f"{100 * breakdown.share(ConnClass.LOCAL_CACHE):.1f}%",
+            )
+        )
+    print()
+    print(render_table(("DoT houses", "N (apparent)", "blocked (apparent)", "LC (apparent)"), rows))
+
+    # Plaintext baseline sees the paper's structure.
+    assert results[0.0].share(ConnClass.NO_DNS) < 0.15
+    assert results[0.0].blocked_fraction() > 0.3
+    # Partial deployment already distorts the origin analysis badly.
+    assert results[0.5].share(ConnClass.NO_DNS) > 2.5 * results[0.0].share(ConnClass.NO_DNS)
+    # Full deployment makes the study impossible: everything looks DNS-free.
+    assert results[1.0].share(ConnClass.NO_DNS) > 0.95
+    assert results[1.0].blocked_fraction() < 0.02

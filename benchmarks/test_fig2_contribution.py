@@ -1,0 +1,48 @@
+"""Figure 2 (bottom): DNS' percentage contribution to transaction time.
+
+Paper: DNS contributes more than 1% of the total time for only 20% of
+the blocked (SC+R) transactions, and at least 10% for only 8%; the
+contribution is larger for R than SC, but even for R only 30% of
+transactions see DNS above 1%.
+"""
+
+from conftest import run_once
+from paper_targets import (
+    CONTRIB_OVER_10PCT,
+    CONTRIB_OVER_1PCT,
+    CONTRIB_OVER_1PCT_R,
+    assert_band,
+)
+
+from repro.core.performance import contribution_analysis
+from repro.report.figures import ascii_cdf
+
+
+def test_fig2_contribution(benchmark, study):
+    analysis = run_once(benchmark, lambda: contribution_analysis(study.classified))
+    series = {"all": analysis.series("all", 120)}
+    if analysis.sc_cdf is not None:
+        series["SC"] = analysis.series("sc", 120)
+    if analysis.r_cdf is not None:
+        series["R"] = analysis.series("r", 120)
+    print()
+    print(
+        ascii_cdf(
+            series,
+            title="Figure 2 (bottom): DNS %% contribution to transaction time (CDF, log x)",
+        )
+    )
+    print(
+        f">1%: {100 * analysis.over_1pct_all:.1f}% of SC+R  "
+        f">=10%: {100 * analysis.over_10pct_all:.1f}%  "
+        f">1% among R: {100 * analysis.over_1pct_r:.1f}%"
+    )
+
+    assert_band(100 * analysis.over_1pct_all, CONTRIB_OVER_1PCT, 8.0, "contribution >1%")
+    assert_band(100 * analysis.over_10pct_all, CONTRIB_OVER_10PCT, 5.0, "contribution >=10%")
+    assert_band(100 * analysis.over_1pct_r, CONTRIB_OVER_1PCT_R, 12.0, "contribution >1% (R)")
+    # R pays a proportionally larger DNS cost than SC.
+    assert analysis.sc_cdf is not None and analysis.r_cdf is not None
+    assert analysis.r_cdf.median > analysis.sc_cdf.median
+    # For the large majority of blocked transactions DNS is a rounding error.
+    assert analysis.over_1pct_all < 0.40

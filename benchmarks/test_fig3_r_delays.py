@@ -1,0 +1,43 @@
+"""Figure 3 (top): distribution of DNS delays for R connections by platform.
+
+Paper: the local ISP's resolvers show the lowest R-lookup delays, then
+Cloudflare, then OpenDNS — differences explained by client-resolver RTT.
+Google is slower than the others up to the 75th percentile but has the
+shortest tail.
+"""
+
+from conftest import run_once
+from paper_targets import assert_ordering
+
+from repro.core.resolvers import r_delay_by_platform
+from repro.report.figures import ascii_cdf
+
+
+def test_fig3_r_delays(benchmark, study):
+    cdfs = run_once(benchmark, lambda: r_delay_by_platform(study.classified))
+    assert {"local", "google", "opendns", "cloudflare"} <= set(cdfs)
+    print()
+    print(
+        ascii_cdf(
+            {name: cdf.series(100) for name, cdf in sorted(cdfs.items())},
+            title="Figure 3 (top): R-lookup delay by platform (CDF, log x)",
+        )
+    )
+    for name in ("local", "cloudflare", "opendns", "google"):
+        cdf = cdfs[name]
+        print(
+            f"  {name:<11} median {1000 * cdf.median:6.1f}ms  "
+            f"p75 {1000 * cdf.quantile(0.75):6.1f}ms  p95 {1000 * cdf.quantile(0.95):7.1f}ms"
+        )
+
+    medians = {name: cdf.median for name, cdf in cdfs.items()}
+    # Median ordering: google slowest; local fastest; cloudflare beats opendns.
+    assert_ordering(medians, ["google", "opendns", "cloudflare", "local"], "R delay medians")
+    # Google is slower than everyone up to p75...
+    for name in ("local", "cloudflare", "opendns"):
+        assert cdfs["google"].quantile(0.75) > cdfs[name].quantile(0.75)
+    # ...but has the shortest tail (p95).
+    for name in ("local", "cloudflare", "opendns"):
+        assert cdfs["google"].quantile(0.95) < cdfs[name].quantile(0.95), (
+            f"google tail should undercut {name}"
+        )

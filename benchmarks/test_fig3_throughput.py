@@ -1,0 +1,59 @@
+"""Figure 3 (bottom): connection throughput for SC+R by resolver platform.
+
+Paper: 23.5% of Google-paired connections are Android's
+``connectivitycheck.gstatic.com`` probes (0.3% for other platforms);
+removing them (dashed line) shows those tiny probes skew Google's
+distribution downward. Cloudflare-paired connections see lower
+throughput than the other platforms for ~75% of the distribution,
+converging in the tail.
+"""
+
+from conftest import run_once
+from paper_targets import CONNECTIVITY_SHARE_GOOGLE, assert_band
+
+from repro.core.resolvers import throughput_by_platform
+from repro.report.figures import ascii_cdf
+
+
+def test_fig3_throughput(benchmark, study):
+    result = run_once(benchmark, lambda: throughput_by_platform(study.classified))
+    assert {"local", "google", "opendns", "cloudflare"} <= set(result.cdfs)
+    series = {name: cdf.series(100) for name, cdf in sorted(result.cdfs.items())}
+    if result.google_filtered is not None:
+        series["google-filtered"] = result.google_filtered.series(100)
+    print()
+    print(
+        ascii_cdf(
+            series,
+            title="Figure 3 (bottom): SC+R connection throughput by platform (CDF, log x)",
+        )
+    )
+    print(
+        f"connectivitycheck share: google {100 * result.connectivity_share_google:.1f}% "
+        f"vs others {100 * result.connectivity_share_other:.1f}%"
+    )
+
+    # The Android connectivity-check artifact concentrates on Google.
+    assert_band(
+        100 * result.connectivity_share_google,
+        CONNECTIVITY_SHARE_GOOGLE,
+        10.0,
+        "connectivitycheck share (google)",
+    )
+    assert result.connectivity_share_google > 6 * max(result.connectivity_share_other, 1e-9)
+
+    # Filtering the probes lifts Google's distribution (solid vs dashed).
+    assert result.google_filtered is not None
+    assert result.google_filtered.median > result.cdfs["google"].median
+
+    # Cloudflare underperforms the other platforms through the bulk of
+    # the distribution (the CDN-edge-selection effect)...
+    for quantile in (0.25, 0.5, 0.75):
+        cf = result.cdfs["cloudflare"].quantile(quantile)
+        assert cf < result.cdfs["local"].quantile(quantile)
+        assert cf < result.cdfs["opendns"].quantile(quantile)
+    # ...and converges with them in the tail: the p95 deficit must be
+    # proportionally smaller than the median deficit.
+    median_ratio = result.cdfs["cloudflare"].median / result.cdfs["local"].median
+    tail_ratio = result.cdfs["cloudflare"].quantile(0.95) / result.cdfs["local"].quantile(0.95)
+    assert tail_ratio > median_ratio

@@ -1,0 +1,84 @@
+"""Performance micro-benchmarks of the substrates.
+
+Unlike the table/figure benchmarks (which time one analysis pass), these
+use pytest-benchmark's statistical timing on hot inner loops: the wire
+codec, the cache, pairing, and end-to-end trace generation at small
+scale. They guard against performance regressions in the pieces every
+experiment leans on.
+"""
+
+import random
+
+from repro.core.pairing import Pairer
+from repro.dns.cache import DnsCache, cache_key
+from repro.dns.message import make_query, make_response
+from repro.dns.rr import a_record, cname_record
+from repro.dns.wire import decode_message, encode_message
+from repro.workload.generate import generate_trace
+from repro.workload.scenario import smoke_scenario
+
+
+def test_wire_encode(benchmark):
+    response = make_response(
+        make_query("www.example.com", msg_id=7),
+        answers=(
+            cname_record("www.example.com", "edge7.cdn.example.net", ttl=300),
+            a_record("edge7.cdn.example.net", "192.0.2.10", ttl=60),
+            a_record("edge7.cdn.example.net", "192.0.2.11", ttl=60),
+        ),
+    )
+    wire = benchmark(encode_message, response)
+    assert len(wire) > 40
+
+
+def test_wire_decode(benchmark):
+    response = make_response(
+        make_query("www.example.com", msg_id=7),
+        answers=tuple(a_record("www.example.com", f"192.0.2.{i}", ttl=60) for i in range(1, 9)),
+    )
+    wire = encode_message(response)
+    message = benchmark(decode_message, wire)
+    assert len(message.answers) == 8
+
+
+def test_cache_churn(benchmark):
+    names = [cache_key(f"host{i}.example.com") for i in range(256)]
+    records = {
+        key: (a_record(f"host{i}.example.com", "10.0.0.1", 60),)
+        for i, key in enumerate(names)
+    }
+    rng = random.Random(1)
+
+    def churn():
+        cache = DnsCache(capacity=128)
+        now = 0.0
+        hits = 0
+        for _ in range(2000):
+            now += rng.random()
+            key = names[rng.randrange(len(names))]
+            lookup = cache.get(key, now)
+            if lookup.hit:
+                hits += 1
+            else:
+                cache.put(key, records[key], now)
+        return hits
+
+    hits = benchmark(churn)
+    assert hits > 0
+
+
+def test_pairing_throughput(benchmark, trace):
+    """Pair the full session trace (tens of thousands of connections)."""
+
+    def pair():
+        return Pairer(trace.dns).pair_all(trace.conns)
+
+    paired = benchmark.pedantic(pair, rounds=1, iterations=1)
+    assert len(paired) == len(trace.conns)
+
+
+def test_trace_generation_small(benchmark):
+    """End-to-end generation of a small scenario (3 houses, 30 min)."""
+    config = smoke_scenario(seed=3).scaled(houses=3, duration=1800.0)
+    result = benchmark.pedantic(lambda: generate_trace(config), rounds=1, iterations=1)
+    assert len(result.conns) > 50

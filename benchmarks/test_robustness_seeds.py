@@ -1,0 +1,44 @@
+"""Robustness: the reproduction's results are not seed-cherry-picked.
+
+Regenerates a small scenario with three different seeds and checks that
+every headline quantity is stable across them: the class shares, the
+blocked fraction, the significant-cost fraction, and the lookup-delay
+distribution (via the KS statistic).
+"""
+
+from itertools import combinations
+
+from conftest import run_once
+
+from repro.core.compare import compare_studies
+from repro.core.context import ContextStudy
+from repro.workload.scenario import ScenarioConfig
+
+
+def test_robustness_across_seeds(benchmark):
+    def build():
+        studies = {}
+        for seed in (101, 202, 303):
+            config = ScenarioConfig(seed=seed, houses=12, duration=6 * 3600.0)
+            study = ContextStudy.from_scenario(config)
+            _ = study.classified
+            studies[seed] = study
+        return studies
+
+    studies = run_once(benchmark, build)
+    print()
+    for seed_a, seed_b in combinations(studies, 2):
+        comparison = compare_studies(
+            studies[seed_a], studies[seed_b], f"seed{seed_a}", f"seed{seed_b}"
+        )
+        print(
+            f"  seed {seed_a} vs {seed_b}: max class delta "
+            f"{100 * comparison.max_class_delta:.1f} pts, "
+            f"KS {comparison.lookup_delay_ks:.3f}, "
+            f"stable={comparison.insights_stable(class_tolerance=0.08)}"
+        )
+        assert comparison.max_class_delta < 0.08, (
+            f"seeds {seed_a}/{seed_b} disagree by {100 * comparison.max_class_delta:.1f} points"
+        )
+        assert comparison.lookup_delay_ks < 0.25
+        assert comparison.insights_stable(class_tolerance=0.08, significant_tolerance=0.05)

@@ -1,0 +1,55 @@
+"""§5.1: anatomy of the N (no-DNS) connections.
+
+Paper: 81.6% of N connections use high ports on both ends (peer-to-peer);
+the rest target reserved ports — dominated by hard-coded NTP servers
+(incl. a retired public server TP-Link devices still query) and
+AlarmNet-style monitoring; no traffic on the DoT port (853); at most 1.3%
+of all transactions are unpaired without being peer-to-peer.
+"""
+
+from conftest import run_once
+from paper_targets import N_HIGH_PORT, UNPAIRED_NON_P2P_MAX, assert_band
+
+from repro.core.sources import no_dns_breakdown
+from repro.workload.namespace import RETIRED_NTP_SERVER
+
+
+def test_sec51_no_dns(benchmark, study):
+    breakdown = run_once(benchmark, lambda: no_dns_breakdown(study.classified))
+    print()
+    print(
+        f"N = {breakdown.n_conns} conns ({100 * breakdown.n_fraction:.1f}% of all); "
+        f"high-port {100 * breakdown.high_port_fraction:.1f}%"
+    )
+    for address, port, count in breakdown.top_destinations[:5]:
+        print(f"  reserved-port destination {address}:{port} x{count}")
+
+    assert_band(100 * breakdown.high_port_fraction, N_HIGH_PORT, 14.0, "high-port share of N")
+    # The encrypted-DNS sanity checks (§5.1).
+    assert breakdown.dot_port_conns == 0
+    assert 100 * breakdown.unpaired_non_p2p_fraction_of_all <= UNPAIRED_NON_P2P_MAX + 0.5
+
+    # The reserved-port remainder is dominated by NTP and TLS to
+    # hard-coded monitoring services.
+    assert set(breakdown.reserved_port_counts) <= {123, 443, 80}
+    assert 123 in breakdown.reserved_port_counts
+    # The retired NTP server artifact is visible among top destinations.
+    top_addresses = {address for address, _, _ in breakdown.top_destinations}
+    assert RETIRED_NTP_SERVER in top_addresses
+
+
+def test_sec51_failed_ntp_conns(benchmark, study):
+    """The retired-server NTP probes go unanswered (state S0, no reply bytes)."""
+
+    def collect():
+        return [
+            item.conn
+            for item in study.classified
+            if item.conn.resp_h == RETIRED_NTP_SERVER
+        ]
+
+    conns = run_once(benchmark, collect)
+    assert conns, "expected traffic to the retired NTP server"
+    assert all(conn.conn_state == "S0" for conn in conns)
+    assert all(conn.resp_bytes == 0 for conn in conns)
+    assert all(conn.resp_p == 123 for conn in conns)

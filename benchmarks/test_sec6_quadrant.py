@@ -1,0 +1,55 @@
+"""§6: the significance quadrant.
+
+Paper (fractions of SC+R connections): 64.0% insignificant on both
+criteria (<=20 ms and <=1%); 11.5% relative-only; 15.9% absolute-only;
+8.6% significant on both — which is 3.6% of all connections.
+"""
+
+from conftest import run_once
+from paper_targets import QUADRANT, SIGNIFICANT_OF_ALL, assert_band
+
+from repro.core.performance import significance_quadrant
+
+
+def test_sec6_quadrant(benchmark, study):
+    quadrant = run_once(benchmark, lambda: significance_quadrant(study.classified))
+    print()
+    for label, value in quadrant.as_rows():
+        print(f"  {label:<22} {100 * value:5.1f}%")
+    print(f"  significant of ALL conns: {100 * quadrant.significant_of_all:.1f}%")
+
+    assert_band(
+        100 * quadrant.insignificant_both, QUADRANT["insignificant_both"], 10.0, "insignificant both"
+    )
+    assert_band(100 * quadrant.relative_only, QUADRANT["relative_only"], 7.0, ">1% only")
+    assert_band(100 * quadrant.absolute_only, QUADRANT["absolute_only"], 7.0, ">20ms only")
+    assert_band(100 * quadrant.significant_both, QUADRANT["significant_both"], 7.0, "significant both")
+    assert_band(100 * quadrant.significant_of_all, SIGNIFICANT_OF_ALL, 4.0, "significant of all")
+
+    # The paper's headline claims, as hard shape constraints:
+    # (i) the majority of blocked connections see an insignificant DNS cost,
+    assert quadrant.insignificant_both > 0.5
+    # (ii) only a small fraction of ALL connections suffer a significant cost.
+    assert quadrant.significant_of_all < 0.10
+
+
+def test_sec6_threshold_robustness(benchmark, study):
+    """Footnote 7: alternate constants change numbers, not the insight."""
+
+    def sweep():
+        return {
+            (abs_ms, rel): significance_quadrant(
+                study.classified, abs_threshold=abs_ms / 1000.0, rel_threshold=rel
+            ).significant_of_all
+            for abs_ms in (10.0, 20.0, 40.0)
+            for rel in (0.5, 1.0, 2.0)
+        }
+
+    results = run_once(benchmark, sweep)
+    print()
+    for (abs_ms, rel), value in sorted(results.items()):
+        print(f"  >{abs_ms:.0f}ms and >{rel}%: {100 * value:5.1f}% of all conns")
+    # Stricter criteria flag more connections; the insight (a small
+    # minority) survives every setting.
+    assert results[(10.0, 0.5)] >= results[(20.0, 1.0)] >= results[(40.0, 2.0)]
+    assert all(value < 0.15 for value in results.values())

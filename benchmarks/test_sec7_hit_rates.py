@@ -1,0 +1,33 @@
+"""§7: shared-cache hit rate per resolver platform.
+
+Paper: Cloudflare 83.6%, local ISP 71.2%, OpenDNS 58.8%, Google 23.0% —
+every platform except Google answers the majority of blocked lookups
+from its cache.
+"""
+
+from conftest import run_once
+from paper_targets import HIT_RATES, assert_band, assert_ordering
+
+from repro.core.resolvers import hit_rate_by_platform
+
+
+def test_sec7_hit_rates(benchmark, study):
+    rates = run_once(benchmark, lambda: hit_rate_by_platform(study.classified))
+    print()
+    for platform in ("cloudflare", "local", "opendns", "google"):
+        print(
+            f"  {platform:<11} {100 * rates.get(platform, 0.0):5.1f}%  "
+            f"(paper {HIT_RATES[platform]:.1f}%)"
+        )
+
+    assert_band(100 * rates["cloudflare"], HIT_RATES["cloudflare"], 12.0, "cloudflare hit rate")
+    assert_band(100 * rates["local"], HIT_RATES["local"], 10.0, "local hit rate")
+    assert_band(100 * rates["opendns"], HIT_RATES["opendns"], 12.0, "opendns hit rate")
+    assert_band(100 * rates["google"], HIT_RATES["google"], 10.0, "google hit rate")
+
+    percent = {name: 100 * rate for name, rate in rates.items()}
+    assert_ordering(percent, ["cloudflare", "local", "opendns", "google"], "hit-rate ordering")
+    # Every platform except Google serves the majority from cache.
+    for platform in ("cloudflare", "local", "opendns"):
+        assert rates[platform] > 0.5, platform
+    assert rates["google"] < 0.5

@@ -1,0 +1,55 @@
+"""Table 1: use of resolver platforms.
+
+Paper (% houses / % lookups / % conns / % bytes):
+local 92.4/72.8/74.0/70.8, Google 83.5/12.9/8.3/9.2,
+OpenDNS 25.3/9.4/14.2/13.5, Cloudflare 3.8/3.9/2.9/5.7; roughly 16% of
+houses use only the ISP resolvers.
+"""
+
+from conftest import run_once
+from paper_targets import LOCAL_ONLY_HOUSES, TABLE1, assert_band, assert_ordering
+
+from repro.core.resolvers import local_only_house_fraction, resolver_usage_table
+from repro.report.tables import render_table1
+
+
+def test_table1_resolver_usage(benchmark, study):
+    rows = run_once(
+        benchmark,
+        lambda: resolver_usage_table(study.trace.dns, study.classified),
+    )
+    print()
+    print(render_table1(rows))
+
+    by_platform = {row.platform: row for row in rows}
+    assert set(TABLE1) <= set(by_platform), "all four platforms must exceed 1% of lookups"
+
+    lookups = {name: 100.0 * by_platform[name].lookup_fraction for name in TABLE1}
+    houses = {name: 100.0 * by_platform[name].house_fraction for name in TABLE1}
+
+    # The dominant structure: the ISP's resolvers carry most lookups,
+    # Google is second (Android defaults), then OpenDNS, then Cloudflare.
+    assert_ordering(lookups, ["local", "google", "opendns", "cloudflare"], "lookup share")
+    assert lookups["local"] > 55.0
+
+    assert_band(houses["local"], TABLE1["local"]["houses"], 8.0, "local houses")
+    assert_band(houses["google"], TABLE1["google"]["houses"], 10.0, "google houses")
+    assert_band(houses["opendns"], TABLE1["opendns"]["houses"], 10.0, "opendns houses")
+    assert_band(houses["cloudflare"], TABLE1["cloudflare"]["houses"], 5.0, "cloudflare houses")
+
+    assert_band(lookups["local"], TABLE1["local"]["lookups"], 12.0, "local lookups")
+    assert_band(lookups["google"], TABLE1["google"]["lookups"], 8.0, "google lookups")
+    assert_band(lookups["opendns"], TABLE1["opendns"]["lookups"], 8.0, "opendns lookups")
+    assert_band(lookups["cloudflare"], TABLE1["cloudflare"]["lookups"], 3.0, "cloudflare lookups")
+
+    # Connection and byte shares roughly track lookup shares ("commiserate").
+    for name in TABLE1:
+        conns = 100.0 * by_platform[name].conn_fraction
+        bytes_ = 100.0 * by_platform[name].byte_fraction
+        assert abs(conns - lookups[name]) < 12.0, f"{name} conn share far from lookup share"
+        assert abs(bytes_ - lookups[name]) < 12.0, f"{name} byte share far from lookup share"
+
+
+def test_local_only_houses(benchmark, study):
+    fraction = run_once(benchmark, lambda: local_only_house_fraction(study.trace.dns))
+    assert_band(100.0 * fraction, LOCAL_ONLY_HOUSES, 7.0, "local-only houses")

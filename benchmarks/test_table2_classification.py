@@ -1,0 +1,47 @@
+"""Table 2: DNS information origin by connection (N/LC/P/SC/R).
+
+Paper: N 7.2%, LC 42.9%, P 7.8%, SC 26.3%, R 15.7%; 42.1% of
+connections block awaiting DNS; the shared resolvers answer 62.6% of
+blocked lookups from cache.
+"""
+
+from conftest import run_once
+from paper_targets import (
+    BLOCKED_FRACTION,
+    SHARED_CACHE_HIT_RATE,
+    TABLE2,
+    assert_band,
+)
+
+from repro.core.classify import Classifier, ConnClass, class_breakdown
+from repro.report.tables import render_table2
+
+
+def test_table2_classification(benchmark, study):
+    paired = study.paired
+
+    def classify():
+        classifier = Classifier(study.trace.dns)
+        return class_breakdown(classifier.classify_all(paired))
+
+    breakdown = run_once(benchmark, classify)
+    print()
+    print(render_table2(breakdown))
+
+    shares = {cls.value: 100.0 * breakdown.share(cls) for cls in ConnClass}
+    assert_band(shares["N"], TABLE2["N"], 4.0, "Table 2 N")
+    assert_band(shares["LC"], TABLE2["LC"], 8.0, "Table 2 LC")
+    assert_band(shares["P"], TABLE2["P"], 4.5, "Table 2 P")
+    assert_band(shares["SC"], TABLE2["SC"], 7.0, "Table 2 SC")
+    assert_band(shares["R"], TABLE2["R"], 6.0, "Table 2 R")
+    assert_band(100.0 * breakdown.blocked_fraction(), BLOCKED_FRACTION, 8.0, "blocked fraction")
+    assert_band(
+        100.0 * breakdown.shared_cache_hit_rate(), SHARED_CACHE_HIT_RATE, 10.0, "SC/(SC+R)"
+    )
+
+    # The paper's qualitative ordering: the local cache is the largest
+    # single source, followed by the shared caches, then authoritative
+    # resolution; prefetching and no-DNS traffic are the smallest classes.
+    assert shares["LC"] > shares["SC"] > shares["R"] > shares["P"]
+    # A majority of connections never block on DNS (the headline result).
+    assert shares["N"] + shares["LC"] + shares["P"] > 50.0

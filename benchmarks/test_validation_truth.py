@@ -1,0 +1,54 @@
+"""Validation: the paper's heuristics against simulated ground truth.
+
+The paper could only argue its heuristics' plausibility indirectly
+(first-use rates around the Figure 1 knee). The synthetic workload knows
+the true class of every connection, so this benchmark measures the
+heuristics' actual accuracy and prints the confusion matrix. The
+misclassifications that remain are the ones the paper itself anticipates
+(e.g. parallel connections inside the 100 ms window).
+"""
+
+from conftest import run_once
+
+from repro.core.classify import ConnClass
+from repro.report.tables import render_table
+
+CLASS_ORDER = ["N", "LC", "P", "SC", "R"]
+
+
+def test_validation_against_truth(benchmark, study):
+    result = run_once(benchmark, study.validate_against_truth)
+    confusion = result["confusion"]
+
+    rows = []
+    for truth in CLASS_ORDER:
+        row = [truth]
+        total = sum(confusion.get((truth, inferred), 0) for inferred in CLASS_ORDER)
+        for inferred in CLASS_ORDER:
+            count = confusion.get((truth, inferred), 0)
+            row.append(f"{100 * count / total:.1f}%" if total else "-")
+        rows.append(tuple(row))
+    print()
+    print("confusion matrix (rows: truth, columns: inferred):")
+    print(render_table(("truth\\inferred", *CLASS_ORDER), rows))
+    print(f"overall agreement: {100 * result['agreement']:.1f}%")
+
+    assert result["total"] == len(study.trace.conns)
+    assert result["agreement"] > 0.93
+
+    # Per-class recall: each true class is mostly recovered.
+    for truth in CLASS_ORDER:
+        total = sum(confusion.get((truth, inferred), 0) for inferred in CLASS_ORDER)
+        correct = confusion.get((truth, truth), 0)
+        assert total > 0, f"class {truth} absent from the trace"
+        assert correct / total > 0.60, f"recall for {truth} is {correct / total:.0%}"
+
+    # The dominant confusion should be the one the paper anticipates:
+    # true-LC connections inside the 100 ms window called blocked, and
+    # blocked SC/R confusion across the duration threshold.
+    n_misses = sum(
+        count
+        for (truth, inferred), count in confusion.items()
+        if truth != inferred and truth == "N"
+    )
+    assert n_misses == 0, "no-DNS connections must never gain a pairing class"

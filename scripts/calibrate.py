@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Calibration report: run a scenario and compare every paper target.
+
+Usage: python scripts/calibrate.py [houses] [duration_hours] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.classify import ConnClass
+from repro.core.context import ContextStudy
+from repro.workload.scenario import ScenarioConfig
+
+
+def pct(x: float) -> str:
+    return f"{100 * x:5.1f}%"
+
+
+def row(label: str, measured: str, target: str) -> None:
+    print(f"  {label:<46} {measured:>10}   (paper {target})")
+
+
+def main() -> None:
+    houses = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    hours = float(sys.argv[2]) if len(sys.argv) > 2 else 24.0
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    config = ScenarioConfig(seed=seed, houses=houses, duration=hours * 3600.0)
+    t0 = time.time()
+    study = ContextStudy.from_scenario(config)
+    trace = study.trace
+    print(f"{trace.summary()}  [generated in {time.time() - t0:.1f}s]")
+    t0 = time.time()
+
+    print("\nTable 2 (classification):")
+    b = study.breakdown
+    for cls, target in (
+        (ConnClass.NO_DNS, "7.2"),
+        (ConnClass.LOCAL_CACHE, "42.9"),
+        (ConnClass.PREFETCHED, "7.8"),
+        (ConnClass.SHARED_CACHE, "26.3"),
+        (ConnClass.RESOLUTION, "15.7"),
+    ):
+        row(cls.value, pct(b.share(cls)), f"{target}%")
+    row("blocked (SC+R)", pct(b.blocked_fraction()), "42.1%")
+    row("shared-cache hit rate SC/(SC+R)", pct(b.shared_cache_hit_rate()), "62.6%")
+
+    print("\nTable 1 (resolver usage):")
+    for r in study.resolver_usage():
+        print(
+            f"  {r.platform:<12} houses {pct(r.house_fraction)} lookups {pct(r.lookup_fraction)} "
+            f"conns {pct(r.conn_fraction)} bytes {pct(r.byte_fraction)}"
+        )
+    print("  paper:      local 92.4/72.8/74.0/70.8  google 83.5/12.9/8.3/9.2  "
+          "opendns 25.3/9.4/14.2/13.5  cloudflare 3.8/3.9/2.9/5.7")
+    row("local-only houses", pct(study.local_only_houses()), "~16%")
+
+    print("\nFigure 1 / §4:")
+    ga = study.gap_analysis()
+    row("knee", f"{1000 * ga.knee:.1f}ms", "~20ms")
+    row("first-use below 20ms", pct(ga.first_use_below_knee), "91%")
+    row("first-use above 20ms", pct(ga.first_use_above_knee), "21%")
+    row("unique pairing candidate", pct(study.pairing_ambiguity()), "82%")
+
+    print("\n§5.1 (N anatomy):")
+    nd = study.no_dns()
+    row("high-port fraction of N", pct(nd.high_port_fraction), "81.6%")
+    row("unpaired non-p2p of all", pct(nd.unpaired_non_p2p_fraction_of_all), "<=1.3%")
+    row("DoT-port conns", str(nd.dot_port_conns), "0")
+
+    print("\n§5.2 (caching/prefetch):")
+    tv = study.ttl_violations()
+    row("LC expired fraction", pct(tv.lc_expired_fraction), "22.2%")
+    row("violations >30s", pct(tv.violation_over_30s_fraction), "82%")
+    row("violation median", f"{tv.violation_median:.0f}s", "890s")
+    row("violation p90", f"{tv.violation_p90:.0f}s", "~19000s")
+    row("P expired fraction", pct(tv.p_expired_fraction), "12.4%")
+    pf = study.prefetching()
+    row("unused lookups", pct(pf.unused_lookup_fraction), "37.8%")
+    row("speculative used", pct(pf.prefetch_used_fraction), "22.3%")
+    row("median reuse lag P", f"{pf.median_reuse_lag_p:.0f}s", "310s")
+    row("median reuse lag LC", f"{pf.median_reuse_lag_lc:.0f}s", "1033s")
+
+    print("\n§6 (performance):")
+    ld = study.lookup_delays()
+    row("SC+R lookup median", f"{1000 * ld.median:.1f}ms", "8.5ms")
+    row("SC+R lookup p75", f"{1000 * ld.p75:.1f}ms", "20ms")
+    row("lookup >100ms", pct(ld.over_100ms_fraction), "3.3%")
+    ca = study.contribution()
+    row("contribution >1% (all)", pct(ca.over_1pct_all), "20%")
+    row("contribution >=10% (all)", pct(ca.over_10pct_all), "8%")
+    row("contribution >1% (R)", pct(ca.over_1pct_r), "30%")
+    q = study.significance_quadrant()
+    row("insignificant both", pct(q.insignificant_both), "64.0%")
+    row(">1% only", pct(q.relative_only), "11.5%")
+    row(">20ms only", pct(q.absolute_only), "15.9%")
+    row("significant both", pct(q.significant_both), "8.6%")
+    row("significant of all", pct(q.significant_of_all), "3.6%")
+
+    print("\n§7 (per-platform):")
+    hr = study.hit_rates()
+    for platform, target in (("cloudflare", "83.6"), ("local", "71.2"), ("opendns", "58.8"), ("google", "23.0")):
+        row(f"hit rate {platform}", pct(hr.get(platform, 0.0)), f"{target}%")
+    rd = study.r_delays()
+    for platform in ("local", "cloudflare", "opendns", "google"):
+        cdf = rd.get(platform)
+        if cdf:
+            print(f"  R delay {platform:<11} median {1000 * cdf.median:6.1f}ms p75 "
+                  f"{1000 * cdf.quantile(0.75):6.1f}ms p95 {1000 * cdf.quantile(0.95):7.1f}ms")
+    tp = study.throughput()
+    row("connectivitycheck share (google)", pct(tp.connectivity_share_google), "23.5%")
+    row("connectivitycheck share (others)", pct(tp.connectivity_share_other), "0.3%")
+    for platform, cdf in sorted(tp.cdfs.items()):
+        print(f"  throughput {platform:<11} median {cdf.median:10.0f} B/s p75 {cdf.quantile(0.75):10.0f}")
+    if tp.google_filtered:
+        print(f"  throughput google(filt)  median {tp.google_filtered.median:10.0f} B/s")
+
+    print("\n§8 (improvements):")
+    wh = study.whole_house()
+    row("moved to LC (of all)", pct(wh.moved_fraction_of_all), "9.8%")
+    row("SC benefiting", pct(wh.sc_moved_fraction), "22%")
+    row("R benefiting", pct(wh.r_moved_fraction), "25%")
+    rc = study.refresh()
+    row("standard hit rate", pct(rc.standard.hit_rate), "61.0%")
+    row("refresh hit rate", pct(rc.refresh_all.hit_rate), "96.6%")
+    row("lookup blowup", f"{rc.lookup_blowup:.0f}x", "~144x")
+    row("standard lookups/sec/house", f"{rc.standard.lookups_per_second_per_house:.2f}", "0.2")
+    row("refresh lookups/sec/house", f"{rc.refresh_all.lookups_per_second_per_house:.1f}", "25.2")
+
+    val = study.validate_against_truth()
+    print(f"\nheuristic-vs-truth agreement: {pct(val['agreement'])}  [analysis in {time.time() - t0:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — a reproduction of "Putting DNS in Context" (Allman, IMC 2020).
+
+The package provides:
+
+* :mod:`repro.dns` — a from-scratch DNS substrate (names, records, wire
+  codec, caches, zones, resolver models),
+* :mod:`repro.pcap` — packet-capture tooling (pcap files, Ethernet/IP/
+  UDP/TCP codecs),
+* :mod:`repro.simulation` — a deterministic discrete-event engine and
+  latency models,
+* :mod:`repro.workload` — a synthetic residential ISP workload generator
+  standing in for the paper's private CCZ traces,
+* :mod:`repro.monitor` — a Zeek/Bro-style passive monitor producing the
+  two log datasets the paper analyses,
+* :mod:`repro.core` — the paper's contribution: DN-Hunter pairing,
+  blocking inference, N/LC/P/SC/R classification, the §5-§8 analyses,
+* :mod:`repro.report` — table and figure rendering.
+
+Quickstart::
+
+    from repro import run_default_study
+
+    study = run_default_study(seed=1, houses=20, duration=86400.0)
+    print(study.classification_table())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__", "run_default_study"]
+
+
+def run_default_study(seed: int = 1, houses: int = 20, duration: float = 86400.0):
+    """Generate a default synthetic trace and run the full paper analysis.
+
+    Imported lazily so ``import repro`` stays cheap.
+    """
+    from repro.core.context import ContextStudy
+    from repro.workload.scenario import ScenarioConfig
+
+    config = ScenarioConfig(seed=seed, houses=houses, duration=duration)
+    return ContextStudy.from_scenario(config)

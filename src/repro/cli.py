@@ -1,0 +1,163 @@
+"""Command-line interface: generate traces, analyse logs/pcaps, report.
+
+Subcommands::
+
+    repro-dns generate --houses 20 --hours 12 --seed 1 --out out/
+        Generate a synthetic residential trace and write out/dns.log
+        and out/conn.log.
+
+    repro-dns analyze --dns out/dns.log --conn out/conn.log
+    repro-dns analyze --pcap capture.pcap --local-net 10.77.
+        Run the paper's full analysis and print every table plus the
+        headline statistics.
+
+    repro-dns report --houses 20 --hours 12 --seed 1
+        Generate and analyse in one step.
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core.context import ContextStudy
+from repro.monitor.logs import save_conn_log, save_dns_log
+from repro.report.tables import render_table1, render_table2, render_table3
+from repro.workload.generate import generate_trace
+from repro.workload.scenario import ScenarioConfig
+
+
+def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=args.seed, houses=args.houses, duration=args.hours * 3600.0
+    )
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--houses", type=int, default=20, help="number of houses (default 20)")
+    parser.add_argument("--hours", type=float, default=12.0, help="simulated hours (default 12)")
+    parser.add_argument("--seed", type=int, default=1, help="random seed (default 1)")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    os.makedirs(args.out, exist_ok=True)
+    trace = generate_trace(_scenario_from_args(args))
+    dns_path = os.path.join(args.out, "dns.log")
+    conn_path = os.path.join(args.out, "conn.log")
+    if args.format == "json":
+        from repro.monitor.json_logs import write_conn_json, write_dns_json
+
+        with open(dns_path, "w", encoding="utf-8") as stream:
+            write_dns_json(stream, trace.dns)
+        with open(conn_path, "w", encoding="utf-8") as stream:
+            write_conn_json(stream, trace.conns)
+    else:
+        save_dns_log(dns_path, trace.dns)
+        save_conn_log(conn_path, trace.conns)
+    print(trace.summary())
+    print(f"wrote {dns_path} ({len(trace.dns)} records)")
+    print(f"wrote {conn_path} ({len(trace.conns)} records)")
+    return 0
+
+
+def _print_report(study: ContextStudy) -> None:
+    print(study.population().summary())
+    print()
+    print("Table 1 — resolver platform usage:")
+    print(render_table1(study.resolver_usage()))
+    print()
+    print("Table 2 — DNS information origin by connection:")
+    print(render_table2(study.breakdown))
+    print()
+    gaps = study.gap_analysis()
+    print(
+        f"Figure 1: knee at {1000 * gaps.knee:.1f} ms; blocked (<=100 ms): "
+        f"{100 * study.breakdown.blocked_fraction():.1f}% of connections"
+    )
+    delays = study.lookup_delays()
+    print(
+        f"Figure 2: SC+R lookup median {1000 * delays.median:.1f} ms, "
+        f"p75 {1000 * delays.p75:.1f} ms, >100 ms {100 * delays.over_100ms_fraction:.1f}%"
+    )
+    quadrant = study.significance_quadrant()
+    print(
+        f"§6: DNS cost significant (>20 ms and >1%) for "
+        f"{100 * quadrant.significant_of_all:.1f}% of all connections"
+    )
+    print(f"§7: shared-cache hit rates: "
+          + ", ".join(f"{k} {100 * v:.1f}%" for k, v in sorted(study.hit_rates().items())))
+    whole_house = study.whole_house()
+    print(
+        f"§8: a whole-house cache would unblock "
+        f"{100 * whole_house.moved_fraction_of_all:.1f}% of connections"
+    )
+    print()
+    print("Table 3 — refreshing expiring names:")
+    print(render_table3(study.refresh()))
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.pcap:
+        study = ContextStudy.from_pcap(args.pcap, local_networks=tuple(args.local_net))
+    elif args.dns and args.conn:
+        study = ContextStudy.from_logs(args.dns, args.conn)
+    else:
+        print("analyze requires either --pcap or both --dns and --conn", file=sys.stderr)
+        return 2
+    _print_report(study)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    study = ContextStudy.from_scenario(_scenario_from_args(args))
+    _print_report(study)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dns",
+        description="Putting DNS in Context (IMC 2020) — reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic trace")
+    _add_scenario_arguments(generate)
+    generate.add_argument("--out", default="out", help="output directory (default out/)")
+    generate.add_argument(
+        "--format",
+        choices=("tsv", "json"),
+        default="tsv",
+        help="log format: Zeek TSV (default) or JSON-streaming",
+    )
+    generate.set_defaults(func=cmd_generate)
+
+    analyze = subparsers.add_parser("analyze", help="analyse logs or a pcap")
+    analyze.add_argument("--dns", help="path to dns.log")
+    analyze.add_argument("--conn", help="path to conn.log")
+    analyze.add_argument("--pcap", help="path to a pcap file")
+    analyze.add_argument(
+        "--local-net",
+        action="append",
+        default=["10."],
+        help="local network prefix for pcap ingestion (repeatable)",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    report = subparsers.add_parser("report", help="generate and analyse in one step")
+    _add_scenario_arguments(report)
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

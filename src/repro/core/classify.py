@@ -1,0 +1,252 @@
+"""Connection classification: N / LC / P / SC / R (Table 2).
+
+The paper's taxonomy of DNS-information origin, §5:
+
+* ``N`` — the connection pairs with no DNS lookup at all.
+* ``LC`` — starts >100 ms after its paired lookup and is *not* the first
+  connection to use it: the mapping came from a local cache.
+* ``P`` — starts >100 ms after its paired lookup and *is* the first to
+  use it: the lookup was speculative (prefetched) and its cost hid in
+  the lag before use.
+* ``SC`` — blocked on its lookup, but the lookup was fast enough that
+  the shared resolver must have answered from cache.
+* ``R`` — blocked, and the lookup took long enough that the resolver
+  must have contacted authoritative servers.
+
+The SC/R boundary is a per-resolver duration threshold derived from the
+minimum observed lookup duration against that resolver (≈ its RTT),
+rounded up (§5.3: a 2 ms minimum to the ISP resolvers yields a 5 ms
+threshold). Resolvers with too few lookups get a fixed default.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.blocking import DEFAULT_BLOCKING_THRESHOLD
+from repro.core.pairing import PairedConnection
+from repro.errors import AnalysisError
+from repro.monitor.records import ConnRecord, DnsRecord
+
+
+class ConnClass(enum.Enum):
+    """DNS-information origin classes of the paper's Table 2."""
+
+    NO_DNS = "N"
+    LOCAL_CACHE = "LC"
+    PREFETCHED = "P"
+    SHARED_CACHE = "SC"
+    RESOLUTION = "R"
+
+
+BLOCKED_CLASSES = (ConnClass.SHARED_CACHE, ConnClass.RESOLUTION)
+UNBLOCKED_CLASSES = (ConnClass.NO_DNS, ConnClass.LOCAL_CACHE, ConnClass.PREFETCHED)
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdPolicy:
+    """How per-resolver SC/R duration thresholds are derived.
+
+    ``threshold = ceil(min_duration * multiplier / grid) * grid``,
+    floored at ``grid`` — e.g. a 2 ms minimum with the defaults gives
+    5 ms, matching §5.3. Resolvers observed fewer than ``min_lookups``
+    times use ``default_threshold``.
+    """
+
+    multiplier: float = 1.5
+    grid: float = 0.005
+    min_lookups: int = 200
+    default_threshold: float = 0.005
+
+    def derive(self, min_duration: float) -> float:
+        if min_duration < 0:
+            raise AnalysisError(f"negative minimum duration: {min_duration}")
+        raw = min_duration * self.multiplier
+        return max(self.grid, math.ceil(raw / self.grid - 1e-9) * self.grid)
+
+
+def resolver_thresholds(
+    dns_records: list[DnsRecord],
+    policy: ThresholdPolicy | None = None,
+) -> dict[str, float]:
+    """Per-resolver-address SC/R thresholds from lookup durations."""
+    policy = policy if policy is not None else ThresholdPolicy()
+    durations: dict[str, list[float]] = defaultdict(list)
+    for record in dns_records:
+        durations[record.resp_h].append(record.rtt)
+    thresholds: dict[str, float] = {}
+    for resolver, values in durations.items():
+        if len(values) < policy.min_lookups:
+            thresholds[resolver] = policy.default_threshold
+        else:
+            thresholds[resolver] = policy.derive(min(values))
+    return thresholds
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifiedConnection:
+    """A paired connection plus its Table 2 class."""
+
+    pairing: PairedConnection
+    conn_class: ConnClass
+    resolver_platform: str | None
+
+    @property
+    def conn(self) -> ConnRecord:
+        return self.pairing.conn
+
+    @property
+    def dns(self) -> DnsRecord | None:
+        return self.pairing.dns
+
+    @property
+    def gap(self) -> float | None:
+        return self.pairing.gap
+
+    @property
+    def lookup_duration(self) -> float | None:
+        """Duration of the paired DNS transaction (None for class N)."""
+        if self.pairing.dns is None:
+            return None
+        return self.pairing.dns.rtt
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.conn_class in BLOCKED_CLASSES
+
+    @property
+    def used_expired_record(self) -> bool:
+        """True when the pairing fell back to an expired lookup."""
+        return self.pairing.expired_pairing
+
+
+# Addresses of the four platforms in the synthetic workload; callers
+# analysing foreign traces pass their own mapping.
+DEFAULT_RESOLVER_NAMES = {
+    "192.168.200.10": "local",
+    "192.168.200.11": "local",
+    "8.8.8.8": "google",
+    "8.8.4.4": "google",
+    "208.67.222.222": "opendns",
+    "208.67.220.220": "opendns",
+    "1.1.1.1": "cloudflare",
+    "1.0.0.1": "cloudflare",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifierConfig:
+    """All heuristic knobs of the classification stage."""
+
+    blocking_threshold: float = DEFAULT_BLOCKING_THRESHOLD
+    threshold_policy: ThresholdPolicy = field(default_factory=ThresholdPolicy)
+    resolver_names: dict[str, str] = field(default_factory=lambda: dict(DEFAULT_RESOLVER_NAMES))
+
+    def platform_of(self, resolver_address: str) -> str:
+        return self.resolver_names.get(resolver_address, "other")
+
+
+class Classifier:
+    """Applies the N/LC/P/SC/R taxonomy to paired connections."""
+
+    def __init__(self, dns_records: list[DnsRecord], config: ClassifierConfig | None = None):
+        self.config = config if config is not None else ClassifierConfig()
+        self.thresholds = resolver_thresholds(dns_records, self.config.threshold_policy)
+
+    def threshold_for(self, resolver_address: str) -> float:
+        """The SC/R duration threshold for one resolver address."""
+        return self.thresholds.get(
+            resolver_address, self.config.threshold_policy.default_threshold
+        )
+
+    def classify_one(self, pairing: PairedConnection) -> ClassifiedConnection:
+        """Classify a single paired connection."""
+        if pairing.dns is None:
+            return ClassifiedConnection(pairing, ConnClass.NO_DNS, None)
+        platform = self.config.platform_of(pairing.dns.resp_h)
+        gap = pairing.gap
+        assert gap is not None
+        if gap > self.config.blocking_threshold:
+            conn_class = (
+                ConnClass.PREFETCHED if pairing.first_use else ConnClass.LOCAL_CACHE
+            )
+        else:
+            threshold = self.threshold_for(pairing.dns.resp_h)
+            conn_class = (
+                ConnClass.SHARED_CACHE
+                if pairing.dns.rtt <= threshold
+                else ConnClass.RESOLUTION
+            )
+        return ClassifiedConnection(pairing, conn_class, platform)
+
+    def classify_all(self, paired: list[PairedConnection]) -> list[ClassifiedConnection]:
+        """Classify every paired connection."""
+        return [self.classify_one(item) for item in paired]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassBreakdown:
+    """Table 2: connection counts and shares per class."""
+
+    counts: dict[ConnClass, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def share(self, conn_class: ConnClass) -> float:
+        """Fraction of all connections in *conn_class*."""
+        if not self.total:
+            return 0.0
+        return self.counts.get(conn_class, 0) / self.total
+
+    def blocked_fraction(self) -> float:
+        """Fraction of connections that block awaiting DNS (SC + R)."""
+        return self.share(ConnClass.SHARED_CACHE) + self.share(ConnClass.RESOLUTION)
+
+    def shared_cache_hit_rate(self) -> float:
+        """SC / (SC + R): the shared resolvers' observed hit rate (§5.3)."""
+        blocked = self.counts.get(ConnClass.SHARED_CACHE, 0) + self.counts.get(
+            ConnClass.RESOLUTION, 0
+        )
+        if not blocked:
+            return 0.0
+        return self.counts.get(ConnClass.SHARED_CACHE, 0) / blocked
+
+    def as_rows(self) -> list[tuple[str, str, int, float]]:
+        """(class, description, count, percent) rows in Table 2 order."""
+        descriptions = {
+            ConnClass.NO_DNS: "No DNS",
+            ConnClass.LOCAL_CACHE: "Local Cache",
+            ConnClass.PREFETCHED: "Prefetched",
+            ConnClass.SHARED_CACHE: "Shared Resolver Cache",
+            ConnClass.RESOLUTION: "Requires Resolution",
+        }
+        rows = []
+        for conn_class in (
+            ConnClass.NO_DNS,
+            ConnClass.LOCAL_CACHE,
+            ConnClass.PREFETCHED,
+            ConnClass.SHARED_CACHE,
+            ConnClass.RESOLUTION,
+        ):
+            rows.append(
+                (
+                    conn_class.value,
+                    descriptions[conn_class],
+                    self.counts.get(conn_class, 0),
+                    100.0 * self.share(conn_class),
+                )
+            )
+        return rows
+
+
+def class_breakdown(classified: list[ClassifiedConnection]) -> ClassBreakdown:
+    """Count connections per class (the data behind Table 2)."""
+    counts: dict[ConnClass, int] = {}
+    for item in classified:
+        counts[item.conn_class] = counts.get(item.conn_class, 0) + 1
+    return ClassBreakdown(counts=counts)

@@ -1,0 +1,136 @@
+"""Comparing studies: seeds, configurations, and ablation variants.
+
+The ablations of the paper ("we ran with alternate constants; the
+insights hold") need a principled way to say *how different* two runs
+are. This module provides:
+
+* :func:`ks_distance` — the two-sample Kolmogorov-Smirnov statistic
+  between two CDFs (the natural metric for the paper's figure-level
+  results),
+* :func:`compare_breakdowns` — per-class share deltas between two
+  Table 2 classifications, and
+* :class:`StudyComparison` — a full side-by-side of two
+  :class:`~repro.core.context.ContextStudy` runs with a rendered report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classify import ClassBreakdown, ConnClass
+from repro.core.context import ContextStudy
+from repro.core.stats import Cdf
+from repro.errors import AnalysisError
+
+
+def ks_distance(a: Cdf, b: Cdf) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic: sup |F_a(x) - F_b(x)|."""
+    if not len(a) or not len(b):
+        raise AnalysisError("cannot compare empty CDFs")
+    distance = 0.0
+    for x in set(a.xs) | set(b.xs):
+        distance = max(distance, abs(a.evaluate(x) - b.evaluate(x)))
+    return distance
+
+
+@dataclass(frozen=True, slots=True)
+class ClassDelta:
+    """One class's share in two runs."""
+
+    conn_class: ConnClass
+    share_a: float
+    share_b: float
+
+    @property
+    def delta(self) -> float:
+        """share_b - share_a (positive: B has more of this class)."""
+        return self.share_b - self.share_a
+
+
+def compare_breakdowns(a: ClassBreakdown, b: ClassBreakdown) -> list[ClassDelta]:
+    """Per-class share deltas between two classifications."""
+    return [
+        ClassDelta(conn_class=cls, share_a=a.share(cls), share_b=b.share(cls))
+        for cls in ConnClass
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class StudyComparison:
+    """A side-by-side of two studies' headline results."""
+
+    label_a: str
+    label_b: str
+    class_deltas: list[ClassDelta]
+    blocked_a: float
+    blocked_b: float
+    significant_a: float
+    significant_b: float
+    lookup_delay_ks: float
+
+    @property
+    def max_class_delta(self) -> float:
+        """Largest absolute per-class share movement."""
+        return max(abs(delta.delta) for delta in self.class_deltas)
+
+    def insights_stable(
+        self,
+        class_tolerance: float = 0.05,
+        significant_tolerance: float = 0.03,
+    ) -> bool:
+        """Do the paper's high-level take-aways hold in both runs?
+
+        True when every class share moved less than *class_tolerance*,
+        both runs keep blocked connections a minority, and the
+        significant-cost headline moved less than *significant_tolerance*.
+        """
+        if self.max_class_delta >= class_tolerance:
+            return False
+        if self.blocked_a >= 0.5 or self.blocked_b >= 0.5:
+            return False
+        return abs(self.significant_a - self.significant_b) < significant_tolerance
+
+    def render(self) -> str:
+        """A text report of the comparison."""
+        from repro.report.tables import render_table
+
+        rows = [
+            (
+                delta.conn_class.value,
+                f"{100 * delta.share_a:.1f}%",
+                f"{100 * delta.share_b:.1f}%",
+                f"{100 * delta.delta:+.1f}",
+            )
+            for delta in self.class_deltas
+        ]
+        rows.append(
+            ("blocked", f"{100 * self.blocked_a:.1f}%", f"{100 * self.blocked_b:.1f}%",
+             f"{100 * (self.blocked_b - self.blocked_a):+.1f}")
+        )
+        rows.append(
+            ("significant", f"{100 * self.significant_a:.1f}%", f"{100 * self.significant_b:.1f}%",
+             f"{100 * (self.significant_b - self.significant_a):+.1f}")
+        )
+        table = render_table(("Metric", self.label_a, self.label_b, "delta (pts)"), rows)
+        return f"{table}\nlookup-delay KS distance: {self.lookup_delay_ks:.3f}"
+
+
+def compare_studies(
+    a: ContextStudy,
+    b: ContextStudy,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> StudyComparison:
+    """Build a :class:`StudyComparison` between two studies."""
+    breakdown_a = a.breakdown
+    breakdown_b = b.breakdown
+    return StudyComparison(
+        label_a=label_a,
+        label_b=label_b,
+        class_deltas=compare_breakdowns(breakdown_a, breakdown_b),
+        blocked_a=breakdown_a.blocked_fraction(),
+        blocked_b=breakdown_b.blocked_fraction(),
+        significant_a=a.significance_quadrant().significant_of_all,
+        significant_b=b.significance_quadrant().significant_of_all,
+        lookup_delay_ks=ks_distance(a.lookup_delays().cdf, b.lookup_delays().cdf),
+    )

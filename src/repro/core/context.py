@@ -1,0 +1,315 @@
+"""The top-level analysis pipeline: a trace in, the paper's results out.
+
+:class:`ContextStudy` owns one trace (synthetic, from logs, or from a
+pcap) and lazily computes every analysis of the paper: DN-Hunter
+pairing, the Figure 1 blocking analysis, the Table 2 classification,
+the §5 source analyses, the §6 cost analyses, the §7 resolver
+comparison, and the §8 improvement simulations.
+
+Example::
+
+    from repro.core.context import ContextStudy
+    from repro.workload.scenario import default_scenario
+
+    study = ContextStudy.from_scenario(default_scenario(seed=1))
+    print(study.classification_table())
+    quadrant = study.significance_quadrant()
+    print(f"significant DNS cost: {100 * quadrant.significant_of_all:.1f}% of all connections")
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.core.blocking import DEFAULT_BLOCKING_THRESHOLD, GapAnalysis, analyze_gaps
+from repro.core.classify import (
+    ClassBreakdown,
+    ClassifiedConnection,
+    Classifier,
+    ClassifierConfig,
+    class_breakdown,
+)
+from repro.core.improvements import (
+    RefreshComparison,
+    RefreshSimulator,
+    WholeHouseCacheAnalysis,
+    whole_house_cache_analysis,
+)
+from repro.core.pairing import (
+    PairedConnection,
+    Pairer,
+    PairingPolicy,
+    ambiguity_fraction,
+)
+from repro.core.performance import (
+    ContributionAnalysis,
+    LookupDelayAnalysis,
+    SignificanceQuadrant,
+    contribution_analysis,
+    lookup_delay_analysis,
+    significance_quadrant,
+)
+from repro.core.resolvers import (
+    ResolverUsageRow,
+    ThroughputByPlatform,
+    hit_rate_by_platform,
+    local_only_house_fraction,
+    r_delay_by_platform,
+    resolver_usage_table,
+    throughput_by_platform,
+)
+from repro.core.sources import (
+    NoDnsBreakdown,
+    PrefetchStats,
+    TtlViolationStats,
+    no_dns_breakdown,
+    prefetch_stats,
+    ttl_violation_stats,
+)
+from repro.errors import AnalysisError
+from repro.monitor.capture import Trace
+
+
+def _looks_like_json(path: str) -> bool:
+    """True when the file's first non-blank character starts a JSON object."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            stripped = line.strip()
+            if stripped:
+                return stripped.startswith("{")
+    return False
+
+
+def _load_any_dns(path: str):
+    if _looks_like_json(path):
+        from repro.monitor.json_logs import read_dns_json
+
+        with open(path, "r", encoding="utf-8") as stream:
+            return read_dns_json(stream)
+    from repro.monitor.logs import load_dns_log
+
+    return load_dns_log(path)
+
+
+def _load_any_conn(path: str):
+    if _looks_like_json(path):
+        from repro.monitor.json_logs import read_conn_json
+
+        with open(path, "r", encoding="utf-8") as stream:
+            return read_conn_json(stream)
+    from repro.monitor.logs import load_conn_log
+
+    return load_conn_log(path)
+
+
+@dataclass(frozen=True, slots=True)
+class StudyOptions:
+    """Analysis-stage knobs (all defaulting to the paper's choices)."""
+
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    pairing_policy: PairingPolicy = PairingPolicy.MOST_RECENT
+    pairing_seed: int = 0
+
+
+class ContextStudy:
+    """One trace plus every analysis the paper runs on it."""
+
+    def __init__(self, trace: Trace, options: StudyOptions | None = None):
+        if not trace.conns:
+            raise AnalysisError("the trace has no connections to analyse")
+        self.trace = trace
+        self.options = options if options is not None else StudyOptions()
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_scenario(cls, config, options: StudyOptions | None = None) -> "ContextStudy":
+        """Generate a synthetic trace for *config* and analyse it."""
+        from repro.workload.generate import generate_trace
+
+        return cls(generate_trace(config), options)
+
+    @classmethod
+    def from_logs(
+        cls, dns_path: str, conn_path: str, options: StudyOptions | None = None
+    ) -> "ContextStudy":
+        """Analyse previously saved dns.log / conn.log files.
+
+        Both Zeek formats are accepted — TSV (``#fields`` headers) and
+        JSON-streaming (one object per line) — detected per file.
+        """
+        trace = Trace(dns=_load_any_dns(dns_path), conns=_load_any_conn(conn_path))
+        trace.sort()
+        if trace.conns:
+            trace.duration = trace.conns[-1].ts - trace.conns[0].ts
+        return cls(trace, options)
+
+    @classmethod
+    def from_pcap(
+        cls,
+        path: str,
+        local_networks: tuple[str, ...] = ("10.",),
+        options: StudyOptions | None = None,
+    ) -> "ContextStudy":
+        """Extract logs from a pcap file and analyse them."""
+        from repro.monitor.pcap_ingest import trace_from_pcap
+
+        return cls(trace_from_pcap(path, local_networks=local_networks), options)
+
+    # -- pipeline stages -----------------------------------------------------
+
+    @cached_property
+    def paired(self) -> list[PairedConnection]:
+        """DN-Hunter pairing of every connection (chronological order)."""
+        pairer = Pairer(
+            self.trace.dns,
+            policy=self.options.pairing_policy,
+            rng=random.Random(self.options.pairing_seed),
+        )
+        return pairer.pair_all(self.trace.conns)
+
+    @cached_property
+    def classifier(self) -> Classifier:
+        """The classifier with per-resolver SC/R thresholds."""
+        return Classifier(self.trace.dns, self.options.classifier)
+
+    @cached_property
+    def classified(self) -> list[ClassifiedConnection]:
+        """Every connection with its Table 2 class."""
+        return self.classifier.classify_all(self.paired)
+
+    @cached_property
+    def breakdown(self) -> ClassBreakdown:
+        """Table 2 counts."""
+        return class_breakdown(self.classified)
+
+    # -- §4 -----------------------------------------------------------------
+
+    def gap_analysis(self, blocking_threshold: float = DEFAULT_BLOCKING_THRESHOLD) -> GapAnalysis:
+        """Figure 1: the DNS-completion-to-connection-start gap analysis."""
+        return analyze_gaps(self.paired, blocking_threshold=blocking_threshold)
+
+    def pairing_ambiguity(self) -> float:
+        """§4: share of paired connections with a unique candidate (paper: 82%)."""
+        return ambiguity_fraction(self.paired)
+
+    def population(self):
+        """§3-style dataset characterization (volumes, mixes, per-house)."""
+        from repro.core.population import characterize
+
+        return characterize(self.trace)
+
+    # -- §3 / Table 1 ---------------------------------------------------------
+
+    def resolver_usage(self) -> list[ResolverUsageRow]:
+        """Table 1 rows."""
+        return resolver_usage_table(self.trace.dns, self.classified, self.options.classifier)
+
+    def local_only_houses(self) -> float:
+        """§3: share of houses that only use the ISP resolvers (paper: ~16%)."""
+        return local_only_house_fraction(self.trace.dns, self.options.classifier)
+
+    # -- §5 -------------------------------------------------------------------
+
+    def no_dns(self) -> NoDnsBreakdown:
+        """§5.1: anatomy of the N class."""
+        return no_dns_breakdown(self.classified)
+
+    def ttl_violations(self) -> TtlViolationStats:
+        """§5.2: expired-record usage among LC/P connections."""
+        return ttl_violation_stats(self.classified)
+
+    def prefetching(self) -> PrefetchStats:
+        """§5.2: speculative-lookup economics."""
+        return prefetch_stats(self.trace.dns, self.paired, self.classified)
+
+    # -- §6 -------------------------------------------------------------------
+
+    def lookup_delays(self) -> LookupDelayAnalysis:
+        """Figure 2 (top)."""
+        return lookup_delay_analysis(self.classified)
+
+    def contribution(self) -> ContributionAnalysis:
+        """Figure 2 (bottom)."""
+        return contribution_analysis(self.classified)
+
+    def significance_quadrant(self, abs_threshold: float = 0.020, rel_threshold: float = 1.0) -> SignificanceQuadrant:
+        """§6: the significance quadrant."""
+        return significance_quadrant(self.classified, abs_threshold, rel_threshold)
+
+    # -- §7 -------------------------------------------------------------------
+
+    def hit_rates(self) -> dict[str, float]:
+        """§7: shared-cache hit rate per platform."""
+        return hit_rate_by_platform(self.classified)
+
+    def r_delays(self):
+        """Figure 3 (top): per-platform R-lookup delay CDFs."""
+        return r_delay_by_platform(self.classified)
+
+    def throughput(self) -> ThroughputByPlatform:
+        """Figure 3 (bottom): per-platform throughput CDFs."""
+        return throughput_by_platform(self.classified)
+
+    # -- §8 -------------------------------------------------------------------
+
+    def whole_house(self) -> WholeHouseCacheAnalysis:
+        """§8: who would a whole-house cache help."""
+        return whole_house_cache_analysis(self.trace.dns, self.classified)
+
+    def refresh(self, ttl_floor: float = 10.0) -> RefreshComparison:
+        """Table 3: standard vs refresh-all whole-house cache."""
+        simulator = RefreshSimulator(
+            self.trace.dns, self.classified, ttl_floor=ttl_floor, houses=self.trace.houses or None
+        )
+        return simulator.compare()
+
+    # -- validation & rendering ------------------------------------------------
+
+    def validate_against_truth(self) -> dict[str, object]:
+        """Compare heuristic classes against simulation ground truth.
+
+        Only available for synthetic traces carrying annotations. Returns
+        the agreement rate and a confusion matrix keyed
+        (truth class, inferred class).
+        """
+        if not self.trace.truth:
+            raise AnalysisError("the trace carries no ground-truth annotations")
+        confusion: dict[tuple[str, str], int] = {}
+        agree = 0
+        total = 0
+        for item in self.classified:
+            truth = self.trace.truth.get(item.conn.uid)
+            if truth is None:
+                continue
+            total += 1
+            key = (truth.truth_class.value, item.conn_class.value)
+            confusion[key] = confusion.get(key, 0) + 1
+            if truth.truth_class.value == item.conn_class.value:
+                agree += 1
+        return {
+            "agreement": agree / total if total else 0.0,
+            "confusion": confusion,
+            "total": total,
+        }
+
+    def classification_table(self) -> str:
+        """Table 2 rendered as text."""
+        from repro.report.tables import render_table2
+
+        return render_table2(self.breakdown)
+
+    def summary(self) -> str:
+        """A multi-line digest of the headline results."""
+        breakdown = self.breakdown
+        quadrant = self.significance_quadrant()
+        lines = [
+            self.trace.summary(),
+            self.classification_table(),
+            f"blocked on DNS: {100 * breakdown.blocked_fraction():.1f}% of connections",
+            f"significant DNS cost (>20ms and >1%): "
+            f"{100 * quadrant.significant_of_all:.1f}% of all connections",
+        ]
+        return "\n".join(lines)

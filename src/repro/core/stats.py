@@ -1,0 +1,152 @@
+"""Small statistics helpers used across the analysis layer.
+
+Everything here is intentionally dependency-light (plain Python plus
+numpy for percentile work) and operates on simple sequences, so each
+analysis module stays readable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) of *values*."""
+    if not values:
+        raise AnalysisError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise AnalysisError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def fraction(values: Iterable[bool]) -> float:
+    """Fraction of True entries (0.0 for an empty iterable)."""
+    total = 0
+    hits = 0
+    for value in values:
+        total += 1
+        if value:
+            hits += 1
+    return hits / total if total else 0.0
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold (0.0 for empty input)."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value <= threshold) / len(values)
+
+
+def fraction_above(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values > threshold (0.0 for empty input)."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value > threshold) / len(values)
+
+
+@dataclass(frozen=True, slots=True)
+class Cdf:
+    """An empirical CDF with convenient probing.
+
+    ``xs`` are the sorted sample values; evaluation interpolates the
+    step function from the right (P[X <= x]).
+    """
+
+    xs: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "Cdf":
+        xs = tuple(sorted(float(v) for v in values))
+        if not xs:
+            raise AnalysisError("cannot build a CDF from no samples")
+        return cls(xs)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def evaluate(self, x: float) -> float:
+        """P[X <= x]."""
+        return bisect.bisect_right(self.xs, x) / len(self.xs)
+
+    def quantile(self, q: float) -> float:
+        """The value at cumulative probability *q* in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.xs[0]
+        index = min(len(self.xs) - 1, max(0, math.ceil(q * len(self.xs)) - 1))
+        return self.xs[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self, points: int = 200) -> list[tuple[float, float]]:
+        """(value, cumulative probability) pairs for plotting/export."""
+        if points < 2:
+            raise AnalysisError(f"need at least 2 points, got {points}")
+        count = len(self.xs)
+        out: list[tuple[float, float]] = []
+        for i in range(points):
+            q = i / (points - 1)
+            out.append((self.quantile(q), q))
+        # Collapse duplicates while keeping the envelope.
+        deduped: list[tuple[float, float]] = []
+        for x, y in out:
+            if deduped and deduped[-1][0] == x:
+                deduped[-1] = (x, y)
+            else:
+                deduped.append((x, y))
+        return deduped
+
+
+def find_knee(values: Sequence[float], log_x: bool = True) -> float:
+    """Locate the knee of a CDF using the Kneedle chord-distance method.
+
+    Used to find the blocked/unblocked boundary of the paper's Figure 1
+    (the ~20 ms knee in the DNS-completion-to-connection-start gap
+    distribution). Gaps spanning many orders of magnitude are analysed
+    on a log axis.
+    """
+    if len(values) < 10:
+        raise AnalysisError(f"need at least 10 samples to find a knee, got {len(values)}")
+    xs = np.sort(np.asarray(values, dtype=float))
+    positive = xs[xs > 0]
+    if log_x:
+        if len(positive) < 10:
+            raise AnalysisError("too few positive samples for a log-axis knee")
+        xs = np.log10(positive)
+    ys = np.arange(1, len(xs) + 1) / len(xs)
+    x_span = xs[-1] - xs[0]
+    if x_span <= 0:
+        raise AnalysisError("degenerate sample range; no knee exists")
+    x_norm = (xs - xs[0]) / x_span
+    y_norm = (ys - ys[0]) / (ys[-1] - ys[0])
+    distance = y_norm - x_norm
+    knee_index = int(np.argmax(distance))
+    knee_x = xs[knee_index]
+    return float(10 ** knee_x) if log_x else float(knee_x)
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """A compact numeric summary (min/median/mean/p75/p90/p99/max)."""
+    if not values:
+        raise AnalysisError("cannot summarise an empty sequence")
+    array = np.asarray(values, dtype=float)
+    return {
+        "count": float(len(array)),
+        "min": float(array.min()),
+        "median": float(np.percentile(array, 50)),
+        "mean": float(array.mean()),
+        "p75": float(np.percentile(array, 75)),
+        "p90": float(np.percentile(array, 90)),
+        "p99": float(np.percentile(array, 99)),
+        "max": float(array.max()),
+    }

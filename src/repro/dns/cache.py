@@ -1,0 +1,261 @@
+"""TTL-aware DNS caches.
+
+The same cache structure backs three different actors in this library:
+
+* the **stub cache** on each simulated device (optionally violating TTLs,
+  which §5.2 of the paper measures at 22.2% of local-cache connections),
+* the **shared cache** inside each recursive resolver platform, and
+* the **whole-house cache** simulated in §8 of the paper.
+
+Entries are keyed by ``(qname, qtype)`` (case-folded). Every entry keeps
+the absolute expiry time derived from the minimum answer TTL, plus usage
+accounting the analysis layer relies on (first-use detection, expired-use
+detection). Capacity-bounded caches evict least-recently-used entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.dns.name import DomainName
+from repro.dns.rr import ResourceRecord, RRType
+from repro.errors import DnsError
+
+CacheKey = tuple[str, int]
+
+
+def cache_key(qname: DomainName | str, qtype: RRType | int = RRType.A) -> CacheKey:
+    """Canonical cache key for a name/type pair."""
+    name = qname if isinstance(qname, DomainName) else DomainName(qname)
+    return (name.folded(), int(qtype))
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One cached RRset plus bookkeeping."""
+
+    key: CacheKey
+    records: tuple[ResourceRecord, ...]
+    stored_at: float
+    ttl: float
+    uses: int = 0
+    last_used: float | None = None
+
+    @property
+    def expires_at(self) -> float:
+        """Absolute time at which the entry's TTL runs out."""
+        return self.stored_at + self.ttl
+
+    def is_expired(self, now: float) -> bool:
+        """True once *now* passes the entry's expiry."""
+        return now >= self.expires_at
+
+    def remaining_ttl(self, now: float) -> float:
+        """Seconds of TTL left at *now* (negative once expired)."""
+        return self.expires_at - now
+
+    def aged_records(self, now: float) -> tuple[ResourceRecord, ...]:
+        """Records with TTLs decremented by the entry's age, floored at 0."""
+        remaining = max(0, int(self.remaining_ttl(now)))
+        return tuple(rr.with_ttl(min(rr.ttl, remaining)) for rr in self.records)
+
+
+@dataclass(frozen=True, slots=True)
+class CacheLookup:
+    """Outcome of a cache probe."""
+
+    hit: bool
+    records: tuple[ResourceRecord, ...] = ()
+    expired: bool = False
+    first_use: bool = False
+    entry_age: float = 0.0
+
+    def addresses(self) -> tuple[str, ...]:
+        """IP addresses among the returned records."""
+        return tuple(rr.address for rr in self.records if rr.is_address())
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Aggregate counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    expired_hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    refreshes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes served from cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class DnsCache:
+    """An LRU, TTL-aware DNS cache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries, or ``None`` for unbounded.
+    overstay:
+        Either a constant number of seconds an expired entry may still be
+        served (``0`` = strict TTL honoring), or a callable
+        ``overstay(key) -> float`` evaluated when the entry is stored.
+        This models the real-world TTL violations §5.2 quantifies.
+    min_ttl / max_ttl:
+        Clamp stored TTLs, mirroring resolver implementations that floor
+        or cap TTLs.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        overstay: float | Callable[[CacheKey], float] = 0.0,
+        min_ttl: float = 0.0,
+        max_ttl: float | None = None,
+    ):
+        if capacity is not None and capacity <= 0:
+            raise DnsError(f"cache capacity must be positive, got {capacity}")
+        if min_ttl < 0:
+            raise DnsError(f"min_ttl must be non-negative, got {min_ttl}")
+        if max_ttl is not None and max_ttl < min_ttl:
+            raise DnsError("max_ttl must be >= min_ttl")
+        self._capacity = capacity
+        self._overstay = overstay
+        self._min_ttl = min_ttl
+        self._max_ttl = max_ttl
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+        self._overstays: dict[CacheKey, float] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """Iterate over entries in LRU order (least recent first)."""
+        return iter(self._entries.values())
+
+    def _overstay_for(self, key: CacheKey) -> float:
+        if callable(self._overstay):
+            return max(0.0, float(self._overstay(key)))
+        return max(0.0, float(self._overstay))
+
+    def put(
+        self,
+        key: CacheKey,
+        records: tuple[ResourceRecord, ...],
+        now: float,
+        ttl: float | None = None,
+    ) -> CacheEntry:
+        """Store *records* under *key* at time *now*.
+
+        ``ttl`` overrides the minimum record TTL when given (the §8
+        refresh simulator uses this to apply the max-observed TTL rule).
+        """
+        if not records:
+            raise DnsError("refusing to cache an empty RRset")
+        effective_ttl = float(ttl) if ttl is not None else float(min(rr.ttl for rr in records))
+        effective_ttl = max(self._min_ttl, effective_ttl)
+        if self._max_ttl is not None:
+            effective_ttl = min(self._max_ttl, effective_ttl)
+        entry = CacheEntry(key=key, records=records, stored_at=now, ttl=effective_ttl)
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = entry
+        self._overstays[key] = self._overstay_for(key)
+        self.stats.insertions += 1
+        if self._capacity is not None:
+            while len(self._entries) > self._capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._overstays.pop(evicted_key, None)
+                self.stats.evictions += 1
+        return entry
+
+    def get(self, key: CacheKey, now: float) -> CacheLookup:
+        """Probe the cache at time *now*, updating usage accounting."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return CacheLookup(hit=False)
+        expired = entry.is_expired(now)
+        if expired and now >= entry.expires_at + self._overstays.get(key, 0.0):
+            # Beyond the tolerated overstay: treat as a miss and drop it.
+            del self._entries[key]
+            self._overstays.pop(key, None)
+            self.stats.misses += 1
+            return CacheLookup(hit=False)
+        first_use = entry.uses == 0
+        entry.uses += 1
+        entry.last_used = now
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        if expired:
+            self.stats.expired_hits += 1
+        return CacheLookup(
+            hit=True,
+            records=entry.aged_records(now) if not expired else entry.records,
+            expired=expired,
+            first_use=first_use,
+            entry_age=now - entry.stored_at,
+        )
+
+    def peek(self, key: CacheKey) -> CacheEntry | None:
+        """Return the entry for *key* without touching usage accounting."""
+        return self._entries.get(key)
+
+    def refresh(
+        self,
+        key: CacheKey,
+        records: tuple[ResourceRecord, ...],
+        now: float,
+        ttl: float | None = None,
+    ) -> CacheEntry:
+        """Replace an entry in place, preserving its usage counters.
+
+        Used by the §8 refresh-on-expiry simulator: a refreshed entry is
+        not a "new" name, so first-use accounting must survive.
+        """
+        previous = self._entries.get(key)
+        entry = self.put(key, records, now, ttl=ttl)
+        if previous is not None:
+            entry.uses = previous.uses
+            entry.last_used = previous.last_used
+        self.stats.refreshes += 1
+        # put() counted an insertion; a refresh should not.
+        self.stats.insertions -= 1
+        return entry
+
+    def purge_expired(self, now: float) -> int:
+        """Drop every entry whose TTL (plus overstay) has run out."""
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if now > entry.expires_at + self._overstays.get(key, 0.0)
+        ]
+        for key in doomed:
+            del self._entries[key]
+            self._overstays.pop(key, None)
+        return len(doomed)
+
+    def expiring_before(self, deadline: float) -> list[CacheEntry]:
+        """Entries whose nominal TTL runs out before *deadline*."""
+        return [entry for entry in self._entries.values() if entry.expires_at < deadline]
+
+    def clear(self) -> None:
+        """Drop all entries (stats are preserved)."""
+        self._entries.clear()
+        self._overstays.clear()

@@ -1,0 +1,466 @@
+"""Recursive and stub resolver models.
+
+:class:`RecursiveResolver` models a shared resolver platform (the local
+ISP resolvers, Google Public DNS, OpenDNS, Cloudflare in the paper's
+Table 1). Each platform has a client-facing latency model, a shared
+cache, a latency model toward authoritative servers, and a *cache
+effectiveness* knob modelling frontend sharding: large anycast platforms
+spread queries over many cache nodes, so a record cached "somewhere" in
+the platform is not always visible to the node a query lands on. This is
+the mechanism behind the paper's observation that Google's effective
+shared-cache hit rate (23.0%) is far below the ISP's (71.2%).
+
+:class:`StubResolver` models the client side: an on-device (or in-home
+forwarder) cache probed first, and one or more upstream recursive
+resolvers used on a miss. Stub caches may overstay TTLs, reproducing the
+TTL violations §5.2 measures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.dns.cache import CacheKey, CacheLookup, DnsCache, cache_key
+from repro.dns.name import DomainName
+from repro.dns.rr import ResourceRecord, RRType
+from repro.dns.zone import DnsHierarchy
+from repro.errors import ResolutionError
+from repro.simulation.latency import (
+    LatencyModel,
+    authoritative_latency,
+    continental_latency,
+    metro_latency,
+    regional_latency,
+)
+
+_NS_CACHE_PREFIX = "\x00delegation\x00"
+_NEGATIVE_TTL = 300.0
+_PROCESSING_DELAY = 0.0002
+
+
+@dataclass(frozen=True, slots=True)
+class ResolverProfile:
+    """Static description of one recursive resolver platform.
+
+    ``cache_effectiveness`` models frontend sharding: the probability
+    that a record cached somewhere in the platform is visible to the
+    node a query lands on. ``background_scale`` models the platform's
+    *other* clients: a resolver serving a whole ISP (or the world) has
+    its cache kept warm by traffic the monitored houses never see. It
+    multiplies the name's observed query rate to estimate how likely an
+    external client refreshed the entry within its TTL.
+    """
+
+    platform: str
+    address: str
+    client_latency: LatencyModel
+    auth_latency: LatencyModel
+    cache_effectiveness: float = 1.0
+    background_scale: float = 0.0
+    cache_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cache_effectiveness <= 1.0:
+            raise ResolutionError(
+                f"cache_effectiveness must be in [0, 1], got {self.cache_effectiveness}"
+            )
+        if self.background_scale < 0:
+            raise ResolutionError(
+                f"background_scale cannot be negative, got {self.background_scale}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ResolutionOutcome:
+    """What one query to a recursive resolver produced."""
+
+    qname: DomainName
+    qtype: RRType
+    records: tuple[ResourceRecord, ...]
+    duration: float
+    cache_hit: bool
+    auth_queries: int
+    nxdomain: bool = False
+
+    def addresses(self) -> tuple[str, ...]:
+        """IP addresses among the answer records."""
+        return tuple(rr.address for rr in self.records if rr.is_address())
+
+
+class RecursiveResolver:
+    """A shared recursive resolver platform resolving against a hierarchy."""
+
+    def __init__(
+        self,
+        profile: ResolverProfile,
+        hierarchy: DnsHierarchy,
+        rng: random.Random | None = None,
+    ):
+        self.profile = profile
+        self.hierarchy = hierarchy
+        self.cache = DnsCache(capacity=profile.cache_capacity)
+        self._rng = rng if rng is not None else random.Random(0)
+        # Per-name demand estimates for background-population warming:
+        # key -> [query count, first seen, last known TTL].
+        self._demand: dict[CacheKey, list[float]] = {}
+        # RFC 2308 negative cache: key -> (expires at, was NXDOMAIN).
+        self._negative: dict[CacheKey, tuple[float, bool]] = {}
+        self.queries_served = 0
+        self.authoritative_queries = 0
+        self.background_hits = 0
+
+    @property
+    def platform(self) -> str:
+        return self.profile.platform
+
+    @property
+    def address(self) -> str:
+        return self.profile.address
+
+    def resolve(
+        self,
+        qname: DomainName | str,
+        now: float,
+        qtype: RRType = RRType.A,
+        rng: random.Random | None = None,
+    ) -> ResolutionOutcome:
+        """Resolve *qname*/*qtype* at simulated time *now*.
+
+        The returned duration covers the full client-observed transaction:
+        one client<->resolver round trip plus any authoritative chasing.
+        """
+        rng = rng if rng is not None else self._rng
+        name = qname if isinstance(qname, DomainName) else DomainName(qname)
+        self.queries_served += 1
+        duration = self.profile.client_latency.sample(rng) + _PROCESSING_DELAY
+
+        key = cache_key(name, qtype)
+        demand = self._demand.get(key)
+        if demand is None:
+            demand = [0.0, now, 0.0]
+            self._demand[key] = demand
+        demand[0] += 1.0
+
+        cached = self.cache.peek(key)
+        visible = (
+            cached is not None
+            and not cached.is_expired(now)
+            and rng.random() < self.profile.cache_effectiveness
+        )
+        if visible:
+            lookup = self.cache.get(key, now)
+            if lookup.hit and not lookup.expired:
+                return ResolutionOutcome(
+                    qname=name,
+                    qtype=qtype,
+                    records=lookup.records,
+                    duration=duration,
+                    cache_hit=True,
+                    auth_queries=0,
+                    nxdomain=not lookup.records,
+                )
+        negative = self._negative.get(key)
+        if negative is not None:
+            expires_at, was_nxdomain = negative
+            if now < expires_at and rng.random() < self.profile.cache_effectiveness:
+                # RFC 2308 negative caching: the non-answer is itself
+                # cached, so repeat misses are fast.
+                return ResolutionOutcome(
+                    qname=name,
+                    qtype=qtype,
+                    records=(),
+                    duration=duration,
+                    cache_hit=True,
+                    auth_queries=0,
+                    nxdomain=was_nxdomain,
+                )
+            if now >= expires_at:
+                del self._negative[key]
+        if self._background_warm(key, now, rng):
+            # Some external client of the platform refreshed this entry
+            # within its TTL; the answer is in cache even though none of
+            # the monitored houses put it there.
+            records, _, nxdomain = self._resolve_authoritatively(name, qtype, now, rng)
+            if records:
+                ttl = float(min(rr.ttl for rr in records))
+                age = rng.uniform(0.0, 0.8 * ttl) if ttl > 0 else 0.0
+                aged = tuple(rr.with_ttl(max(0, int(rr.ttl - age))) for rr in records)
+                self.background_hits += 1
+                return ResolutionOutcome(
+                    qname=name,
+                    qtype=qtype,
+                    records=aged,
+                    duration=duration,
+                    cache_hit=True,
+                    auth_queries=0,
+                    nxdomain=nxdomain,
+                )
+        records, auth_queries, nxdomain = self._resolve_authoritatively(name, qtype, now, rng)
+        if records:
+            demand[2] = float(min(rr.ttl for rr in records))
+        else:
+            self._negative[key] = (now + _NEGATIVE_TTL, nxdomain)
+        for _ in range(auth_queries):
+            duration += self.profile.auth_latency.sample(rng)
+        return ResolutionOutcome(
+            qname=name,
+            qtype=qtype,
+            records=records,
+            duration=duration,
+            cache_hit=False,
+            auth_queries=auth_queries,
+            nxdomain=nxdomain,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _background_warm(self, key: CacheKey, now: float, rng: random.Random) -> bool:
+        """Did the platform's external population keep this entry warm?
+
+        The name's demand among the monitored houses, scaled by the
+        platform's ``background_scale``, estimates the external query
+        rate; the entry is warm if at least one external query landed
+        within the last TTL window (Poisson arrival assumption), and the
+        serving frontend shard actually holds it.
+        """
+        if self.profile.background_scale <= 0:
+            return False
+        count, first_seen, last_ttl = self._demand[key]
+        if last_ttl <= 0 or count < 1:
+            return False
+        observed_rate = count / max(now - first_seen, 300.0)
+        external_rate = observed_rate * self.profile.background_scale
+        p_warm = 1.0 - math.exp(-external_rate * last_ttl)
+        return rng.random() < p_warm * self.profile.cache_effectiveness
+
+    def _delegation_key(self, origin: DomainName) -> CacheKey:
+        return (_NS_CACHE_PREFIX + origin.folded(), int(RRType.NS))
+
+    def _resolve_authoritatively(
+        self,
+        name: DomainName,
+        qtype: RRType,
+        now: float,
+        rng: random.Random,
+        depth: int = 0,
+    ) -> tuple[tuple[ResourceRecord, ...], int, bool]:
+        """Iteratively resolve, returning (records, auth queries, nxdomain)."""
+        if depth > 8:
+            raise ResolutionError(f"resolution of {name} exceeded CNAME depth limit")
+        try:
+            path = self.hierarchy.resolution_path(name)
+        except Exception as exc:
+            raise ResolutionError(f"cannot resolve {name}: {exc}") from exc
+
+        # Skip hops whose delegation is already cached; a real resolver
+        # keeps NS records for the zones it has visited.
+        start_index = 0
+        for index, server in enumerate(path[1:], start=1):
+            zone = server.zone_for(name)
+            if zone is None:
+                continue
+            lookup = self.cache.get(self._delegation_key(zone.origin), now)
+            if lookup.hit and not lookup.expired:
+                start_index = index
+        auth_queries = 0
+        answer_records: tuple[ResourceRecord, ...] = ()
+        nxdomain = False
+        from repro.dns.message import Question, Rcode
+
+        question = Question(name, qtype)
+        for server in path[start_index:]:
+            auth_queries += 1
+            self.authoritative_queries += 1
+            answer = server.query(question, requester=self.platform)
+            if answer.is_referral:
+                referral = answer.referral
+                assert referral is not None
+                self.cache.put(
+                    self._delegation_key(referral.zone),
+                    referral.ns_records,
+                    now,
+                )
+                continue
+            if answer.rcode == Rcode.NXDOMAIN:
+                nxdomain = True
+                break
+            answer_records = answer.answers
+            break
+
+        if nxdomain or not answer_records:
+            # Negative-cache the non-answer briefly so repeat misses are
+            # served from cache, as RFC 2308 prescribes.
+            return (), auth_queries, nxdomain
+
+        addresses = [rr for rr in answer_records if rr.is_address()]
+        if not addresses and qtype in (RRType.A, RRType.AAAA):
+            cname = next((rr for rr in answer_records if rr.rtype == RRType.CNAME), None)
+            if cname is not None:
+                from repro.dns.rr import NameRecordData
+
+                assert isinstance(cname.rdata, NameRecordData)
+                chased, extra_queries, chased_nx = self._resolve_authoritatively(
+                    cname.rdata.target, qtype, now, rng, depth + 1
+                )
+                answer_records = answer_records + chased
+                auth_queries += extra_queries
+                nxdomain = chased_nx
+
+        if answer_records:
+            self.cache.put(cache_key(name, qtype), answer_records, now)
+        return answer_records, auth_queries, nxdomain
+
+
+@dataclass(frozen=True, slots=True)
+class StubLookup:
+    """What a device-side name lookup produced.
+
+    ``network_transaction`` is True when the lookup went out on the wire
+    (and is therefore visible to a passive monitor); it is False when the
+    local cache answered.
+    """
+
+    qname: DomainName
+    qtype: RRType
+    records: tuple[ResourceRecord, ...]
+    duration: float
+    network_transaction: bool
+    resolver_address: str | None = None
+    resolver_platform: str | None = None
+    outcome: ResolutionOutcome | None = None
+    cache_result: CacheLookup | None = None
+
+    def addresses(self) -> tuple[str, ...]:
+        """IP addresses among the returned records."""
+        return tuple(rr.address for rr in self.records if rr.is_address())
+
+    @property
+    def used_expired_record(self) -> bool:
+        """True when a TTL-expired local-cache entry satisfied the lookup."""
+        return bool(self.cache_result and self.cache_result.expired)
+
+
+class StubResolver:
+    """Device-side resolution: local cache first, then weighted upstreams."""
+
+    def __init__(
+        self,
+        upstreams: list[tuple[RecursiveResolver, float]],
+        cache: DnsCache | None = None,
+        rng: random.Random | None = None,
+    ):
+        if not upstreams:
+            raise ResolutionError("a stub resolver needs at least one upstream")
+        total_weight = sum(weight for _, weight in upstreams)
+        if total_weight <= 0:
+            raise ResolutionError("upstream weights must sum to a positive value")
+        self._upstreams = upstreams
+        self._total_weight = total_weight
+        self.cache = cache if cache is not None else DnsCache()
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def pick_upstream(self, rng: random.Random | None = None) -> RecursiveResolver:
+        """Choose an upstream resolver proportionally to its weight."""
+        rng = rng if rng is not None else self._rng
+        target = rng.random() * self._total_weight
+        acc = 0.0
+        for resolver, weight in self._upstreams:
+            acc += weight
+            if target < acc:
+                return resolver
+        return self._upstreams[-1][0]
+
+    def lookup(
+        self,
+        qname: DomainName | str,
+        now: float,
+        qtype: RRType = RRType.A,
+        rng: random.Random | None = None,
+        bypass_cache: bool = False,
+    ) -> StubLookup:
+        """Resolve *qname* as an application on the device would.
+
+        ``bypass_cache`` forces a network transaction (used to model
+        applications and prefetchers that always query).
+        """
+        rng = rng if rng is not None else self._rng
+        name = qname if isinstance(qname, DomainName) else DomainName(qname)
+        key = cache_key(name, qtype)
+        if not bypass_cache:
+            cached = self.cache.get(key, now)
+            if cached.hit:
+                return StubLookup(
+                    qname=name,
+                    qtype=qtype,
+                    records=cached.records,
+                    duration=0.0,
+                    network_transaction=False,
+                    cache_result=cached,
+                )
+        resolver = self.pick_upstream(rng)
+        outcome = resolver.resolve(name, now, qtype, rng)
+        if outcome.records:
+            self.cache.put(key, outcome.records, now + outcome.duration)
+        return StubLookup(
+            qname=name,
+            qtype=qtype,
+            records=outcome.records,
+            duration=outcome.duration,
+            network_transaction=True,
+            resolver_address=resolver.address,
+            resolver_platform=resolver.platform,
+            outcome=outcome,
+        )
+
+
+def build_platform_profiles() -> dict[str, ResolverProfile]:
+    """Profiles for the four platforms of the paper's Table 1.
+
+    RTTs follow §7: the ISP resolvers sit ~2 ms away, Cloudflare ~9-10 ms,
+    Google and OpenDNS ~20 ms. Cache effectiveness is calibrated so the
+    §7 shared-cache hit rates (Cloudflare 83.6%, ISP 71.2%, OpenDNS
+    58.8%, Google 23.0%) emerge from the default workload.
+    """
+    return {
+        "local": ResolverProfile(
+            platform="local",
+            address="192.168.200.10",
+            client_latency=metro_latency(),
+            auth_latency=authoritative_latency(),
+            cache_effectiveness=0.60,
+            background_scale=10.0,
+        ),
+        "google": ResolverProfile(
+            platform="google",
+            address="8.8.8.8",
+            client_latency=continental_latency(),
+            # Google chases authoritative servers from farther frontends
+            # (longer median) but with tight engineering (shorter tail).
+            auth_latency=LatencyModel(
+                base_rtt=0.036,
+                jitter_median=0.010,
+                jitter_sigma=0.55,
+                loss_probability=0.002,
+            ),
+            cache_effectiveness=0.22,
+            background_scale=2.0,
+        ),
+        "opendns": ResolverProfile(
+            platform="opendns",
+            address="208.67.222.222",
+            client_latency=continental_latency(),
+            auth_latency=authoritative_latency(),
+            cache_effectiveness=0.50,
+            background_scale=8.0,
+        ),
+        "cloudflare": ResolverProfile(
+            platform="cloudflare",
+            address="1.1.1.1",
+            client_latency=regional_latency(),
+            auth_latency=authoritative_latency().scaled(0.9),
+            cache_effectiveness=0.90,
+            background_scale=110.0,
+        ),
+    }

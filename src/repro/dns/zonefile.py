@@ -1,0 +1,212 @@
+"""Master-file (zone file) parsing and serialization (RFC 1035 §5).
+
+Supports the subset of the master-file syntax needed to define the
+authoritative data this library serves: ``$ORIGIN`` and ``$TTL``
+directives, relative and absolute owner names, the ``@`` origin
+shorthand, blank-owner continuation (repeat the previous owner),
+comments, and the record types the library models (A, AAAA, CNAME, NS,
+PTR, MX, TXT, SOA, SRV).
+
+Example::
+
+    $ORIGIN example.com.
+    $TTL 3600
+    @       IN  SOA  ns1 hostmaster 2024010101 7200 900 1209600 300
+    @       IN  NS   ns1
+    ns1     IN  A    192.0.2.53
+    www     300 IN A 192.0.2.80
+    alias   IN  CNAME www
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from repro.dns.name import DomainName
+from repro.dns.rr import (
+    AAAARecordData,
+    ARecordData,
+    MXRecordData,
+    NameRecordData,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    SOARecordData,
+    SRVRecordData,
+    TXTRecordData,
+)
+from repro.dns.zone import Zone
+from repro.errors import ZoneError
+
+_NAME_TYPES = {"CNAME": RRType.CNAME, "NS": RRType.NS, "PTR": RRType.PTR}
+
+
+def _absolute(name_text: str, origin: DomainName) -> DomainName:
+    """Resolve a possibly-relative owner/target name against *origin*."""
+    if name_text == "@":
+        return origin
+    if name_text.endswith("."):
+        return DomainName(name_text)
+    relative = DomainName(name_text)
+    return DomainName.from_labels(relative.labels + origin.labels)
+
+
+def _parse_ttl(token: str) -> int | None:
+    """Parse a TTL token, supporting 1h/30m/2d/1w suffixes."""
+    units = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+    text = token.lower()
+    if text and text[-1] in units and text[:-1].isdigit():
+        return int(text[:-1]) * units[text[-1]]
+    if text.isdigit():
+        return int(text)
+    return None
+
+
+def parse_zone_text(text: str, default_origin: str | None = None) -> list[ResourceRecord]:
+    """Parse master-file *text* into resource records."""
+    origin: DomainName | None = DomainName(default_origin) if default_origin else None
+    default_ttl: int | None = None
+    previous_owner: DomainName | None = None
+    records: list[ResourceRecord] = []
+
+    for number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        starts_with_space = line[0] in " \t"
+        try:
+            tokens = shlex.split(line, posix=True)
+        except ValueError as exc:
+            raise ZoneError(f"line {number}: {exc}") from exc
+        if not tokens:
+            continue
+
+        if tokens[0] == "$ORIGIN":
+            if len(tokens) != 2:
+                raise ZoneError(f"line {number}: $ORIGIN needs exactly one argument")
+            origin = DomainName(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            if len(tokens) != 2:
+                raise ZoneError(f"line {number}: $TTL needs exactly one argument")
+            ttl = _parse_ttl(tokens[1])
+            if ttl is None:
+                raise ZoneError(f"line {number}: bad $TTL value {tokens[1]!r}")
+            default_ttl = ttl
+            continue
+        if tokens[0].startswith("$"):
+            raise ZoneError(f"line {number}: unsupported directive {tokens[0]}")
+
+        if origin is None:
+            raise ZoneError(f"line {number}: no $ORIGIN in effect")
+
+        # Owner: blank (continuation) or the first token.
+        if starts_with_space:
+            if previous_owner is None:
+                raise ZoneError(f"line {number}: continuation line with no previous owner")
+            owner = previous_owner
+        else:
+            owner = _absolute(tokens[0], origin)
+            tokens = tokens[1:]
+        previous_owner = owner
+
+        # Optional TTL and class, in either order.
+        ttl = default_ttl
+        rclass = RRClass.IN
+        while tokens:
+            candidate = _parse_ttl(tokens[0])
+            if candidate is not None:
+                ttl = candidate
+                tokens = tokens[1:]
+                continue
+            if tokens[0].upper() in ("IN", "CH", "HS"):
+                rclass = RRClass[tokens[0].upper()]
+                tokens = tokens[1:]
+                continue
+            break
+        if not tokens:
+            raise ZoneError(f"line {number}: missing record type")
+        if ttl is None:
+            raise ZoneError(f"line {number}: no TTL (set $TTL or specify per record)")
+        type_token = tokens[0].upper()
+        rdata_tokens = tokens[1:]
+        records.append(
+            _build_record(number, owner, type_token, rdata_tokens, ttl, rclass, origin)
+        )
+    return records
+
+
+def _build_record(
+    number: int,
+    owner: DomainName,
+    type_token: str,
+    rdata: list[str],
+    ttl: int,
+    rclass: RRClass,
+    origin: DomainName,
+) -> ResourceRecord:
+    def need(count: int) -> None:
+        if len(rdata) != count:
+            raise ZoneError(
+                f"line {number}: {type_token} expects {count} RDATA tokens, got {len(rdata)}"
+            )
+
+    if type_token == "A":
+        need(1)
+        return ResourceRecord(owner, RRType.A, ARecordData(rdata[0]), ttl, rclass)
+    if type_token == "AAAA":
+        need(1)
+        return ResourceRecord(owner, RRType.AAAA, AAAARecordData(rdata[0]), ttl, rclass)
+    if type_token in _NAME_TYPES:
+        need(1)
+        target = _absolute(rdata[0], origin)
+        return ResourceRecord(owner, _NAME_TYPES[type_token], NameRecordData(target), ttl, rclass)
+    if type_token == "MX":
+        need(2)
+        return ResourceRecord(
+            owner, RRType.MX,
+            MXRecordData(int(rdata[0]), _absolute(rdata[1], origin)), ttl, rclass,
+        )
+    if type_token == "TXT":
+        if not rdata:
+            raise ZoneError(f"line {number}: TXT needs at least one string")
+        return ResourceRecord(owner, RRType.TXT, TXTRecordData.from_text(*rdata), ttl, rclass)
+    if type_token == "SOA":
+        need(7)
+        return ResourceRecord(
+            owner, RRType.SOA,
+            SOARecordData(
+                _absolute(rdata[0], origin),
+                _absolute(rdata[1], origin),
+                int(rdata[2]), int(rdata[3]), int(rdata[4]), int(rdata[5]), int(rdata[6]),
+            ), ttl, rclass,
+        )
+    if type_token == "SRV":
+        need(4)
+        return ResourceRecord(
+            owner, RRType.SRV,
+            SRVRecordData(int(rdata[0]), int(rdata[1]), int(rdata[2]), _absolute(rdata[3], origin)),
+            ttl, rclass,
+        )
+    raise ZoneError(f"line {number}: unsupported record type {type_token}")
+
+
+def load_zone_text(text: str, origin: str) -> Zone:
+    """Parse *text* into a :class:`~repro.dns.zone.Zone` rooted at *origin*."""
+    zone = Zone(origin)
+    for record in parse_zone_text(text, default_origin=origin):
+        zone.add(record)
+    return zone
+
+
+def serialize_records(records: list[ResourceRecord], origin: str | None = None) -> str:
+    """Render records as master-file text (absolute owner names)."""
+    lines = []
+    if origin is not None:
+        origin_name = DomainName(origin)
+        lines.append(f"$ORIGIN {origin_name}.")
+    for record in records:
+        lines.append(
+            f"{record.name}. {record.ttl} {record.rclass.name} {record.rtype.name} {record.rdata}"
+        )
+    return "\n".join(lines) + "\n"

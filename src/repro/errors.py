@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing subsystem-specific failures when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DnsError(ReproError):
+    """Base class for DNS subsystem errors."""
+
+
+class NameError_(DnsError):
+    """A domain name violates RFC 1035 length or syntax constraints.
+
+    The trailing underscore avoids shadowing the ``NameError`` builtin.
+    """
+
+
+class WireFormatError(DnsError):
+    """A DNS message could not be encoded to or decoded from wire format."""
+
+
+class ZoneError(DnsError):
+    """Authoritative zone data is inconsistent or a delegation is broken."""
+
+
+class ResolutionError(DnsError):
+    """A resolver could not produce an answer for a query."""
+
+
+class PcapError(ReproError):
+    """A pcap file or packet header could not be parsed or written."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload configuration is invalid."""
+
+
+class LogFormatError(ReproError):
+    """A monitor log line could not be parsed or serialized."""
+
+
+class AnalysisError(ReproError):
+    """The analysis pipeline was given inconsistent inputs."""

@@ -1,0 +1,53 @@
+"""Passive monitor substrate: Zeek-style records, logs, capture, pcap ingest."""
+
+from repro.monitor.capture import MonitorCapture, Trace
+from repro.monitor.logs import (
+    load_conn_log,
+    load_dns_log,
+    read_conn_log,
+    read_dns_log,
+    save_conn_log,
+    save_dns_log,
+    write_conn_log,
+    write_dns_log,
+)
+from repro.monitor.json_logs import (
+    read_conn_json,
+    read_dns_json,
+    write_conn_json,
+    write_dns_json,
+)
+from repro.monitor.pcap_ingest import PcapIngest, trace_from_pcap
+from repro.monitor.records import (
+    ConnRecord,
+    DnsAnswer,
+    DnsRecord,
+    GroundTruth,
+    Proto,
+    TruthClass,
+)
+
+__all__ = [
+    "ConnRecord",
+    "DnsAnswer",
+    "DnsRecord",
+    "GroundTruth",
+    "MonitorCapture",
+    "PcapIngest",
+    "Proto",
+    "Trace",
+    "TruthClass",
+    "load_conn_log",
+    "load_dns_log",
+    "read_conn_json",
+    "read_conn_log",
+    "read_dns_json",
+    "read_dns_log",
+    "save_conn_log",
+    "save_dns_log",
+    "trace_from_pcap",
+    "write_conn_json",
+    "write_conn_log",
+    "write_dns_json",
+    "write_dns_log",
+]

@@ -1,0 +1,143 @@
+"""The passive monitor at the ISP aggregation point.
+
+:class:`MonitorCapture` is the sink the simulated network feeds: every
+on-the-wire DNS transaction and every connection crossing the
+aggregation point is recorded here, at house granularity (the houses NAT
+their devices, so the monitor sees one IP per house — exactly the
+paper's vantage point). The result is a :class:`Trace`: the two datasets
+the paper's analysis runs on, plus optional ground-truth annotations the
+validation tests use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, GroundTruth, Proto
+
+
+def _uid_stream(prefix: str):
+    for counter in itertools.count(1):
+        yield f"{prefix}{counter:08x}"
+
+
+@dataclass
+class Trace:
+    """A captured dataset: DNS transactions plus connection summaries."""
+
+    dns: list[DnsRecord] = field(default_factory=list)
+    conns: list[ConnRecord] = field(default_factory=list)
+    truth: dict[str, GroundTruth] = field(default_factory=dict)
+    duration: float = 0.0
+    houses: int = 0
+
+    def sort(self) -> None:
+        """Order both logs by timestamp (stable), as Zeek logs are."""
+        self.dns.sort(key=lambda record: record.ts)
+        self.conns.sort(key=lambda record: record.ts)
+
+    def house_addresses(self) -> set[str]:
+        """Distinct originating (house) IPs across both logs."""
+        addresses = {record.orig_h for record in self.dns}
+        addresses |= {record.orig_h for record in self.conns}
+        return addresses
+
+    def summary(self) -> str:
+        """A one-line description of the trace."""
+        return (
+            f"Trace({len(self.dns)} DNS transactions, {len(self.conns)} connections, "
+            f"{self.houses or len(self.house_addresses())} houses, "
+            f"{self.duration:.0f}s)"
+        )
+
+
+class MonitorCapture:
+    """Collects monitor observations during a simulation run."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+        self._dns_uids = _uid_stream("D")
+        self._conn_uids = _uid_stream("C")
+
+    def record_dns(
+        self,
+        ts: float,
+        orig_h: str,
+        orig_p: int,
+        resp_h: str,
+        query: str,
+        rtt: float,
+        answers: tuple[DnsAnswer, ...],
+        qtype: str = "A",
+        rcode: str = "NOERROR",
+    ) -> DnsRecord:
+        """Record one wire-visible DNS transaction; returns the record."""
+        record = DnsRecord(
+            ts=ts,
+            uid=next(self._dns_uids),
+            orig_h=orig_h,
+            orig_p=orig_p,
+            resp_h=resp_h,
+            resp_p=53,
+            proto=Proto.UDP,
+            query=query,
+            qtype=qtype,
+            rcode=rcode,
+            rtt=rtt,
+            answers=answers,
+        )
+        self.trace.dns.append(record)
+        return record
+
+    def record_conn(
+        self,
+        ts: float,
+        orig_h: str,
+        orig_p: int,
+        resp_h: str,
+        resp_p: int,
+        proto: Proto,
+        duration: float,
+        orig_bytes: int,
+        resp_bytes: int,
+        service: str = "-",
+        conn_state: str = "SF",
+        truth: GroundTruth | None = None,
+    ) -> ConnRecord:
+        """Record one connection summary; returns the record.
+
+        When *truth* is given it is keyed under the freshly assigned uid.
+        """
+        record = ConnRecord(
+            ts=ts,
+            uid=next(self._conn_uids),
+            orig_h=orig_h,
+            orig_p=orig_p,
+            resp_h=resp_h,
+            resp_p=resp_p,
+            proto=proto,
+            duration=duration,
+            orig_bytes=orig_bytes,
+            resp_bytes=resp_bytes,
+            service=service,
+            conn_state=conn_state,
+        )
+        self.trace.conns.append(record)
+        if truth is not None:
+            self.trace.truth[record.uid] = GroundTruth(
+                conn_uid=record.uid,
+                truth_class=truth.truth_class,
+                hostname=truth.hostname,
+                dns_uid=truth.dns_uid,
+                used_expired_record=truth.used_expired_record,
+                resolver_platform=truth.resolver_platform,
+            )
+        return record
+
+    def finish(self, duration: float, houses: int) -> Trace:
+        """Finalise and return the trace (sorted by time)."""
+        self.trace.duration = duration
+        self.trace.houses = houses
+        self.trace.sort()
+        return self.trace

@@ -1,0 +1,285 @@
+"""Zeek-style TSV log serialization.
+
+The on-disk format follows Zeek's ASCII logs closely enough to feel
+familiar: ``#fields`` / ``#types`` header lines, tab-separated values,
+``-`` for unset fields, and comma-separated vectors. Readers accept any
+field order and ignore unknown fields, so logs written by other tools
+(or future versions) still load.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator
+
+from repro.errors import LogFormatError
+from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, Proto
+
+_UNSET = "-"
+_SEPARATOR = "\t"
+_VECTOR_SEPARATOR = ","
+
+DNS_FIELDS = (
+    "ts",
+    "uid",
+    "id.orig_h",
+    "id.orig_p",
+    "id.resp_h",
+    "id.resp_p",
+    "proto",
+    "query",
+    "qtype_name",
+    "rcode_name",
+    "rtt",
+    "answers",
+    "TTLs",
+    "answer_types",
+)
+
+CONN_FIELDS = (
+    "ts",
+    "uid",
+    "id.orig_h",
+    "id.orig_p",
+    "id.resp_h",
+    "id.resp_p",
+    "proto",
+    "service",
+    "duration",
+    "orig_bytes",
+    "resp_bytes",
+    "conn_state",
+)
+
+
+def _format_float(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def _escape(value: str) -> str:
+    if value == "":
+        return "(empty)"
+    return value.replace(_SEPARATOR, " ")
+
+
+def write_header(stream: IO[str], path_label: str, fields: tuple[str, ...]) -> None:
+    """Write Zeek-style header lines."""
+    stream.write("#separator \\x09\n")
+    stream.write(f"#path\t{path_label}\n")
+    stream.write("#fields\t" + _SEPARATOR.join(fields) + "\n")
+
+
+def dns_record_to_line(record: DnsRecord) -> str:
+    """Serialize one DNS record as a TSV line."""
+    answers = _VECTOR_SEPARATOR.join(_escape(a.data) for a in record.answers) or _UNSET
+    ttls = _VECTOR_SEPARATOR.join(_format_float(a.ttl) for a in record.answers) or _UNSET
+    types = _VECTOR_SEPARATOR.join(a.rtype for a in record.answers) or _UNSET
+    values = (
+        _format_float(record.ts),
+        record.uid,
+        record.orig_h,
+        str(record.orig_p),
+        record.resp_h,
+        str(record.resp_p),
+        record.proto.value,
+        _escape(record.query),
+        record.qtype,
+        record.rcode,
+        _format_float(record.rtt),
+        answers,
+        ttls,
+        types,
+    )
+    return _SEPARATOR.join(values)
+
+
+def conn_record_to_line(record: ConnRecord) -> str:
+    """Serialize one connection record as a TSV line."""
+    values = (
+        _format_float(record.ts),
+        record.uid,
+        record.orig_h,
+        str(record.orig_p),
+        record.resp_h,
+        str(record.resp_p),
+        record.proto.value,
+        record.service or _UNSET,
+        _format_float(record.duration),
+        str(record.orig_bytes),
+        str(record.resp_bytes),
+        record.conn_state,
+    )
+    return _SEPARATOR.join(values)
+
+
+def write_dns_log(stream: IO[str], records: Iterable[DnsRecord]) -> int:
+    """Write a complete dns.log; returns the number of records written."""
+    write_header(stream, "dns", DNS_FIELDS)
+    count = 0
+    for record in records:
+        stream.write(dns_record_to_line(record) + "\n")
+        count += 1
+    return count
+
+
+def write_conn_log(stream: IO[str], records: Iterable[ConnRecord]) -> int:
+    """Write a complete conn.log; returns the number of records written."""
+    write_header(stream, "conn", CONN_FIELDS)
+    count = 0
+    for record in records:
+        stream.write(conn_record_to_line(record) + "\n")
+        count += 1
+    return count
+
+
+def _parse_header(lines: Iterator[tuple[int, str]]) -> dict[str, int]:
+    """Consume header lines until #fields is found; returns name->index."""
+    for number, line in lines:
+        if not line.startswith("#"):
+            raise LogFormatError(f"line {number}: data before #fields header")
+        if line.startswith("#fields"):
+            parts = line.rstrip("\n").split(_SEPARATOR)
+            return {name: index for index, name in enumerate(parts[1:])}
+    raise LogFormatError("log ended before a #fields header")
+
+
+def _field(columns: list[str], index_by_name: dict[str, int], name: str, line_number: int) -> str:
+    index = index_by_name.get(name)
+    if index is None or index >= len(columns):
+        raise LogFormatError(f"line {line_number}: missing field {name!r}")
+    return columns[index]
+
+
+def _parse_vector(text: str) -> list[str]:
+    if text == _UNSET or text == "":
+        return []
+    return text.split(_VECTOR_SEPARATOR)
+
+
+def read_dns_log(stream: IO[str]) -> list[DnsRecord]:
+    """Parse a dns.log written by :func:`write_dns_log` (or Zeek-like)."""
+    numbered = ((number, line) for number, line in enumerate(stream, start=1))
+    pending: list[tuple[int, str]] = []
+    index_by_name: dict[str, int] | None = None
+    records: list[DnsRecord] = []
+    for number, line in numbered:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("#fields"):
+                parts = line.split(_SEPARATOR)
+                index_by_name = {name: index for index, name in enumerate(parts[1:])}
+            continue
+        if index_by_name is None:
+            raise LogFormatError(f"line {number}: data before #fields header")
+        columns = line.split(_SEPARATOR)
+        try:
+            answers_text = _field(columns, index_by_name, "answers", number)
+            ttls_text = _field(columns, index_by_name, "TTLs", number)
+            types_text = (
+                _field(columns, index_by_name, "answer_types", number)
+                if "answer_types" in index_by_name
+                else _UNSET
+            )
+            answer_data = _parse_vector(answers_text)
+            ttl_data = _parse_vector(ttls_text)
+            type_data = _parse_vector(types_text)
+            if ttl_data and len(ttl_data) != len(answer_data):
+                raise LogFormatError(
+                    f"line {number}: {len(answer_data)} answers but {len(ttl_data)} TTLs"
+                )
+            answers = tuple(
+                DnsAnswer(
+                    data=data,
+                    ttl=float(ttl_data[i]) if ttl_data else 0.0,
+                    rtype=type_data[i] if i < len(type_data) else "A",
+                )
+                for i, data in enumerate(answer_data)
+            )
+            rtt_text = _field(columns, index_by_name, "rtt", number)
+            records.append(
+                DnsRecord(
+                    ts=float(_field(columns, index_by_name, "ts", number)),
+                    uid=_field(columns, index_by_name, "uid", number),
+                    orig_h=_field(columns, index_by_name, "id.orig_h", number),
+                    orig_p=int(_field(columns, index_by_name, "id.orig_p", number)),
+                    resp_h=_field(columns, index_by_name, "id.resp_h", number),
+                    resp_p=int(_field(columns, index_by_name, "id.resp_p", number)),
+                    proto=Proto.parse(_field(columns, index_by_name, "proto", number)),
+                    query=_field(columns, index_by_name, "query", number),
+                    qtype=_field(columns, index_by_name, "qtype_name", number),
+                    rcode=_field(columns, index_by_name, "rcode_name", number),
+                    rtt=0.0 if rtt_text == _UNSET else float(rtt_text),
+                    answers=answers,
+                )
+            )
+        except (ValueError, LogFormatError) as exc:
+            if isinstance(exc, LogFormatError):
+                raise
+            raise LogFormatError(f"line {number}: {exc}") from exc
+    return records
+
+
+def read_conn_log(stream: IO[str]) -> list[ConnRecord]:
+    """Parse a conn.log written by :func:`write_conn_log` (or Zeek-like)."""
+    index_by_name: dict[str, int] | None = None
+    records: list[ConnRecord] = []
+    for number, line in enumerate(stream, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("#fields"):
+                parts = line.split(_SEPARATOR)
+                index_by_name = {name: index for index, name in enumerate(parts[1:])}
+            continue
+        if index_by_name is None:
+            raise LogFormatError(f"line {number}: data before #fields header")
+        columns = line.split(_SEPARATOR)
+        try:
+            duration_text = _field(columns, index_by_name, "duration", number)
+            records.append(
+                ConnRecord(
+                    ts=float(_field(columns, index_by_name, "ts", number)),
+                    uid=_field(columns, index_by_name, "uid", number),
+                    orig_h=_field(columns, index_by_name, "id.orig_h", number),
+                    orig_p=int(_field(columns, index_by_name, "id.orig_p", number)),
+                    resp_h=_field(columns, index_by_name, "id.resp_h", number),
+                    resp_p=int(_field(columns, index_by_name, "id.resp_p", number)),
+                    proto=Proto.parse(_field(columns, index_by_name, "proto", number)),
+                    service=_field(columns, index_by_name, "service", number),
+                    duration=0.0 if duration_text == _UNSET else float(duration_text),
+                    orig_bytes=int(_field(columns, index_by_name, "orig_bytes", number)),
+                    resp_bytes=int(_field(columns, index_by_name, "resp_bytes", number)),
+                    conn_state=_field(columns, index_by_name, "conn_state", number),
+                )
+            )
+        except (ValueError, LogFormatError) as exc:
+            if isinstance(exc, LogFormatError):
+                raise
+            raise LogFormatError(f"line {number}: {exc}") from exc
+    return records
+
+
+def save_dns_log(path: str, records: Iterable[DnsRecord]) -> int:
+    """Write a dns.log file at *path*."""
+    with open(path, "w", encoding="utf-8") as stream:
+        return write_dns_log(stream, records)
+
+
+def save_conn_log(path: str, records: Iterable[ConnRecord]) -> int:
+    """Write a conn.log file at *path*."""
+    with open(path, "w", encoding="utf-8") as stream:
+        return write_conn_log(stream, records)
+
+
+def load_dns_log(path: str) -> list[DnsRecord]:
+    """Read a dns.log file from *path*."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return read_dns_log(stream)
+
+
+def load_conn_log(path: str) -> list[ConnRecord]:
+    """Read a conn.log file from *path*."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return read_conn_log(stream)

@@ -1,0 +1,171 @@
+"""Log record schemas produced by the passive monitor.
+
+These mirror the two Bro/Zeek datasets the paper analyses (§3):
+
+* :class:`DnsRecord` — one DNS transaction as summarised by Bro's DNS
+  policy script: timestamps, endpoints, query string, returned resource
+  records (answers and their TTLs) and the transaction round-trip time.
+* :class:`ConnRecord` — one connection summary from Bro's connection log:
+  endpoints, ports, protocol, duration, bytes in each direction.
+
+The analysis layer (:mod:`repro.core`) consumes ONLY these two record
+types, exactly as the paper's analysis consumed only the two logs. The
+optional :class:`GroundTruth` annotations produced by the synthetic
+workload are used solely by validation tests to check the analysis
+heuristics against simulated truth — never by the analysis itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LogFormatError
+
+
+class Proto(enum.Enum):
+    """Transport protocol of a connection."""
+
+    TCP = "tcp"
+    UDP = "udp"
+
+    @classmethod
+    def parse(cls, text: str) -> "Proto":
+        try:
+            return cls(text.lower())
+        except ValueError as exc:
+            raise LogFormatError(f"unknown protocol {text!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class DnsAnswer:
+    """One answer resource record as logged: data string plus TTL."""
+
+    data: str
+    ttl: float
+    rtype: str = "A"
+
+    @property
+    def is_address(self) -> bool:
+        """True for A/AAAA answers (the data is an IP address)."""
+        return self.rtype in ("A", "AAAA")
+
+
+@dataclass(frozen=True, slots=True)
+class DnsRecord:
+    """A Bro-style DNS transaction summary.
+
+    ``ts`` is the query time; ``rtt`` the query-to-answer delay, so the
+    response lands at ``ts + rtt`` — the instant the paper's blocking
+    heuristic measures connection gaps from.
+    """
+
+    ts: float
+    uid: str
+    orig_h: str
+    orig_p: int
+    resp_h: str
+    resp_p: int
+    query: str
+    qtype: str = "A"
+    rcode: str = "NOERROR"
+    rtt: float = 0.0
+    answers: tuple[DnsAnswer, ...] = ()
+    proto: Proto = Proto.UDP
+
+    def __post_init__(self) -> None:
+        if self.rtt < 0:
+            raise LogFormatError(f"DNS transaction rtt cannot be negative: {self.rtt}")
+
+    @property
+    def completed_at(self) -> float:
+        """Time the response was observed (lookup completion)."""
+        return self.ts + self.rtt
+
+    def addresses(self) -> tuple[str, ...]:
+        """IP addresses in the answer section."""
+        return tuple(answer.data for answer in self.answers if answer.is_address)
+
+    def min_ttl(self) -> float | None:
+        """Smallest answer TTL, or None when there are no answers."""
+        if not self.answers:
+            return None
+        return min(answer.ttl for answer in self.answers)
+
+    @property
+    def expires_at(self) -> float | None:
+        """Absolute expiry of the answer RRset (completion + min TTL)."""
+        ttl = self.min_ttl()
+        if ttl is None:
+            return None
+        return self.completed_at + ttl
+
+
+@dataclass(frozen=True, slots=True)
+class ConnRecord:
+    """A Bro-style connection summary."""
+
+    ts: float
+    uid: str
+    orig_h: str
+    orig_p: int
+    resp_h: str
+    resp_p: int
+    proto: Proto
+    duration: float = 0.0
+    orig_bytes: int = 0
+    resp_bytes: int = 0
+    service: str = "-"
+    conn_state: str = "SF"
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise LogFormatError(f"connection duration cannot be negative: {self.duration}")
+        if self.orig_bytes < 0 or self.resp_bytes < 0:
+            raise LogFormatError("byte counts cannot be negative")
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes carried in both directions."""
+        return self.orig_bytes + self.resp_bytes
+
+    @property
+    def throughput(self) -> float:
+        """Mean goodput in bytes/second (0 for zero-duration connections)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes / self.duration
+
+    def uses_reserved_port(self) -> bool:
+        """True when either endpoint port is a well-known (<1024) port."""
+        return self.orig_p < 1024 or self.resp_p < 1024
+
+    def is_high_port_pair(self) -> bool:
+        """True when both ports are unreserved — the paper's P2P hallmark."""
+        return not self.uses_reserved_port()
+
+
+class TruthClass(enum.Enum):
+    """Ground-truth DNS-information origin for one simulated connection."""
+
+    NO_DNS = "N"
+    LOCAL_CACHE = "LC"
+    PREFETCHED = "P"
+    SHARED_CACHE = "SC"
+    RESOLUTION = "R"
+
+
+@dataclass(frozen=True, slots=True)
+class GroundTruth:
+    """Simulation-side truth for validating the analysis heuristics.
+
+    Produced by the workload generator alongside each connection; keyed
+    by the connection uid. Not consumed by :mod:`repro.core`.
+    """
+
+    conn_uid: str
+    truth_class: TruthClass
+    hostname: str | None = None
+    dns_uid: str | None = None
+    used_expired_record: bool = False
+    resolver_platform: str | None = None

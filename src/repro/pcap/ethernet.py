@@ -1,0 +1,57 @@
+"""Ethernet II frame encoding and decoding."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PcapError
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_ARP = 0x0806
+
+HEADER_LENGTH = 14
+
+
+def parse_mac(text: str) -> bytes:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into six octets."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise PcapError(f"malformed MAC address: {text!r}")
+    try:
+        raw = bytes(int(part, 16) for part in parts)
+    except ValueError as exc:
+        raise PcapError(f"malformed MAC address: {text!r}") from exc
+    return raw
+
+
+def format_mac(raw: bytes) -> str:
+    """Format six octets as ``aa:bb:cc:dd:ee:ff``."""
+    if len(raw) != 6:
+        raise PcapError(f"MAC address must be 6 octets, got {len(raw)}")
+    return ":".join(f"{octet:02x}" for octet in raw)
+
+
+@dataclass(frozen=True, slots=True)
+class EthernetFrame:
+    """An Ethernet II frame."""
+
+    dst: str
+    src: str
+    ethertype: int
+    payload: bytes
+
+    def to_wire(self) -> bytes:
+        """Serialize header plus payload."""
+        return parse_mac(self.dst) + parse_mac(self.src) + struct.pack("!H", self.ethertype) + self.payload
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "EthernetFrame":
+        """Parse a frame; raises :class:`PcapError` if too short."""
+        if len(data) < HEADER_LENGTH:
+            raise PcapError(f"frame shorter than Ethernet header: {len(data)} bytes")
+        dst = format_mac(data[0:6])
+        src = format_mac(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst=dst, src=src, ethertype=ethertype, payload=data[14:])

@@ -1,0 +1,125 @@
+"""IPv4 header encoding and decoding, including the header checksum."""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PcapError
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+MIN_HEADER_LENGTH = 20
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over *data*."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class IPv4Packet:
+    """An IPv4 packet (no options support on the encode path)."""
+
+    src: str
+    dst: str
+    protocol: int
+    payload: bytes
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    flags: int = 2  # DF
+    fragment_offset: int = 0
+
+    def __post_init__(self) -> None:
+        ipaddress.IPv4Address(self.src)
+        ipaddress.IPv4Address(self.dst)
+        if not 0 <= self.ttl <= 255:
+            raise PcapError(f"IPv4 TTL out of range: {self.ttl}")
+        if not 0 <= self.identification <= 0xFFFF:
+            raise PcapError(f"IPv4 identification out of range: {self.identification}")
+
+    @property
+    def total_length(self) -> int:
+        return MIN_HEADER_LENGTH + len(self.payload)
+
+    def to_wire(self) -> bytes:
+        """Serialize header (with checksum) plus payload."""
+        version_ihl = (4 << 4) | 5
+        flags_fragment = (self.flags << 13) | self.fragment_offset
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            self.dscp << 2,
+            self.total_length,
+            self.identification,
+            flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,
+            ipaddress.IPv4Address(self.src).packed,
+            ipaddress.IPv4Address(self.dst).packed,
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def from_wire(cls, data: bytes, verify_checksum: bool = True) -> "IPv4Packet":
+        """Parse an IPv4 packet, validating lengths and (optionally) checksum."""
+        if len(data) < MIN_HEADER_LENGTH:
+            raise PcapError(f"packet shorter than IPv4 header: {len(data)} bytes")
+        version_ihl = data[0]
+        version = version_ihl >> 4
+        if version != 4:
+            raise PcapError(f"not an IPv4 packet (version {version})")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < MIN_HEADER_LENGTH or ihl > len(data):
+            raise PcapError(f"bad IPv4 header length: {ihl}")
+        (
+            _,
+            tos,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            checksum,
+            src_raw,
+            dst_raw,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[:MIN_HEADER_LENGTH])
+        if total_length > len(data):
+            raise PcapError(
+                f"IPv4 total length {total_length} exceeds captured {len(data)} bytes"
+            )
+        if verify_checksum and internet_checksum(data[:ihl]) != 0:
+            raise PcapError("IPv4 header checksum mismatch")
+        payload = data[ihl:total_length]
+        return cls(
+            src=str(ipaddress.IPv4Address(src_raw)),
+            dst=str(ipaddress.IPv4Address(dst_raw)),
+            protocol=protocol,
+            payload=payload,
+            ttl=ttl,
+            identification=identification,
+            dscp=tos >> 2,
+            flags=flags_fragment >> 13,
+            fragment_offset=flags_fragment & 0x1FFF,
+        )
+
+
+def pseudo_header(src: str, dst: str, protocol: int, length: int) -> bytes:
+    """The IPv4 pseudo-header used by TCP/UDP checksums."""
+    return (
+        ipaddress.IPv4Address(src).packed
+        + ipaddress.IPv4Address(dst).packed
+        + struct.pack("!BBH", 0, protocol, length)
+    )

@@ -1,0 +1,120 @@
+"""Layer composition: build and dissect full Ethernet/IPv4/UDP|TCP packets.
+
+:func:`build_udp_packet` / :func:`build_tcp_packet` produce wire-ready
+frames; :func:`dissect` parses a captured frame into a
+:class:`DissectedPacket` with whichever layers were present. The monitor's
+pcap ingest path (:mod:`repro.monitor.pcap_ingest`) is built on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pcap.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.pcap.ip import PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.pcap.tcp import TCPFlags, TCPSegment
+from repro.pcap.udp import UDPDatagram
+
+DEFAULT_CLIENT_MAC = "02:00:00:00:00:01"
+DEFAULT_GATEWAY_MAC = "02:00:00:00:00:02"
+
+
+@dataclass(frozen=True, slots=True)
+class DissectedPacket:
+    """A parsed packet with whichever layers were recognisable."""
+
+    ethernet: EthernetFrame | None
+    ip: IPv4Packet | None
+    udp: UDPDatagram | None = None
+    tcp: TCPSegment | None = None
+
+    @property
+    def transport_payload(self) -> bytes:
+        """Payload of the innermost transport layer (empty if none)."""
+        if self.udp is not None:
+            return self.udp.payload
+        if self.tcp is not None:
+            return self.tcp.payload
+        return b""
+
+    @property
+    def five_tuple(self) -> tuple[str, int, str, int, int] | None:
+        """(src_ip, src_port, dst_ip, dst_port, protocol) when transport parsed."""
+        if self.ip is None:
+            return None
+        if self.udp is not None:
+            return (self.ip.src, self.udp.src_port, self.ip.dst, self.udp.dst_port, PROTO_UDP)
+        if self.tcp is not None:
+            return (self.ip.src, self.tcp.src_port, self.ip.dst, self.tcp.dst_port, PROTO_TCP)
+        return None
+
+
+def build_udp_packet(
+    src_ip: str,
+    src_port: int,
+    dst_ip: str,
+    dst_port: int,
+    payload: bytes,
+    src_mac: str = DEFAULT_CLIENT_MAC,
+    dst_mac: str = DEFAULT_GATEWAY_MAC,
+    ip_id: int = 0,
+) -> bytes:
+    """A complete Ethernet/IPv4/UDP frame carrying *payload*."""
+    datagram = UDPDatagram(src_port, dst_port, payload)
+    packet = IPv4Packet(
+        src=src_ip,
+        dst=dst_ip,
+        protocol=PROTO_UDP,
+        payload=datagram.to_wire(src_ip, dst_ip),
+        identification=ip_id & 0xFFFF,
+    )
+    frame = EthernetFrame(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4, payload=packet.to_wire())
+    return frame.to_wire()
+
+
+def build_tcp_packet(
+    src_ip: str,
+    src_port: int,
+    dst_ip: str,
+    dst_port: int,
+    flags: TCPFlags,
+    seq: int = 0,
+    ack: int = 0,
+    payload: bytes = b"",
+    src_mac: str = DEFAULT_CLIENT_MAC,
+    dst_mac: str = DEFAULT_GATEWAY_MAC,
+    ip_id: int = 0,
+) -> bytes:
+    """A complete Ethernet/IPv4/TCP frame."""
+    segment = TCPSegment(src_port, dst_port, seq=seq, ack=ack, flags=flags, payload=payload)
+    packet = IPv4Packet(
+        src=src_ip,
+        dst=dst_ip,
+        protocol=PROTO_TCP,
+        payload=segment.to_wire(src_ip, dst_ip),
+        identification=ip_id & 0xFFFF,
+    )
+    frame = EthernetFrame(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4, payload=packet.to_wire())
+    return frame.to_wire()
+
+
+def dissect(data: bytes, linktype_ethernet: bool = True) -> DissectedPacket:
+    """Parse a captured frame as deeply as its contents allow.
+
+    Unknown ethertypes or transports yield a partially-filled result
+    rather than an error; genuinely malformed headers raise
+    :class:`~repro.errors.PcapError`.
+    """
+    ethernet: EthernetFrame | None = None
+    ip_bytes = data
+    if linktype_ethernet:
+        ethernet = EthernetFrame.from_wire(data)
+        if ethernet.ethertype != ETHERTYPE_IPV4:
+            return DissectedPacket(ethernet=ethernet, ip=None)
+        ip_bytes = ethernet.payload
+    ip = IPv4Packet.from_wire(ip_bytes)
+    if ip.protocol == PROTO_UDP:
+        return DissectedPacket(ethernet=ethernet, ip=ip, udp=UDPDatagram.from_wire(ip.payload))
+    if ip.protocol == PROTO_TCP:
+        return DissectedPacket(ethernet=ethernet, ip=ip, tcp=TCPSegment.from_wire(ip.payload))
+    return DissectedPacket(ethernet=ethernet, ip=ip)

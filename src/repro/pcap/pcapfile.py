@@ -1,0 +1,198 @@
+"""Classic libpcap file format reader and writer.
+
+Implements the original ``.pcap`` container (magic ``0xa1b2c3d4``, or the
+nanosecond-resolution variant ``0xa1b23c4d``), including byte-order
+detection when reading files written on foreign-endian machines.
+
+Only the container lives here; link-layer and higher parsing is in the
+sibling modules (:mod:`repro.pcap.ethernet`, :mod:`repro.pcap.ip`, ...).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from repro.errors import PcapError
+
+MAGIC_MICROSECONDS = 0xA1B2C3D4
+MAGIC_NANOSECONDS = 0xA1B23C4D
+
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW_IP = 101
+
+_GLOBAL_HEADER = struct.Struct("IHHiIII")
+_RECORD_HEADER = struct.Struct("IIII")
+
+
+@dataclass(frozen=True, slots=True)
+class PcapHeader:
+    """The pcap global header."""
+
+    magic: int = MAGIC_MICROSECONDS
+    version_major: int = 2
+    version_minor: int = 4
+    thiszone: int = 0
+    sigfigs: int = 0
+    snaplen: int = 65535
+    linktype: int = LINKTYPE_ETHERNET
+
+    @property
+    def nanosecond_resolution(self) -> bool:
+        return self.magic == MAGIC_NANOSECONDS
+
+    @property
+    def ticks_per_second(self) -> int:
+        return 1_000_000_000 if self.nanosecond_resolution else 1_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class CapturedPacket:
+    """One packet record: a timestamp plus captured bytes."""
+
+    timestamp: float
+    data: bytes
+    original_length: int | None = None
+
+    @property
+    def truncated(self) -> bool:
+        """True when the capture snapped fewer bytes than were on the wire."""
+        return self.original_length is not None and self.original_length > len(self.data)
+
+
+class PcapWriter:
+    """Streams packets into a pcap file."""
+
+    def __init__(
+        self,
+        stream: BinaryIO,
+        linktype: int = LINKTYPE_ETHERNET,
+        snaplen: int = 65535,
+        nanosecond: bool = False,
+    ):
+        self._stream = stream
+        self.header = PcapHeader(
+            magic=MAGIC_NANOSECONDS if nanosecond else MAGIC_MICROSECONDS,
+            snaplen=snaplen,
+            linktype=linktype,
+        )
+        self._endian = "<"
+        self._write_global_header()
+        self.packets_written = 0
+
+    def _write_global_header(self) -> None:
+        header = self.header
+        self._stream.write(
+            struct.pack(
+                self._endian + _GLOBAL_HEADER.format,
+                header.magic,
+                header.version_major,
+                header.version_minor,
+                header.thiszone,
+                header.sigfigs,
+                header.snaplen,
+                header.linktype,
+            )
+        )
+
+    def write(self, packet: CapturedPacket) -> None:
+        """Append one packet record."""
+        if packet.timestamp < 0:
+            raise PcapError(f"negative timestamp: {packet.timestamp}")
+        seconds = int(packet.timestamp)
+        fraction = packet.timestamp - seconds
+        ticks = round(fraction * self.header.ticks_per_second)
+        if ticks >= self.header.ticks_per_second:
+            seconds += 1
+            ticks = 0
+        data = packet.data[: self.header.snaplen]
+        original = packet.original_length if packet.original_length is not None else len(packet.data)
+        self._stream.write(
+            struct.pack(
+                self._endian + _RECORD_HEADER.format,
+                seconds,
+                ticks,
+                len(data),
+                original,
+            )
+        )
+        self._stream.write(data)
+        self.packets_written += 1
+
+
+class PcapReader:
+    """Iterates over the packets of a pcap file."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        raw = stream.read(_GLOBAL_HEADER.size + 4 - 4)
+        raw = raw if len(raw) == 24 else raw  # global header is 24 bytes
+        if len(raw) < 24:
+            raise PcapError(f"file too short for pcap global header: {len(raw)} bytes")
+        magic_le = struct.unpack("<I", raw[:4])[0]
+        magic_be = struct.unpack(">I", raw[:4])[0]
+        if magic_le in (MAGIC_MICROSECONDS, MAGIC_NANOSECONDS):
+            self._endian = "<"
+            magic = magic_le
+        elif magic_be in (MAGIC_MICROSECONDS, MAGIC_NANOSECONDS):
+            self._endian = ">"
+            magic = magic_be
+        else:
+            raise PcapError(f"bad pcap magic: 0x{magic_le:08x}")
+        (
+            _,
+            version_major,
+            version_minor,
+            thiszone,
+            sigfigs,
+            snaplen,
+            linktype,
+        ) = struct.unpack(self._endian + _GLOBAL_HEADER.format, raw)
+        self.header = PcapHeader(
+            magic=magic,
+            version_major=version_major,
+            version_minor=version_minor,
+            thiszone=thiszone,
+            sigfigs=sigfigs,
+            snaplen=snaplen,
+            linktype=linktype,
+        )
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        return self
+
+    def __next__(self) -> CapturedPacket:
+        raw = self._stream.read(_RECORD_HEADER.size)
+        if not raw:
+            raise StopIteration
+        if len(raw) < _RECORD_HEADER.size:
+            raise PcapError("truncated packet record header")
+        seconds, ticks, captured_length, original_length = struct.unpack(
+            self._endian + _RECORD_HEADER.format, raw
+        )
+        if captured_length > self.header.snaplen:
+            raise PcapError(
+                f"record claims {captured_length} bytes, snaplen is {self.header.snaplen}"
+            )
+        data = self._stream.read(captured_length)
+        if len(data) < captured_length:
+            raise PcapError("truncated packet data")
+        timestamp = seconds + ticks / self.header.ticks_per_second
+        return CapturedPacket(timestamp=timestamp, data=data, original_length=original_length)
+
+
+def write_pcap(path: str, packets: list[CapturedPacket], linktype: int = LINKTYPE_ETHERNET) -> int:
+    """Write *packets* to *path*; returns the number written."""
+    with open(path, "wb") as stream:
+        writer = PcapWriter(stream, linktype=linktype)
+        for packet in packets:
+            writer.write(packet)
+        return writer.packets_written
+
+
+def read_pcap(path: str) -> tuple[PcapHeader, list[CapturedPacket]]:
+    """Read every packet of the pcap file at *path*."""
+    with open(path, "rb") as stream:
+        reader = PcapReader(stream)
+        return reader.header, list(reader)

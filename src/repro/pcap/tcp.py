@@ -1,0 +1,135 @@
+"""TCP segment encoding and decoding (header, flags, checksum)."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PcapError
+from repro.pcap.ip import PROTO_TCP, internet_checksum, pseudo_header
+
+MIN_HEADER_LENGTH = 20
+
+
+class TCPFlags(enum.IntFlag):
+    """TCP control flags."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+@dataclass(frozen=True, slots=True)
+class TCPSegment:
+    """A TCP segment (options carried verbatim)."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: TCPFlags = TCPFlags(0)
+    window: int = 65535
+    urgent: int = 0
+    options: bytes = b""
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        for label, port in (("source", self.src_port), ("destination", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise PcapError(f"TCP {label} port out of range: {port}")
+        if len(self.options) % 4:
+            raise PcapError("TCP options must be padded to a multiple of 4 octets")
+        if len(self.options) > 40:
+            raise PcapError("TCP options exceed 40 octets")
+
+    @property
+    def header_length(self) -> int:
+        return MIN_HEADER_LENGTH + len(self.options)
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TCPFlags.SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TCPFlags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & TCPFlags.RST)
+
+    def to_wire(self, src_ip: str | None = None, dst_ip: str | None = None) -> bytes:
+        """Serialize; computes the checksum when both IPs are given."""
+        data_offset = (self.header_length // 4) << 4
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset,
+            int(self.flags),
+            self.window,
+            0,
+            self.urgent,
+        ) + self.options
+        if src_ip is not None and dst_ip is not None:
+            total = len(header) + len(self.payload)
+            checksum = internet_checksum(
+                pseudo_header(src_ip, dst_ip, PROTO_TCP, total) + header + self.payload
+            )
+            header = header[:16] + struct.pack("!H", checksum) + header[18:]
+        return header + self.payload
+
+    @classmethod
+    def from_wire(
+        cls,
+        data: bytes,
+        src_ip: str | None = None,
+        dst_ip: str | None = None,
+        verify_checksum: bool = False,
+    ) -> "TCPSegment":
+        """Parse a segment, optionally verifying the checksum."""
+        if len(data) < MIN_HEADER_LENGTH:
+            raise PcapError(f"segment shorter than TCP header: {len(data)} bytes")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            data_offset_byte,
+            flag_bits,
+            window,
+            checksum,
+            urgent,
+        ) = struct.unpack("!HHIIBBHHH", data[:MIN_HEADER_LENGTH])
+        header_length = (data_offset_byte >> 4) * 4
+        if header_length < MIN_HEADER_LENGTH or header_length > len(data):
+            raise PcapError(f"bad TCP header length: {header_length}")
+        options = data[MIN_HEADER_LENGTH:header_length]
+        payload = data[header_length:]
+        if verify_checksum:
+            if src_ip is None or dst_ip is None:
+                raise PcapError("checksum verification requires source and destination IPs")
+            computed = internet_checksum(
+                pseudo_header(src_ip, dst_ip, PROTO_TCP, len(data)) + data
+            )
+            if computed != 0:
+                raise PcapError("TCP checksum mismatch")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=TCPFlags(flag_bits),
+            window=window,
+            urgent=urgent,
+            options=options,
+            payload=payload,
+        )

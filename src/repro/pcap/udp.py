@@ -1,0 +1,66 @@
+"""UDP datagram encoding and decoding with checksum support."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PcapError
+from repro.pcap.ip import PROTO_UDP, internet_checksum, pseudo_header
+
+HEADER_LENGTH = 8
+
+
+@dataclass(frozen=True, slots=True)
+class UDPDatagram:
+    """A UDP datagram."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        for label, port in (("source", self.src_port), ("destination", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise PcapError(f"UDP {label} port out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        return HEADER_LENGTH + len(self.payload)
+
+    def to_wire(self, src_ip: str | None = None, dst_ip: str | None = None) -> bytes:
+        """Serialize; computes the checksum when both IPs are given."""
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+        if src_ip is not None and dst_ip is not None:
+            checksum = internet_checksum(
+                pseudo_header(src_ip, dst_ip, PROTO_UDP, self.length) + header + self.payload
+            )
+            if checksum == 0:
+                checksum = 0xFFFF  # RFC 768: 0 means "no checksum"
+            header = header[:6] + struct.pack("!H", checksum)
+        return header + self.payload
+
+    @classmethod
+    def from_wire(
+        cls,
+        data: bytes,
+        src_ip: str | None = None,
+        dst_ip: str | None = None,
+        verify_checksum: bool = False,
+    ) -> "UDPDatagram":
+        """Parse a datagram, optionally verifying the checksum."""
+        if len(data) < HEADER_LENGTH:
+            raise PcapError(f"datagram shorter than UDP header: {len(data)} bytes")
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:HEADER_LENGTH])
+        if length < HEADER_LENGTH or length > len(data):
+            raise PcapError(f"bad UDP length {length} for {len(data)} captured bytes")
+        payload = data[HEADER_LENGTH:length]
+        if verify_checksum and checksum != 0:
+            if src_ip is None or dst_ip is None:
+                raise PcapError("checksum verification requires source and destination IPs")
+            computed = internet_checksum(
+                pseudo_header(src_ip, dst_ip, PROTO_UDP, length) + data[:length]
+            )
+            if computed != 0:
+                raise PcapError("UDP checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port, payload=payload)

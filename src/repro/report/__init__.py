@@ -1,0 +1,14 @@
+"""Table and figure rendering for analysis results."""
+
+from repro.report.figures import ascii_cdf, cdf_series, series_to_csv
+from repro.report.tables import render_table, render_table1, render_table2, render_table3
+
+__all__ = [
+    "ascii_cdf",
+    "cdf_series",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "series_to_csv",
+]

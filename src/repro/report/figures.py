@@ -1,0 +1,78 @@
+"""Figure data export and terminal rendering.
+
+Figures are exported as (x, y) CDF series — ready for any plotting tool
+— and can be sketched directly in a terminal as ASCII line plots for
+quick inspection (benchmarks print these so a run's output is
+self-contained).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.stats import Cdf
+
+
+def cdf_series(cdf: Cdf, points: int = 100) -> list[tuple[float, float]]:
+    """Sample a CDF to (value, cumulative fraction) pairs."""
+    return cdf.series(points)
+
+
+def series_to_csv(series: Sequence[tuple[float, float]], x_label: str = "x", y_label: str = "cdf") -> str:
+    """Render a series as a two-column CSV string."""
+    lines = [f"{x_label},{y_label}"]
+    lines.extend(f"{x:.9g},{y:.6f}" for x, y in series)
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series_by_label: dict[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = True,
+    title: str = "",
+) -> str:
+    """Sketch one or more CDF series as an ASCII plot.
+
+    Each series gets a distinct marker; the x axis is log-scaled by
+    default (delays and throughputs span orders of magnitude).
+    """
+    if not series_by_label:
+        raise ValueError("nothing to plot")
+    markers = "*o+x#@%&"
+    xs_all: list[float] = []
+    for series in series_by_label.values():
+        xs_all.extend(x for x, _ in series if not log_x or x > 0)
+    if not xs_all:
+        raise ValueError("no plottable points")
+    x_min, x_max = min(xs_all), max(xs_all)
+    if log_x:
+        x_min, x_max = math.log10(x_min), math.log10(max(x_max, x_min * 1.0001))
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (label, series) in enumerate(series_by_label.items()):
+        marker = markers[series_index % len(markers)]
+        for x, y in series:
+            if log_x:
+                if x <= 0:
+                    continue
+                x = math.log10(x)
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = height - 1 - int(y * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("1.0 +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 +" + "".join(grid[-1]))
+    axis = f"{'log10 ' if log_x else ''}x: {x_min:.2f} .. {x_max:.2f}"
+    lines.append("     " + axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={label}" for i, label in enumerate(series_by_label)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Text rendering of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.classify import ClassBreakdown
+from repro.core.improvements import RefreshComparison
+from repro.core.resolvers import ResolverUsageRow
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned text table."""
+    columns = len(headers)
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)).rstrip()
+    separator = "  ".join("-" * width for width in widths)
+    lines = [fmt(headers), separator]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_table1(rows: list[ResolverUsageRow]) -> str:
+    """Table 1: resolver platform usage."""
+    body = [
+        (
+            row.platform,
+            f"{100 * row.house_fraction:.1f}",
+            f"{100 * row.lookup_fraction:.1f}",
+            f"{100 * row.conn_fraction:.1f}",
+            f"{100 * row.byte_fraction:.1f}",
+        )
+        for row in rows
+    ]
+    return render_table(("Resolver", "% Houses", "% Lookups", "% Conns", "% Bytes"), body)
+
+
+def render_table2(breakdown: ClassBreakdown) -> str:
+    """Table 2: DNS information origin by connection."""
+    body = [
+        (cls, description, f"{count}", f"{percent:.1f}")
+        for cls, description, count, percent in breakdown.as_rows()
+    ]
+    return render_table(("Class", "Desc.", "Conns", "% Conns"), body)
+
+
+def render_table3(comparison: RefreshComparison) -> str:
+    """Table 3: efficacy of refreshing expiring names."""
+    standard = comparison.standard
+    refresh = comparison.refresh_all
+    body = [
+        ("Conns.", f"{standard.conns}", f"{refresh.conns}"),
+        ("DNS Lookups", f"{standard.lookups}", f"{refresh.lookups}"),
+        (
+            "Lookups/sec/house",
+            f"{standard.lookups_per_second_per_house:.2f}",
+            f"{refresh.lookups_per_second_per_house:.2f}",
+        ),
+        ("Cache Hits", f"{100 * standard.hit_rate:.1f}%", f"{100 * refresh.hit_rate:.1f}%"),
+        ("Cache Misses", f"{100 * standard.miss_rate:.1f}%", f"{100 * refresh.miss_rate:.1f}%"),
+    ]
+    return render_table(("", "Standard", "Refresh All"), body)

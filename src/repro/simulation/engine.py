@@ -1,0 +1,126 @@
+"""A deterministic discrete-event simulation engine.
+
+The engine is a classic binary-heap event loop. Events scheduled at the
+same timestamp fire in insertion order (a monotonically increasing
+sequence number breaks ties), which keeps whole-trace generation
+bit-for-bit reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The simulated time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class SimulationEngine:
+    """Single-threaded discrete-event loop with simulated time in seconds."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule_at(self, when: float, callback: EventCallback) -> EventHandle:
+        """Schedule *callback* at absolute time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when:.6f}, current time is {self._now:.6f}"
+            )
+        event = _ScheduledEvent(when, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule *callback* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events remaining."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue empties, when the next event would pass
+        *until* (time advances to *until*), or after *max_events* events.
+        Returns the number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly from an event callback")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if not self.step():
+                    break
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return processed

@@ -1,0 +1,159 @@
+"""End-to-end synthetic trace generation.
+
+:class:`TrafficGenerator` wires the substrates together — hostname
+universe and authoritative hierarchy, the four recursive resolver
+platforms, sampled houses full of devices, and the application models —
+then runs the discrete-event engine and returns the captured
+:class:`~repro.monitor.capture.Trace` (the two Zeek-style datasets the
+paper's analysis consumes, plus ground-truth annotations for
+validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.dns.resolver import RecursiveResolver, build_platform_profiles
+from repro.monitor.capture import MonitorCapture, Trace
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.random import RandomStreams
+from repro.workload.apps import (
+    ApiPollingModel,
+    ConnectivityCheckModel,
+    IoTHardcodedModel,
+    P2PModel,
+    VideoStreamingModel,
+    WebBrowsingModel,
+)
+from repro.workload.devices import Device
+from repro.workload.households import House, HouseholdBuilder
+from repro.workload.namespace import NameUniverse
+from repro.workload.scenario import ScenarioConfig
+
+
+class TrafficGenerator:
+    """Builds and runs one synthetic scenario."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.streams = RandomStreams(config.seed)
+        self.universe = NameUniverse(
+            rng=self.streams.stream("universe"),
+            site_count=config.universe.site_count,
+            cdn_host_count=config.universe.cdn_host_count,
+            ads_host_count=config.universe.ads_host_count,
+            analytics_host_count=config.universe.analytics_host_count,
+            api_host_count=config.universe.api_host_count,
+            video_host_count=config.universe.video_host_count,
+            zipf_exponent=config.universe.zipf_exponent,
+        )
+        self.resolvers = self._build_resolvers()
+        self.capture = MonitorCapture()
+        builder = HouseholdBuilder(
+            mix=config.mix,
+            resolvers=self.resolvers,
+            universe=self.universe,
+            capture=self.capture,
+            rng=self.streams.stream("houses"),
+        )
+        self.houses: list[House] = builder.build(config.houses)
+        self.engine = SimulationEngine()
+
+    def _build_resolvers(self) -> dict[str, RecursiveResolver]:
+        resolvers = {}
+        for name, profile in build_platform_profiles().items():
+            resolvers[name] = RecursiveResolver(
+                profile,
+                self.universe.hierarchy,
+                rng=self.streams.stream("resolver", name),
+            )
+        return resolvers
+
+    # -- app attachment ------------------------------------------------------
+
+    def _attach_apps(self, device: Device, start: float, end: float) -> None:
+        rates = self.config.rates
+        rng = device.rng
+        if device.kind == "laptop":
+            WebBrowsingModel(
+                self.universe, self.config.browsing, rate_scale=rates.laptop_browsing_scale
+            ).schedule(device, self.engine, start, end)
+            VideoStreamingModel(
+                self.universe, sessions_per_hour=rates.laptop_video_sessions_per_hour
+            ).schedule(device, self.engine, start, end)
+            if rng.random() < rates.laptop_api_probability:
+                ApiPollingModel(self.universe).schedule(device, self.engine, start, end)
+        elif device.kind == "android":
+            WebBrowsingModel(
+                self.universe, self.config.browsing, rate_scale=rates.android_browsing_scale
+            ).schedule(device, self.engine, start, end)
+            ConnectivityCheckModel(
+                self.universe, period_median=rates.connectivity_check_median_period
+            ).schedule(device, self.engine, start, end)
+            if rng.random() < rates.android_api_probability:
+                ApiPollingModel(self.universe).schedule(device, self.engine, start, end)
+        elif device.kind == "tv":
+            VideoStreamingModel(
+                self.universe, sessions_per_hour=rates.tv_video_sessions_per_hour
+            ).schedule(device, self.engine, start, end)
+            ApiPollingModel(self.universe, period_min=300.0, period_max=1200.0).schedule(
+                device, self.engine, start, end
+            )
+        elif device.kind == "iot":
+            ApiPollingModel(self.universe, period_min=120.0, period_max=900.0).schedule(
+                device, self.engine, start, end
+            )
+            flavor_draw = rng.random()
+            if flavor_draw < 0.40:
+                IoTHardcodedModel("tplink").schedule(device, self.engine, start, end)
+            elif flavor_draw < 0.60:
+                IoTHardcodedModel("ooma").schedule(device, self.engine, start, end)
+            elif flavor_draw < 0.80:
+                IoTHardcodedModel("alarmnet").schedule(device, self.engine, start, end)
+        elif device.kind == "p2p":
+            P2PModel(bursts_per_hour=rates.p2p_bursts_per_hour).schedule(
+                device, self.engine, start, end
+            )
+
+    # -- run -------------------------------------------------------------------
+
+    def run(self) -> Trace:
+        """Run the scenario and return the captured trace."""
+        config = self.config
+        horizon = config.warmup + config.duration
+        for house in self.houses:
+            for device in house.devices:
+                device.quic_fraction = config.rates.quic_fraction
+                self._attach_apps(device, 0.0, horizon)
+        self.engine.run(until=horizon)
+        trace = self.capture.finish(duration=horizon, houses=config.houses)
+        if config.warmup > 0:
+            trace = _clip_warmup(trace, config.warmup)
+        return trace
+
+
+def _clip_warmup(trace: Trace, warmup: float) -> Trace:
+    """Shift timestamps so the measurement window starts at zero.
+
+    Connections inside the warmup window are dropped; DNS transactions
+    are kept (shifted, possibly to negative timestamps) because later
+    connections may pair with pre-window lookups — exactly as the
+    paper's week-long capture pairs early connections with whatever
+    lookups preceded them.
+    """
+    clipped = Trace(duration=trace.duration - warmup, houses=trace.houses)
+    for record in trace.dns:
+        clipped.dns.append(replace(record, ts=record.ts - warmup))
+    for record in trace.conns:
+        if record.ts < warmup:
+            continue
+        clipped.conns.append(replace(record, ts=record.ts - warmup))
+    kept_uids = {record.uid for record in clipped.conns}
+    clipped.truth = {uid: truth for uid, truth in trace.truth.items() if uid in kept_uids}
+    clipped.sort()
+    return clipped
+
+
+def generate_trace(config: ScenarioConfig) -> Trace:
+    """Generate the trace for *config* (convenience wrapper)."""
+    return TrafficGenerator(config).run()

@@ -1,0 +1,421 @@
+"""The hostname universe behind the synthetic residential workload.
+
+Builds a population of web sites (primary hostnames plus site-local
+subdomains), shared third-party services (CDN, advertising, analytics),
+streaming/video services, API endpoints, and the special hostnames the
+paper calls out (``connectivitycheck.gstatic.com``). Every name is
+registered in a :class:`~repro.dns.zone.DnsHierarchy` with realistic
+TTLs; CDN-hosted names get *dynamic* answers that depend on which
+resolver platform asks — the mechanism behind the paper's §7
+throughput-vs-resolver analysis.
+
+Site popularity follows a Zipf law, matching decades of web measurement.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+
+from repro.dns.zone import DnsHierarchy
+from repro.errors import WorkloadError
+from repro.dns.rr import ResourceRecord, a_record
+from repro.simulation.random import zipf_weights
+
+# Fixed addresses for the §5.1 hard-coded-IP artifacts.
+RETIRED_NTP_SERVER = "128.138.141.172"
+OOMA_NTP_SERVERS = ("184.105.182.16", "184.105.182.17")
+ALARMNET_SERVERS = ("199.64.78.20", "199.64.78.21")
+
+CONNECTIVITY_CHECK_HOST = "connectivitycheck.gstatic.com"
+
+# TTL population: (ttl seconds, weight). Mirrors edge-network passive
+# observations: a spread from short CDN TTLs to day-long infrastructure
+# records, with the bulk in the minutes-to-an-hour range.
+TTL_CHOICES = ((60, 0.10), (300, 0.30), (900, 0.30), (3600, 0.22), (86400, 0.08))
+
+RESOLVER_PLATFORMS = ("local", "google", "opendns", "cloudflare")
+
+
+@dataclass(frozen=True, slots=True)
+class HostProfile:
+    """One resolvable hostname and its serving characteristics."""
+
+    hostname: str
+    category: str
+    ttl: int
+    addresses: tuple[str, ...]
+    cdn_org: str | None = None
+    base_throughput: float = 2e6  # bytes/second before edge/noise factors
+    typical_bytes: float = 2e5   # median transfer size in bytes
+
+
+@dataclass(frozen=True, slots=True)
+class SiteProfile:
+    """A web site: its primary host, subresources, and outbound links."""
+
+    primary: HostProfile
+    subresources: tuple[HostProfile, ...]
+    popularity: float
+
+
+class IpAllocator:
+    """Hands out addresses from successive /24 blocks per organisation."""
+
+    def __init__(self, base: str = "60.0.0.0"):
+        self._base = int(ipaddress.IPv4Address(base))
+        self._next_block = 0
+        self._org_blocks: dict[str, int] = {}
+        self._org_next: dict[str, int] = {}
+
+    def allocate(self, org: str) -> str:
+        """Next address inside *org*'s block (a fresh /24 per 254 hosts)."""
+        if org not in self._org_blocks:
+            self._org_blocks[org] = self._next_block
+            self._org_next[org] = 1
+            self._next_block += 1
+        host = self._org_next[org]
+        if host > 254:
+            self._org_blocks[org] = self._next_block
+            self._next_block += 1
+            self._org_next[org] = 1
+            host = 1
+        self._org_next[org] = host + 1
+        address = self._base + self._org_blocks[org] * 256 + host
+        return str(ipaddress.IPv4Address(address))
+
+
+@dataclass(frozen=True, slots=True)
+class CdnEdge:
+    """One CDN edge cluster: the addresses a platform's queries map to.
+
+    Edge quality is bimodal: a connection lands on a well-provisioned
+    path with probability ``1 - slow_fraction`` (factor ``fast_factor``)
+    and on a congested/far one otherwise (``slow_factor``). For
+    Cloudflare-resolved clients the slow mode dominates, reproducing the
+    paper's Figure 3 (bottom): lower throughput for ~75% of connections,
+    converging with the other platforms in the tail.
+    """
+
+    addresses: tuple[str, ...]
+    fast_factor: float = 1.0
+    slow_factor: float = 1.0
+    slow_fraction: float = 0.0
+
+    @property
+    def throughput_factor(self) -> float:
+        """Expected factor (for coarse reasoning and tests)."""
+        return (
+            self.slow_fraction * self.slow_factor
+            + (1.0 - self.slow_fraction) * self.fast_factor
+        )
+
+    # Transfers past this size amortise per-object edge overheads, so
+    # the slow mode no longer binds (why Figure 3's tails converge).
+    SLOW_MODE_SIZE_LIMIT = 2e5
+
+    def sample_factor(self, rng: random.Random, size: float | None = None) -> float:
+        """Draw the throughput factor for one connection of *size* bytes.
+
+        The slow mode models per-object edge overhead (far edge, cold
+        edge cache): it binds small transfers, while bulk transfers ramp
+        to the path rate regardless of edge choice.
+        """
+        if size is not None and size >= self.SLOW_MODE_SIZE_LIMIT:
+            return self.fast_factor
+        if self.slow_fraction and rng.random() < self.slow_fraction:
+            return self.slow_factor
+        return self.fast_factor
+
+    def addresses_for(self, hostname: str) -> tuple[str, ...]:
+        """The stable two-address subset served for *hostname*.
+
+        Spreading hostnames over the cluster keeps DN-Hunter pairing
+        mostly unambiguous (the paper finds a unique candidate for 82%
+        of transactions) while still modelling shared CDN hosting.
+        """
+        import zlib
+
+        if len(self.addresses) <= 2:
+            return self.addresses
+        index = zlib.crc32(hostname.encode("utf-8")) % len(self.addresses)
+        return (self.addresses[index], self.addresses[(index + 1) % len(self.addresses)])
+
+
+class NameUniverse:
+    """The complete synthetic namespace plus its authoritative hierarchy."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        site_count: int = 120,
+        cdn_host_count: int = 18,
+        ads_host_count: int = 12,
+        analytics_host_count: int = 6,
+        api_host_count: int = 15,
+        video_host_count: int = 8,
+        zipf_exponent: float = 0.9,
+    ):
+        if site_count < 2:
+            raise WorkloadError(f"need at least 2 sites, got {site_count}")
+        self.rng = rng
+        self.hierarchy = DnsHierarchy()
+        self._allocator = IpAllocator()
+        self.hosts: dict[str, HostProfile] = {}
+        self._cdn_edges: dict[tuple[str, str], CdnEdge] = {}
+
+        self.cdn_hosts = self._build_cdn_pool(cdn_host_count)
+        self.ads_hosts = self._build_third_party("adnet", "ads", ads_host_count, ttl=300, typical_bytes=2.5e4)
+        self.analytics_hosts = self._build_third_party(
+            "metricsco", "analytics", analytics_host_count, ttl=3600, typical_bytes=1.2e4
+        )
+        self.api_hosts = self._build_third_party("cloudapi", "api", api_host_count, ttl=600)
+        self.video_hosts = self._build_video_pool(video_host_count)
+        self.sites = self._build_sites(site_count, zipf_exponent)
+        self.connectivity_check = self._build_connectivity_check()
+        self._site_weights = [site.popularity for site in self.sites]
+
+    # -- construction ----------------------------------------------------
+
+    def _pick_ttl(self) -> int:
+        total = sum(weight for _, weight in TTL_CHOICES)
+        target = self.rng.random() * total
+        acc = 0.0
+        for ttl, weight in TTL_CHOICES:
+            acc += weight
+            if target < acc:
+                return ttl
+        return TTL_CHOICES[-1][0]
+
+    def _register_static(self, profile: HostProfile) -> HostProfile:
+        for address in profile.addresses:
+            self.hierarchy.add_address(profile.hostname, address, ttl=profile.ttl)
+        self.hosts[profile.hostname] = profile
+        return profile
+
+    def _register_cdn(self, profile: HostProfile) -> HostProfile:
+        """Register a CDN-hosted name whose answers depend on the asker."""
+        org = profile.cdn_org
+        if org is None:
+            raise WorkloadError(f"{profile.hostname} has no CDN organisation")
+        hostname = profile.hostname
+        ttl = profile.ttl
+
+        def provider(requester: str) -> tuple[ResourceRecord, ...]:
+            edge = self.cdn_edge(org, requester or "local")
+            return tuple(
+                a_record(hostname, address, ttl) for address in edge.addresses_for(hostname)
+            )
+
+        self.hierarchy.add_dynamic_address(hostname, provider)
+        self.hosts[hostname] = profile
+        return profile
+
+    def _ensure_cdn_edges(self, org: str) -> None:
+        """Create per-platform edge clusters for *org*.
+
+        Edge quality encodes the paper's Fig. 3 (bottom) finding: the
+        three "big" platforms map clients to roughly equivalent edges,
+        while Cloudflare-resolved connections land on a slower edge for
+        the bulk of the distribution (converging in the tail), and
+        Google-resolved connections do marginally better in the tail.
+        """
+        shapes = {
+            "local": dict(fast_factor=1.0, slow_factor=0.85, slow_fraction=0.15),
+            "google": dict(fast_factor=1.12, slow_factor=0.9, slow_fraction=0.15),
+            "opendns": dict(fast_factor=0.97, slow_factor=0.8, slow_fraction=0.15),
+            "cloudflare": dict(fast_factor=1.0, slow_factor=0.35, slow_fraction=0.75),
+        }
+        for platform in RESOLVER_PLATFORMS:
+            key = (org, platform)
+            if key in self._cdn_edges:
+                continue
+            addresses = tuple(
+                self._allocator.allocate(f"{org}-edge-{platform}") for _ in range(40)
+            )
+            self._cdn_edges[key] = CdnEdge(addresses=addresses, **shapes[platform])
+
+    def cdn_edge(self, org: str, platform: str) -> CdnEdge:
+        """The edge cluster *platform*'s resolvers are mapped to for *org*."""
+        self._ensure_cdn_edges(org)
+        key = (org, platform if platform in RESOLVER_PLATFORMS else "local")
+        return self._cdn_edges[key]
+
+    def _build_cdn_pool(self, count: int) -> list[HostProfile]:
+        pool: list[HostProfile] = []
+        orgs = ("fastedge", "globalcache", "edgecast")
+        for index in range(count):
+            org = orgs[index % len(orgs)]
+            hostname = f"c{index}.{org}.net"
+            profile = HostProfile(
+                hostname=hostname,
+                category="cdn",
+                ttl=self.rng.choice((60, 60, 300, 300, 900)),
+                addresses=(),
+                cdn_org=org,
+                base_throughput=6e6,
+                typical_bytes=4e5,
+            )
+            self._ensure_cdn_edges(org)
+            pool.append(self._register_cdn(profile))
+        return pool
+
+    def _build_third_party(
+        self, org: str, label: str, count: int, ttl: int, typical_bytes: float = 8e4
+    ) -> list[HostProfile]:
+        pool: list[HostProfile] = []
+        for index in range(count):
+            hostname = f"{label}{index}.{org}.com"
+            profile = HostProfile(
+                hostname=hostname,
+                category=label,
+                ttl=ttl,
+                addresses=(self._allocator.allocate(org),),
+                base_throughput=1.5e6,
+                typical_bytes=typical_bytes,
+            )
+            pool.append(self._register_static(profile))
+        return pool
+
+    def _build_video_pool(self, count: int) -> list[HostProfile]:
+        pool: list[HostProfile] = []
+        orgs = ("fastedge", "globalcache")
+        for index in range(count):
+            org = orgs[index % len(orgs)]
+            hostname = f"v{index}.stream{index % 3}.tv"
+            profile = HostProfile(
+                hostname=hostname,
+                category="video",
+                ttl=self.rng.choice((60, 300, 300, 900)),
+                addresses=(),
+                cdn_org=org,
+                base_throughput=8e6,
+                typical_bytes=3e7,
+            )
+            pool.append(self._register_cdn(profile))
+        return pool
+
+    def _build_sites(self, count: int, zipf_exponent: float) -> list[SiteProfile]:
+        weights = zipf_weights(count, zipf_exponent)
+        sites: list[SiteProfile] = []
+        for rank in range(count):
+            domain = f"site{rank}.example-{rank % 7}.com"
+            on_cdn = self.rng.random() < 0.45
+            if on_cdn:
+                org = self.rng.choice(("fastedge", "globalcache", "edgecast"))
+                primary = self._register_cdn(
+                    HostProfile(
+                        hostname=f"www.{domain}",
+                        category="site",
+                        ttl=self._pick_ttl(),
+                        addresses=(),
+                        cdn_org=org,
+                        base_throughput=4e6,
+                        typical_bytes=2.5e5,
+                    )
+                )
+            else:
+                primary = self._register_static(
+                    HostProfile(
+                        hostname=f"www.{domain}",
+                        category="site",
+                        ttl=self._pick_ttl(),
+                        addresses=(self._allocator.allocate(domain),),
+                        base_throughput=2.5e6,
+                        typical_bytes=2.5e5,
+                    )
+                )
+            subresources: list[HostProfile] = []
+            for label in ("static", "img"):
+                if self.rng.random() < 0.7:
+                    subresources.append(
+                        self._register_static(
+                            HostProfile(
+                                hostname=f"{label}.{domain}",
+                                category="subresource",
+                                ttl=primary.ttl,
+                                addresses=(self._allocator.allocate(domain),),
+                                base_throughput=3e6,
+                                typical_bytes=1.5e5,
+                            )
+                        )
+                    )
+            shared: list[HostProfile] = []
+            shared.extend(self.rng.sample(self.cdn_hosts, k=min(2, len(self.cdn_hosts))))
+            shared.extend(self.rng.sample(self.ads_hosts, k=min(2, len(self.ads_hosts))))
+            shared.extend(self.rng.sample(self.analytics_hosts, k=1))
+            sites.append(
+                SiteProfile(
+                    primary=primary,
+                    subresources=tuple(subresources + shared),
+                    popularity=weights[rank],
+                )
+            )
+        return sites
+
+    def _build_connectivity_check(self) -> HostProfile:
+        # Captive-portal probes transfer a couple hundred bytes and then
+        # linger before teardown, so their measured throughput
+        # (bytes/duration) is tiny — the artifact that drags Google's
+        # Figure 3 (bottom) line down until filtered out.
+        profile = HostProfile(
+            hostname=CONNECTIVITY_CHECK_HOST,
+            category="connectivity",
+            ttl=300,
+            addresses=(self._allocator.allocate("gstatic"),),
+            base_throughput=2.5e4,
+            typical_bytes=600.0,
+        )
+        return self._register_static(profile)
+
+    # -- sampling ----------------------------------------------------------
+
+    def pick_site(self, rng: random.Random) -> SiteProfile:
+        """Draw a site Zipf-proportionally to its popularity."""
+        total = sum(self._site_weights)
+        target = rng.random() * total
+        acc = 0.0
+        for site, weight in zip(self.sites, self._site_weights):
+            acc += weight
+            if target < acc:
+                return site
+        return self.sites[-1]
+
+    def pick_link_targets(self, rng: random.Random, count: int, exclude: str) -> list[SiteProfile]:
+        """Sites a page links to (prefetch candidates), excluding itself.
+
+        Links skew toward the long tail (article links, ads): 60% are
+        drawn uniformly over the site population, the rest by
+        popularity. This is what makes speculative lookups mostly *cold*
+        (hence worth prefetching) yet often never used (§5.2).
+        """
+        targets: list[SiteProfile] = []
+        attempts = 0
+        while len(targets) < count and attempts < count * 6:
+            attempts += 1
+            if rng.random() < 0.6:
+                candidate = rng.choice(self.sites)
+            else:
+                candidate = self.pick_site(rng)
+            if candidate.primary.hostname == exclude:
+                continue
+            if any(existing.primary.hostname == candidate.primary.hostname for existing in targets):
+                continue
+            targets.append(candidate)
+        return targets
+
+    def pick_api_host(self, rng: random.Random) -> HostProfile:
+        """An API endpoint for polling traffic."""
+        return rng.choice(self.api_hosts)
+
+    def pick_video_host(self, rng: random.Random) -> HostProfile:
+        """A video/streaming host."""
+        return rng.choice(self.video_hosts)
+
+    def host(self, hostname: str) -> HostProfile:
+        """Look up a registered host profile by name."""
+        try:
+            return self.hosts[hostname]
+        except KeyError as exc:
+            raise WorkloadError(f"unknown hostname {hostname!r}") from exc

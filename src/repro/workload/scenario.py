@@ -1,0 +1,93 @@
+"""Scenario configuration: every knob of the synthetic workload.
+
+A :class:`ScenarioConfig` fully determines a synthetic trace (together
+with its seed): the same config always regenerates the same logs.
+Presets provide the paper-shaped default (:func:`default_scenario`) and
+a small fast variant for unit tests (:func:`smoke_scenario`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import WorkloadError
+from repro.workload.apps import BrowsingConfig
+from repro.workload.households import HouseholdMixConfig
+
+
+@dataclass(frozen=True, slots=True)
+class UniverseConfig:
+    """Size of the hostname universe."""
+
+    site_count: int = 200
+    cdn_host_count: int = 18
+    ads_host_count: int = 12
+    analytics_host_count: int = 6
+    api_host_count: int = 15
+    video_host_count: int = 8
+    zipf_exponent: float = 0.9
+
+
+@dataclass(frozen=True, slots=True)
+class AppRates:
+    """Per-device-kind application activity levels."""
+
+    laptop_browsing_scale: float = 1.0
+    android_browsing_scale: float = 0.14
+    laptop_video_sessions_per_hour: float = 0.10
+    tv_video_sessions_per_hour: float = 0.35
+    laptop_api_probability: float = 0.60
+    android_api_probability: float = 0.50
+    connectivity_check_median_period: float = 450.0
+    p2p_bursts_per_hour: float = 11.0
+    quic_fraction: float = 0.12
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """A complete synthetic-workload scenario."""
+
+    seed: int = 1
+    houses: int = 30
+    duration: float = 86400.0
+    warmup: float = 0.0
+    universe: UniverseConfig = field(default_factory=UniverseConfig)
+    mix: HouseholdMixConfig = field(default_factory=HouseholdMixConfig)
+    browsing: BrowsingConfig = field(default_factory=BrowsingConfig)
+    rates: AppRates = field(default_factory=AppRates)
+
+    def __post_init__(self) -> None:
+        if self.houses <= 0:
+            raise WorkloadError(f"houses must be positive, got {self.houses}")
+        if self.duration <= 0:
+            raise WorkloadError(f"duration must be positive, got {self.duration}")
+        if self.warmup < 0:
+            raise WorkloadError(f"warmup cannot be negative, got {self.warmup}")
+
+    def scaled(self, houses: int | None = None, duration: float | None = None) -> "ScenarioConfig":
+        """A copy with a different size (same behaviour knobs)."""
+        return replace(
+            self,
+            houses=houses if houses is not None else self.houses,
+            duration=duration if duration is not None else self.duration,
+        )
+
+
+def default_scenario(seed: int = 1) -> ScenarioConfig:
+    """The paper-shaped default: 30 houses, one simulated day."""
+    return ScenarioConfig(seed=seed)
+
+
+def smoke_scenario(seed: int = 1) -> ScenarioConfig:
+    """A small, fast scenario for unit tests (a few houses, 2 hours)."""
+    return ScenarioConfig(
+        seed=seed,
+        houses=6,
+        duration=7200.0,
+        universe=UniverseConfig(site_count=40, cdn_host_count=9, ads_host_count=6),
+    )
+
+
+def benchmark_scenario(seed: int = 1) -> ScenarioConfig:
+    """The scenario used by the benchmark harness (see benchmarks/)."""
+    return ScenarioConfig(seed=seed, houses=24, duration=43200.0)

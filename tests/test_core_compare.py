@@ -1,0 +1,126 @@
+"""Tests for repro.core.compare and the DNS-over-TCP wire framing."""
+
+import pytest
+
+from repro.core.compare import (
+    ClassDelta,
+    compare_breakdowns,
+    compare_studies,
+    ks_distance,
+)
+from repro.core.classify import ClassBreakdown, ConnClass
+from repro.core.context import ContextStudy
+from repro.core.stats import Cdf
+from repro.errors import AnalysisError, WireFormatError
+from repro.workload.scenario import smoke_scenario
+
+
+class TestKsDistance:
+    def test_identical_cdfs(self):
+        cdf = Cdf.from_values([1.0, 2.0, 3.0])
+        assert ks_distance(cdf, cdf) == 0.0
+
+    def test_disjoint_supports(self):
+        a = Cdf.from_values([1.0, 2.0])
+        b = Cdf.from_values([10.0, 20.0])
+        assert ks_distance(a, b) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        a = Cdf.from_values([1.0, 2.0, 3.0, 4.0])
+        b = Cdf.from_values([3.0, 4.0, 5.0, 6.0])
+        assert 0.0 < ks_distance(a, b) < 1.0
+
+    def test_symmetry(self):
+        a = Cdf.from_values([1.0, 5.0, 9.0])
+        b = Cdf.from_values([2.0, 5.0, 8.0, 12.0])
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+
+class TestBreakdownComparison:
+    def test_deltas(self):
+        a = ClassBreakdown({ConnClass.NO_DNS: 10, ConnClass.LOCAL_CACHE: 90})
+        b = ClassBreakdown({ConnClass.NO_DNS: 20, ConnClass.LOCAL_CACHE: 80})
+        deltas = {d.conn_class: d for d in compare_breakdowns(a, b)}
+        assert deltas[ConnClass.NO_DNS].delta == pytest.approx(0.1)
+        assert deltas[ConnClass.LOCAL_CACHE].delta == pytest.approx(-0.1)
+        assert deltas[ConnClass.PREFETCHED].delta == 0.0
+
+    def test_all_classes_covered(self):
+        deltas = compare_breakdowns(ClassBreakdown({}), ClassBreakdown({}))
+        assert {d.conn_class for d in deltas} == set(ConnClass)
+
+
+class TestStudyComparison:
+    @pytest.fixture(scope="class")
+    def studies(self):
+        a = ContextStudy.from_scenario(smoke_scenario(seed=21).scaled(houses=4, duration=3600.0))
+        b = ContextStudy.from_scenario(smoke_scenario(seed=22).scaled(houses=4, duration=3600.0))
+        return a, b
+
+    def test_seed_to_seed_stability(self, studies):
+        a, b = studies
+        comparison = compare_studies(a, b, "seed21", "seed22")
+        # Different seeds of the same config: class shares move, but the
+        # structure is stable and the KS distance is small-ish.
+        assert comparison.max_class_delta < 0.15
+        assert comparison.lookup_delay_ks < 0.5
+
+    def test_self_comparison_is_null(self, studies):
+        a, _ = studies
+        comparison = compare_studies(a, a)
+        assert comparison.max_class_delta == 0.0
+        assert comparison.lookup_delay_ks == 0.0
+        assert comparison.insights_stable()
+
+    def test_render(self, studies):
+        a, b = studies
+        text = compare_studies(a, b, "first", "second").render()
+        assert "first" in text and "second" in text
+        assert "KS distance" in text
+        assert "blocked" in text
+
+    def test_insights_stable_thresholds(self, studies):
+        a, _ = studies
+        comparison = compare_studies(a, a)
+        assert comparison.insights_stable(class_tolerance=0.001, significant_tolerance=0.001)
+
+
+class TestTcpFraming:
+    def test_roundtrip_single(self):
+        from repro.dns.message import make_query
+        from repro.dns.wire import decode_message_stream, encode_message_tcp
+
+        query = make_query("example.com", msg_id=5)
+        stream = encode_message_tcp(query)
+        messages = decode_message_stream(stream)
+        assert len(messages) == 1
+        assert messages[0].msg_id == 5
+
+    def test_roundtrip_multiple(self):
+        from repro.dns.message import make_query
+        from repro.dns.wire import decode_message_stream, encode_message_tcp
+
+        stream = b"".join(
+            encode_message_tcp(make_query(f"h{i}.example.com", msg_id=i)) for i in range(5)
+        )
+        messages = decode_message_stream(stream)
+        assert [m.msg_id for m in messages] == [0, 1, 2, 3, 4]
+
+    def test_truncated_prefix(self):
+        from repro.dns.wire import decode_message_stream
+
+        with pytest.raises(WireFormatError):
+            decode_message_stream(b"\x00")
+
+    def test_truncated_body(self):
+        from repro.dns.message import make_query
+        from repro.dns.wire import decode_message_stream, encode_message_tcp
+
+        stream = encode_message_tcp(make_query("example.com"))
+        with pytest.raises(WireFormatError):
+            decode_message_stream(stream[:-3])
+
+    def test_empty_stream(self):
+        from repro.dns.wire import decode_message_stream
+
+        assert decode_message_stream(b"") == []

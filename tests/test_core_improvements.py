@@ -1,0 +1,168 @@
+"""Tests for repro.core.improvements: §8's whole-house and refresh sims."""
+
+import pytest
+
+from repro.core.classify import Classifier, ConnClass
+from repro.core.improvements import (
+    RefreshSimulator,
+    whole_house_cache_analysis,
+)
+from repro.core.pairing import pair_trace
+from repro.errors import AnalysisError
+from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, Proto
+
+HOUSE_A = "10.77.0.10"
+HOUSE_B = "10.77.0.11"
+LOCAL = "192.168.200.10"
+
+
+def dns(uid, ts, address, house=HOUSE_A, rtt=0.002, ttl=300.0, query="h.example.com"):
+    return DnsRecord(
+        ts=ts, uid=uid, orig_h=house, orig_p=40000, resp_h=LOCAL, resp_p=53,
+        query=query, rtt=rtt, answers=(DnsAnswer(address, ttl, "A"),),
+    )
+
+
+def conn(uid, ts, address, house=HOUSE_A, duration=1.0):
+    return ConnRecord(
+        ts=ts, uid=uid, orig_h=house, orig_p=50000, resp_h=address, resp_p=443,
+        proto=Proto.TCP, duration=duration, orig_bytes=100, resp_bytes=1000,
+    )
+
+
+def classify(dns_records, conns):
+    paired = pair_trace(dns_records, conns)
+    return Classifier(dns_records).classify_all(paired)
+
+
+class TestWholeHouseCache:
+    def test_repeat_lookup_within_ttl_benefits(self):
+        # Two devices in the same house look up the same name 60 s apart
+        # (TTL 300): a whole-house cache would have served the second.
+        records = [
+            dns("D1", 0.0, "1.2.3.4", query="shared.example.com"),
+            dns("D2", 60.0, "1.2.3.4", query="shared.example.com"),
+        ]
+        conns = [
+            conn("C1", 0.005, "1.2.3.4"),
+            conn("C2", 60.005, "1.2.3.4"),
+        ]
+        analysis = whole_house_cache_analysis(records, classify(records, conns))
+        assert analysis.moved_conns == 1
+        assert analysis.moved_fraction_of_all == pytest.approx(0.5)
+
+    def test_repeat_after_ttl_does_not_benefit(self):
+        records = [
+            dns("D1", 0.0, "1.2.3.4", ttl=30.0, query="shared.example.com"),
+            dns("D2", 100.0, "1.2.3.4", ttl=30.0, query="shared.example.com"),
+        ]
+        conns = [conn("C1", 0.005, "1.2.3.4"), conn("C2", 100.005, "1.2.3.4")]
+        analysis = whole_house_cache_analysis(records, classify(records, conns))
+        assert analysis.moved_conns == 0
+
+    def test_cross_house_lookups_do_not_benefit(self):
+        records = [
+            dns("D1", 0.0, "1.2.3.4", house=HOUSE_A, query="shared.example.com"),
+            dns("D2", 60.0, "1.2.3.4", house=HOUSE_B, query="shared.example.com"),
+        ]
+        conns = [
+            conn("C1", 0.005, "1.2.3.4", house=HOUSE_A),
+            conn("C2", 60.005, "1.2.3.4", house=HOUSE_B),
+        ]
+        analysis = whole_house_cache_analysis(records, classify(records, conns))
+        assert analysis.moved_conns == 0
+
+    def test_sc_and_r_tracked_separately(self):
+        records = [
+            dns("D1", 0.0, "1.2.3.4", rtt=0.002, query="fast.example.com"),
+            dns("D2", 60.0, "1.2.3.4", rtt=0.002, query="fast.example.com"),   # SC repeat
+            dns("D3", 0.0, "5.6.7.8", rtt=0.2, query="slow.example.com"),
+            dns("D4", 60.0, "5.6.7.8", rtt=0.2, query="slow.example.com"),     # R repeat
+        ]
+        conns = [
+            conn("C1", 0.005, "1.2.3.4"),
+            conn("C2", 60.005, "1.2.3.4"),
+            conn("C3", 0.21, "5.6.7.8"),
+            conn("C4", 60.21, "5.6.7.8"),
+        ]
+        analysis = whole_house_cache_analysis(records, classify(records, conns))
+        assert analysis.sc_moved == 1
+        assert analysis.r_moved == 1
+        assert analysis.sc_moved_fraction == pytest.approx(0.5)
+        assert analysis.r_moved_fraction == pytest.approx(0.5)
+
+
+class TestRefreshSimulator:
+    def _simulator(self, ttl=100.0, polls=10, period=150.0, ttl_floor=10.0):
+        """One name polled repeatedly; period > ttl means every poll misses."""
+        records = [dns("D0", 0.0, "1.2.3.4", ttl=ttl, query="api.example.com")]
+        conns = [conn("C0", 0.005, "1.2.3.4")]
+        for i in range(1, polls):
+            ts = period * i
+            records.append(dns(f"D{i}", ts, "1.2.3.4", ttl=ttl, query="api.example.com"))
+            conns.append(conn(f"C{i}", ts + 0.005, "1.2.3.4"))
+        classified = classify(records, conns)
+        return RefreshSimulator(records, classified, ttl_floor=ttl_floor, houses=1)
+
+    def test_standard_cache_misses_when_period_exceeds_ttl(self):
+        simulator = self._simulator(ttl=100.0, period=150.0, polls=10)
+        result = simulator.run_standard()
+        assert result.conns == 10
+        assert result.hit_rate == 0.0
+        assert result.lookups == 10
+
+    def test_standard_cache_hits_within_ttl(self):
+        simulator = self._simulator(ttl=1000.0, period=150.0, polls=10)
+        result = simulator.run_standard()
+        # First use misses, the rest fit inside one TTL window... the
+        # window covers events up to t=1000, i.e. polls 1..6.
+        assert result.lookups == 2
+        assert result.hit_rate == pytest.approx(8 / 10)
+
+    def test_refresh_all_hits_everything_after_first(self):
+        simulator = self._simulator(ttl=100.0, period=150.0, polls=10)
+        result = simulator.run_refresh_all()
+        assert result.hit_rate == pytest.approx(9 / 10)
+        # One initial fetch plus one refresh per TTL until the horizon:
+        # horizon = 1350.005, ttl = 100 -> 13 refreshes.
+        assert result.lookups == 1 + 13
+
+    def test_refresh_respects_ttl_floor(self):
+        simulator = self._simulator(ttl=5.0, period=150.0, polls=10, ttl_floor=10.0)
+        refresh = simulator.run_refresh_all()
+        standard = simulator.run_standard()
+        # TTL below the floor: never refreshed, behaves like standard.
+        assert refresh.lookups == standard.lookups
+        assert refresh.hit_rate == standard.hit_rate
+
+    def test_comparison_blowup(self):
+        simulator = self._simulator(ttl=100.0, period=150.0, polls=10)
+        comparison = simulator.compare()
+        assert comparison.refresh_all.hit_rate > comparison.standard.hit_rate
+        assert comparison.lookup_blowup == pytest.approx(14 / 10)
+
+    def test_lookups_per_second_per_house(self):
+        simulator = self._simulator(ttl=100.0, period=150.0, polls=10)
+        result = simulator.run_standard()
+        duration = 150.0 * 9
+        assert result.lookups_per_second_per_house == pytest.approx(10 / duration, rel=0.01)
+
+    def test_n_class_excluded(self):
+        records = [dns("D0", 0.0, "1.2.3.4")]
+        conns = [conn("C0", 0.005, "1.2.3.4"), conn("CN", 10.0, "99.99.99.99")]
+        classified = classify(records, conns)
+        simulator = RefreshSimulator(records, classified, houses=1)
+        assert simulator.run_standard().conns == 1
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(AnalysisError):
+            RefreshSimulator([], [], ttl_floor=-1.0)
+
+    def test_auth_ttl_is_max_observed(self):
+        records = [
+            dns("D0", 0.0, "1.2.3.4", ttl=50.0, query="api.example.com"),
+            dns("D1", 200.0, "1.2.3.4", ttl=500.0, query="api.example.com"),
+        ]
+        conns = [conn("C0", 0.005, "1.2.3.4"), conn("C1", 200.005, "1.2.3.4")]
+        simulator = RefreshSimulator(records, classify(records, conns), houses=1)
+        assert simulator.auth_ttl["api.example.com"] == 500.0

@@ -1,0 +1,212 @@
+"""Tests for repro.core.performance and repro.core.sources (§5-§6)."""
+
+import pytest
+
+from repro.core.classify import Classifier, ConnClass
+from repro.core.pairing import pair_trace
+from repro.core.performance import (
+    contribution_analysis,
+    contribution_percent,
+    lookup_delay_analysis,
+    significance_quadrant,
+)
+from repro.core.sources import no_dns_breakdown, prefetch_stats, ttl_violation_stats
+from repro.errors import AnalysisError
+from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, Proto
+
+HOUSE = "10.77.0.10"
+LOCAL = "192.168.200.10"
+
+
+def dns(uid, ts, address, rtt=0.002, ttl=300.0, query="h.example.com", resolver=LOCAL):
+    return DnsRecord(
+        ts=ts, uid=uid, orig_h=HOUSE, orig_p=40000, resp_h=resolver, resp_p=53,
+        query=query, rtt=rtt, answers=(DnsAnswer(address, ttl, "A"),),
+    )
+
+
+def conn(uid, ts, address, duration=1.0, resp_p=443, orig_p=50000, resp_bytes=1000):
+    return ConnRecord(
+        ts=ts, uid=uid, orig_h=HOUSE, orig_p=orig_p, resp_h=address, resp_p=resp_p,
+        proto=Proto.TCP, duration=duration, orig_bytes=100, resp_bytes=resp_bytes,
+    )
+
+
+def classify(dns_records, conns):
+    paired = pair_trace(dns_records, conns)
+    return Classifier(dns_records).classify_all(paired)
+
+
+def make_blocked(uid, ts, rtt, duration, address="1.2.3.4"):
+    """One DNS record + one blocked connection at ts."""
+    record = dns(f"D{uid}", ts, address, rtt=rtt)
+    connection = conn(f"C{uid}", ts + rtt + 0.002, address, duration=duration)
+    return record, connection
+
+
+class TestLookupDelays:
+    def test_median_and_tail(self):
+        records, conns = [], []
+        for i, rtt in enumerate([0.002] * 6 + [0.050] * 3 + [0.200]):
+            r, c = make_blocked(i, 10.0 * i, rtt, 1.0)
+            records.append(r)
+            conns.append(c)
+        analysis = lookup_delay_analysis(classify(records, conns))
+        assert analysis.median == pytest.approx(0.002, abs=0.001)
+        assert analysis.over_100ms_fraction == pytest.approx(0.1)
+
+    def test_only_blocked_considered(self):
+        records = [dns("D1", 0.0, "1.2.3.4", rtt=0.002)]
+        conns = [conn("C1", 0.005, "1.2.3.4"), conn("C2", 60.0, "1.2.3.4")]
+        analysis = lookup_delay_analysis(classify(records, conns))
+        assert len(analysis.cdf) == 1
+
+    def test_no_blocked_raises(self):
+        records = [dns("D1", 0.0, "1.2.3.4")]
+        with pytest.raises(AnalysisError):
+            lookup_delay_analysis(classify(records, [conn("C1", 60.0, "1.2.3.4")]))
+
+
+class TestContribution:
+    def test_contribution_formula(self):
+        record, connection = make_blocked(1, 0.0, rtt=0.01, duration=0.99)
+        classified = classify([record], [connection])
+        assert contribution_percent(classified[0]) == pytest.approx(1.0, abs=0.01)
+
+    def test_unblocked_has_no_contribution(self):
+        records = [dns("D1", 0.0, "1.2.3.4")]
+        classified = classify(records, [conn("C1", 60.0, "1.2.3.4")])
+        assert contribution_percent(classified[0]) is None
+
+    def test_zero_duration_connection(self):
+        record, connection = make_blocked(1, 0.0, rtt=0.01, duration=0.0)
+        classified = classify([record], [connection])
+        value = contribution_percent(classified[0])
+        assert value == pytest.approx(100.0)
+
+    def test_analysis_splits_sc_and_r(self):
+        records, conns = [], []
+        r1, c1 = make_blocked(1, 0.0, rtt=0.002, duration=10.0)   # SC, tiny share
+        r2, c2 = make_blocked(2, 100.0, rtt=0.100, duration=0.4)  # R, big share
+        records.extend([r1, r2])
+        conns.extend([c1, c2])
+        analysis = contribution_analysis(classify(records, conns))
+        assert analysis.sc_cdf is not None and analysis.r_cdf is not None
+        assert analysis.r_cdf.median > analysis.sc_cdf.median
+        assert analysis.over_1pct_all == pytest.approx(0.5)
+        assert analysis.over_1pct_r == pytest.approx(1.0)
+
+
+class TestQuadrant:
+    def test_four_cells(self):
+        records, conns = [], []
+        cases = [
+            (0.002, 100.0),   # fast lookup, long conn -> insignificant both
+            (0.005, 0.05),    # fast lookup, tiny conn -> >1% only
+            (0.050, 100.0),   # slow lookup, long conn -> >20ms only
+            (0.050, 0.5),     # slow lookup, short conn -> significant both
+        ]
+        for i, (rtt, duration) in enumerate(cases):
+            r, c = make_blocked(i, 100.0 * i, rtt, duration)
+            records.append(r)
+            conns.append(c)
+        quadrant = significance_quadrant(classify(records, conns))
+        assert quadrant.insignificant_both == pytest.approx(0.25)
+        assert quadrant.relative_only == pytest.approx(0.25)
+        assert quadrant.absolute_only == pytest.approx(0.25)
+        assert quadrant.significant_both == pytest.approx(0.25)
+        assert quadrant.significant_of_all == pytest.approx(0.25)
+
+    def test_cells_sum_to_one(self):
+        records, conns = [], []
+        for i in range(20):
+            r, c = make_blocked(i, 10.0 * i, 0.001 + 0.004 * i, 0.1 * (i + 1))
+            records.append(r)
+            conns.append(c)
+        quadrant = significance_quadrant(classify(records, conns))
+        total = (
+            quadrant.insignificant_both
+            + quadrant.relative_only
+            + quadrant.absolute_only
+            + quadrant.significant_both
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_custom_thresholds(self):
+        record, connection = make_blocked(1, 0.0, rtt=0.030, duration=10.0)
+        classified = classify([record], [connection])
+        strict = significance_quadrant(classified, abs_threshold=0.01, rel_threshold=0.1)
+        lax = significance_quadrant(classified, abs_threshold=0.5, rel_threshold=50.0)
+        assert strict.significant_both == 1.0
+        assert lax.insignificant_both == 1.0
+
+    def test_no_blocked_raises(self):
+        records = [dns("D1", 0.0, "1.2.3.4")]
+        classified = classify(records, [conn("C1", 60.0, "1.2.3.4")])
+        with pytest.raises(AnalysisError):
+            significance_quadrant(classified)
+
+
+class TestNoDnsBreakdown:
+    def test_anatomy(self):
+        records = [dns("D1", 0.0, "1.2.3.4")]
+        conns = [
+            conn("C1", 0.005, "1.2.3.4"),                                  # paired
+            conn("C2", 10.0, "70.1.2.3", orig_p=50001, resp_p=51000),      # p2p
+            conn("C3", 11.0, "128.138.141.172", resp_p=123),               # ntp hard-coded
+            conn("C4", 12.0, "128.138.141.172", resp_p=123),
+        ]
+        breakdown = no_dns_breakdown(classify(records, conns))
+        assert breakdown.n_conns == 3
+        assert breakdown.high_port_fraction == pytest.approx(1 / 3)
+        assert breakdown.reserved_port_counts == {123: 2}
+        assert breakdown.top_destinations[0] == ("128.138.141.172", 123, 2)
+        assert breakdown.dot_port_conns == 0
+        assert breakdown.unpaired_non_p2p_fraction_of_all == pytest.approx(0.5)
+
+    def test_dot_port_counted(self):
+        conns = [conn("C1", 1.0, "1.1.1.1", resp_p=853)]
+        breakdown = no_dns_breakdown(classify([dns("D0", 0.0, "9.9.9.9")], conns))
+        assert breakdown.dot_port_conns == 1
+
+
+class TestTtlViolations:
+    def test_expired_lc_measured(self):
+        records = [dns("D1", 0.0, "1.2.3.4", ttl=10.0)]
+        conns = [
+            conn("C1", 0.005, "1.2.3.4"),    # blocked first use
+            conn("C2", 500.0, "1.2.3.4"),    # LC via expired record
+        ]
+        stats = ttl_violation_stats(classify(records, conns))
+        assert stats.lc_conns == 1
+        assert stats.lc_expired_fraction == pytest.approx(1.0)
+        # The violation is ~490 s past expiry (expiry at 10.002).
+        assert stats.violation_median == pytest.approx(490.0, abs=1.0)
+        assert stats.violation_over_30s_fraction == 1.0
+
+    def test_no_lc_conns(self):
+        records = [dns("D1", 0.0, "1.2.3.4")]
+        stats = ttl_violation_stats(classify(records, [conn("C1", 0.005, "1.2.3.4")]))
+        assert stats.lc_conns == 0
+        assert stats.lc_expired_fraction == 0.0
+
+
+class TestPrefetchStats:
+    def test_unused_and_used_fractions(self):
+        records = [
+            dns("D1", 0.0, "1.2.3.4", query="used.example.com"),
+            dns("D2", 0.0, "5.6.7.8", query="unused.example.com"),
+        ]
+        conns = [conn("C1", 60.0, "1.2.3.4")]  # P: first use, late start
+        paired = pair_trace(records, conns)
+        classified = Classifier(records).classify_all(paired)
+        stats = prefetch_stats(records, paired, classified)
+        assert stats.unused_lookup_fraction == pytest.approx(0.5)
+        assert stats.p_conn_fraction == pytest.approx(1.0)
+        # 1 used speculative + 1 unused -> 50% of speculative used.
+        assert stats.prefetch_used_fraction == pytest.approx(0.5)
+        assert stats.median_reuse_lag_p == pytest.approx(60.0, abs=0.1)
+
+    def test_requires_dns_records(self):
+        with pytest.raises(AnalysisError):
+            prefetch_stats([], [], [])

@@ -1,0 +1,155 @@
+"""Tests for repro.dns.name: DomainName semantics and RFC 1035 limits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.name import MAX_LABEL_LENGTH, MAX_NAME_WIRE_LENGTH, ROOT, DomainName
+from repro.errors import NameError_
+
+LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+
+labels = st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=20)
+names = st.lists(labels, min_size=0, max_size=6).map(DomainName.from_labels)
+
+
+class TestConstruction:
+    def test_simple_name(self):
+        name = DomainName("www.cnn.com")
+        assert name.labels == ("www", "cnn", "com")
+
+    def test_trailing_dot_is_ignored(self):
+        assert DomainName("cnn.com.") == DomainName("cnn.com")
+
+    def test_root_from_dot(self):
+        assert DomainName(".").is_root()
+
+    def test_root_constant(self):
+        assert ROOT.is_root()
+        assert str(ROOT) == "."
+
+    def test_copy_construction(self):
+        original = DomainName("a.b.c")
+        assert DomainName(original) == original
+
+    def test_from_labels(self):
+        assert str(DomainName.from_labels(["www", "x", "org"])) == "www.x.org"
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(NameError_):
+            DomainName("a..b")
+
+    def test_rejects_overlong_label(self):
+        with pytest.raises(NameError_):
+            DomainName("x" * (MAX_LABEL_LENGTH + 1) + ".com")
+
+    def test_accepts_max_length_label(self):
+        name = DomainName("x" * MAX_LABEL_LENGTH + ".com")
+        assert len(name.labels[0]) == MAX_LABEL_LENGTH
+
+    def test_rejects_overlong_name(self):
+        label = "x" * 60
+        with pytest.raises(NameError_):
+            DomainName.from_labels([label] * 5)
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(NameError_):
+            DomainName("foo bar.com")
+
+    def test_rejects_non_ascii(self):
+        with pytest.raises(NameError_):
+            DomainName("café.com")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(NameError_):
+            DomainName(42)  # type: ignore[arg-type]
+
+
+class TestEqualityAndOrdering:
+    def test_case_insensitive_equality(self):
+        assert DomainName("WWW.CNN.Com") == DomainName("www.cnn.com")
+
+    def test_case_insensitive_hash(self):
+        assert hash(DomainName("A.B")) == hash(DomainName("a.b"))
+
+    def test_string_comparison(self):
+        assert DomainName("a.com") == "A.COM"
+
+    def test_string_comparison_invalid(self):
+        assert DomainName("a.com") != "not a valid..name..really.."
+
+    def test_display_preserves_case(self):
+        assert str(DomainName("WWW.Example.COM")) == "WWW.Example.COM"
+
+    def test_canonical_ordering_right_to_left(self):
+        # RFC 4034 canonical order compares the rightmost labels first.
+        assert DomainName("z.alpha.com") < DomainName("a.beta.com")
+
+    @given(names, names)
+    def test_ordering_total(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+
+
+class TestRelations:
+    def test_parent(self):
+        assert DomainName("www.cnn.com").parent() == DomainName("cnn.com")
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(NameError_):
+            ROOT.parent()
+
+    def test_ancestors(self):
+        chain = list(DomainName("a.b.c").ancestors())
+        assert chain == [DomainName("b.c"), DomainName("c"), ROOT]
+
+    def test_subdomain_of_self(self):
+        name = DomainName("x.y.z")
+        assert name.is_subdomain_of(name)
+
+    def test_subdomain_positive(self):
+        assert DomainName("www.cnn.com").is_subdomain_of("cnn.com")
+
+    def test_subdomain_negative(self):
+        assert not DomainName("cnn.com").is_subdomain_of("www.cnn.com")
+
+    def test_subdomain_of_root(self):
+        assert DomainName("anything.example").is_subdomain_of(ROOT)
+
+    def test_subdomain_requires_label_boundary(self):
+        assert not DomainName("evilcnn.com").is_subdomain_of("cnn.com")
+
+    def test_relativize(self):
+        assert DomainName("a.b.example.com").relativize("example.com") == ("a", "b")
+
+    def test_relativize_outside_zone_raises(self):
+        with pytest.raises(NameError_):
+            DomainName("a.other.com").relativize("example.com")
+
+    def test_child(self):
+        assert DomainName("example.com").child("www") == DomainName("www.example.com")
+
+    @given(names)
+    def test_ancestor_count_matches_length(self, name):
+        assert len(list(name.ancestors())) == len(name)
+
+    @given(names)
+    def test_all_ancestors_are_superdomains(self, name):
+        for ancestor in name.ancestors():
+            assert name.is_subdomain_of(ancestor)
+
+
+class TestWireLength:
+    def test_root_wire_length(self):
+        assert ROOT.wire_length() == 1
+
+    def test_simple_wire_length(self):
+        # 3www3cnn3com0 -> 4 + 4 + 4 + 1
+        assert DomainName("www.cnn.com").wire_length() == 13
+
+    @given(names)
+    def test_wire_length_bound(self, name):
+        assert 1 <= name.wire_length() <= MAX_NAME_WIRE_LENGTH
+
+    @given(names)
+    def test_folded_roundtrip(self, name):
+        assert DomainName(name.folded()) == name

@@ -1,0 +1,153 @@
+"""Tests for repro.dns.rr: record types, RDATA validation, constructors."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dns.rr import (
+    AAAARecordData,
+    ARecordData,
+    MXRecordData,
+    NameRecordData,
+    OpaqueRecordData,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    SOARecordData,
+    SRVRecordData,
+    TXTRecordData,
+    a_record,
+    aaaa_record,
+    cname_record,
+    ns_record,
+)
+from repro.errors import WireFormatError
+
+
+class TestRRType:
+    def test_parse_from_int(self):
+        assert RRType.parse(1) == RRType.A
+
+    def test_parse_from_string(self):
+        assert RRType.parse("aaaa") == RRType.AAAA
+
+    def test_parse_passthrough(self):
+        assert RRType.parse(RRType.CNAME) == RRType.CNAME
+
+    def test_parse_unknown_string(self):
+        with pytest.raises(WireFormatError):
+            RRType.parse("NOPE")
+
+    def test_values_match_iana(self):
+        assert RRType.A == 1
+        assert RRType.NS == 2
+        assert RRType.CNAME == 5
+        assert RRType.SOA == 6
+        assert RRType.PTR == 12
+        assert RRType.MX == 15
+        assert RRType.TXT == 16
+        assert RRType.AAAA == 28
+        assert RRType.SRV == 33
+        assert RRType.OPT == 41
+
+
+class TestARecordData:
+    def test_validates_address(self):
+        assert ARecordData("10.1.1.1").address == "10.1.1.1"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ARecordData("not-an-ip")
+
+    def test_wire_roundtrip(self):
+        data = ARecordData("192.0.2.17")
+        assert ARecordData.from_wire(data.to_wire()) == data
+
+    def test_from_wire_wrong_length(self):
+        with pytest.raises(WireFormatError):
+            ARecordData.from_wire(b"\x01\x02\x03")
+
+
+class TestAAAARecordData:
+    def test_wire_roundtrip(self):
+        data = AAAARecordData("2001:db8::1")
+        assert AAAARecordData.from_wire(data.to_wire()) == data
+
+    def test_from_wire_wrong_length(self):
+        with pytest.raises(WireFormatError):
+            AAAARecordData.from_wire(b"\x00" * 15)
+
+
+class TestTXTRecordData:
+    def test_roundtrip(self):
+        data = TXTRecordData.from_text("hello", "world")
+        assert TXTRecordData.from_wire(data.to_wire()) == data
+
+    def test_rejects_overlong_string(self):
+        with pytest.raises(WireFormatError):
+            TXTRecordData((b"x" * 256,))
+
+    def test_from_wire_truncated(self):
+        with pytest.raises(WireFormatError):
+            TXTRecordData.from_wire(b"\x05ab")
+
+
+class TestOtherRdata:
+    def test_mx_range_check(self):
+        with pytest.raises(WireFormatError):
+            MXRecordData(70000, DomainName("mail.example.com"))
+
+    def test_srv_range_check(self):
+        with pytest.raises(WireFormatError):
+            SRVRecordData(1, 1, 99999, DomainName("svc.example.com"))
+
+    def test_soa_str(self):
+        soa = SOARecordData(
+            DomainName("ns1.example.com"),
+            DomainName("hostmaster.example.com"),
+            2020,
+            7200,
+            3600,
+            1209600,
+            300,
+        )
+        assert "2020" in str(soa)
+
+    def test_opaque_hex(self):
+        assert str(OpaqueRecordData(b"\xde\xad")) == "dead"
+
+
+class TestResourceRecord:
+    def test_ttl_bounds(self):
+        with pytest.raises(WireFormatError):
+            ResourceRecord(DomainName("a.com"), RRType.A, ARecordData("1.2.3.4"), ttl=-1)
+        with pytest.raises(WireFormatError):
+            ResourceRecord(DomainName("a.com"), RRType.A, ARecordData("1.2.3.4"), ttl=2**31)
+
+    def test_with_ttl(self):
+        record = a_record("a.com", "1.2.3.4", ttl=300)
+        assert record.with_ttl(10).ttl == 10
+        assert record.ttl == 300  # original untouched
+
+    def test_is_address(self):
+        assert a_record("a.com", "1.2.3.4").is_address()
+        assert aaaa_record("a.com", "::1").is_address()
+        assert not cname_record("a.com", "b.com").is_address()
+
+    def test_address_property(self):
+        assert a_record("a.com", "9.8.7.6").address == "9.8.7.6"
+
+    def test_address_property_on_cname_raises(self):
+        with pytest.raises(TypeError):
+            _ = cname_record("a.com", "b.com").address
+
+    def test_str_rendering(self):
+        text = str(a_record("www.example.com", "1.2.3.4", ttl=60))
+        assert "www.example.com" in text
+        assert "60" in text
+        assert "A" in text
+
+    def test_ns_record_default_class(self):
+        record = ns_record("com", "ns.registry.example")
+        assert record.rclass == RRClass.IN
+        assert record.rtype == RRType.NS
+        assert isinstance(record.rdata, NameRecordData)

@@ -1,0 +1,238 @@
+"""Tests for repro.dns.wire: RFC 1035 codec, compression, malformed input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import Flags, Message, Opcode, Question, Rcode, make_query, make_response
+from repro.dns.name import DomainName
+from repro.dns.rr import (
+    MXRecordData,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    SOARecordData,
+    SRVRecordData,
+    TXTRecordData,
+    a_record,
+    aaaa_record,
+    cname_record,
+    ns_record,
+)
+from repro.dns.wire import decode_message, encode_message
+from repro.errors import WireFormatError
+
+LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-"
+
+
+def roundtrip(message: Message) -> Message:
+    return decode_message(encode_message(message))
+
+
+class TestRoundtrips:
+    def test_query_roundtrip(self):
+        query = make_query("www.example.com", msg_id=1234)
+        back = roundtrip(query)
+        assert back.msg_id == 1234
+        assert back.question.qname == DomainName("www.example.com")
+        assert not back.is_response()
+
+    def test_response_roundtrip(self):
+        query = make_query("www.example.com", msg_id=7)
+        response = make_response(
+            query,
+            answers=(
+                a_record("www.example.com", "93.184.216.34", ttl=120),
+                aaaa_record("www.example.com", "2606:2800:220:1::1", ttl=120),
+            ),
+        )
+        back = roundtrip(response)
+        assert back.is_response()
+        assert back.answer_addresses() == ("93.184.216.34", "2606:2800:220:1::1")
+        assert back.min_answer_ttl() == 120
+
+    def test_cname_chain_roundtrip(self):
+        query = make_query("alias.example.com", msg_id=9)
+        response = make_response(
+            query,
+            answers=(
+                cname_record("alias.example.com", "real.example.com"),
+                a_record("real.example.com", "10.0.0.1"),
+            ),
+        )
+        back = roundtrip(response)
+        chain = back.resolve_cname_chain(DomainName("alias.example.com"))
+        assert [rr.address for rr in chain] == ["10.0.0.1"]
+
+    def test_soa_roundtrip(self):
+        soa = ResourceRecord(
+            DomainName("example.com"),
+            RRType.SOA,
+            SOARecordData(
+                DomainName("ns1.example.com"),
+                DomainName("hostmaster.example.com"),
+                2024010101,
+                7200,
+                900,
+                1209600,
+                300,
+            ),
+            ttl=3600,
+        )
+        message = Message(msg_id=3, flags=Flags(qr=True), authorities=(soa,))
+        assert roundtrip(message).authorities[0].rdata == soa.rdata
+
+    def test_mx_txt_srv_roundtrip(self):
+        records = (
+            ResourceRecord(
+                DomainName("example.com"), RRType.MX,
+                MXRecordData(10, DomainName("mail.example.com")), ttl=600,
+            ),
+            ResourceRecord(
+                DomainName("example.com"), RRType.TXT,
+                TXTRecordData.from_text("v=spf1 -all"), ttl=600,
+            ),
+            ResourceRecord(
+                DomainName("_sip._tcp.example.com"), RRType.SRV,
+                SRVRecordData(0, 5, 5060, DomainName("sip.example.com")), ttl=600,
+            ),
+        )
+        message = Message(msg_id=77, flags=Flags(qr=True), answers=records)
+        back = roundtrip(message)
+        assert back.answers == records
+
+    def test_ns_referral_roundtrip(self):
+        message = Message(
+            msg_id=2,
+            flags=Flags(qr=True, aa=False, ra=False),
+            questions=(Question(DomainName("www.example.com")),),
+            authorities=(ns_record("example.com", "ns1.example.com"),),
+        )
+        back = roundtrip(message)
+        assert back.authorities[0].rtype == RRType.NS
+
+    def test_flags_roundtrip(self):
+        flags = Flags(qr=True, opcode=Opcode.STATUS, aa=True, tc=True, rd=False, ra=True, rcode=Rcode.NXDOMAIN)
+        assert Flags.from_wire_bits(flags.to_wire_bits()) == flags
+
+    @given(
+        st.lists(
+            st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=15),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    @settings(max_examples=60)
+    def test_arbitrary_query_roundtrip(self, label_list, msg_id):
+        query = make_query(DomainName.from_labels(label_list), msg_id=msg_id)
+        back = roundtrip(query)
+        assert back.question.qname == DomainName.from_labels(label_list)
+        assert back.msg_id == msg_id
+
+
+class TestCompression:
+    def test_compression_shrinks_repeated_names(self):
+        query = make_query("sub.host.example.com", msg_id=5)
+        answers = tuple(
+            a_record("sub.host.example.com", f"10.0.0.{i}", ttl=60) for i in range(1, 6)
+        )
+        response = make_response(query, answers=answers)
+        wire = encode_message(response)
+        # Each repeated owner name should cost 2 bytes (a pointer), not 22.
+        uncompressed_estimate = len(answers) * DomainName("sub.host.example.com").wire_length()
+        assert len(wire) < 12 + 26 + uncompressed_estimate
+        back = decode_message(wire)
+        assert len(back.answers) == 5
+        assert all(rr.name == DomainName("sub.host.example.com") for rr in back.answers)
+
+    def test_compression_shares_suffixes(self):
+        query = make_query("a.example.com", msg_id=5)
+        response = make_response(
+            query,
+            answers=(
+                a_record("a.example.com", "10.0.0.1"),
+                a_record("b.example.com", "10.0.0.2"),
+            ),
+        )
+        wire = encode_message(response)
+        back = decode_message(wire)
+        assert back.answers[1].name == DomainName("b.example.com")
+        # "example.com" suffix should appear only once in the wire bytes.
+        assert wire.count(b"\x07example\x03com") == 1
+
+
+class TestMalformedInput:
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError):
+            decode_message(b"\x00\x01\x00")
+
+    def test_pointer_loop(self):
+        # Header claiming one question whose name is a self-pointing pointer.
+        header = bytes.fromhex("000a0000000100000000000000")[:12]
+        # Pointer at offset 12 pointing to itself.
+        body = b"\xc0\x0c" + b"\x00\x01" + b"\x00\x01"
+        with pytest.raises(WireFormatError):
+            decode_message(header + body)
+
+    def test_label_runs_past_end(self):
+        header = (0).to_bytes(2, "big") + (0).to_bytes(2, "big") + (1).to_bytes(2, "big") + b"\x00" * 6
+        body = b"\x3fonly-a-few-bytes"
+        with pytest.raises(WireFormatError):
+            decode_message(header + body)
+
+    def test_reserved_label_type(self):
+        header = b"\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+        body = b"\x80abc\x00" + b"\x00\x01\x00\x01"
+        with pytest.raises(WireFormatError):
+            decode_message(header + body)
+
+    def test_rdata_past_end(self):
+        query = make_query("x.com", msg_id=1)
+        wire = bytearray(encode_message(make_response(query, answers=(a_record("x.com", "1.2.3.4"),))))
+        truncated = bytes(wire[:-2])
+        with pytest.raises(WireFormatError):
+            decode_message(truncated)
+
+    def test_high_ttl_clamped_to_zero(self):
+        # RFC 2181 §8: TTLs with the MSB set are treated as zero.
+        query = make_query("x.com", msg_id=1)
+        wire = bytearray(encode_message(make_response(query, answers=(a_record("x.com", "1.2.3.4", ttl=60),))))
+        # TTL field of the single answer sits 6 bytes before the end
+        # (4 TTL + 2 RDLENGTH + 4 RDATA): offset len-10..len-6.
+        wire[-10:-6] = (0x80000001).to_bytes(4, "big")
+        back = decode_message(bytes(wire))
+        assert back.answers[0].ttl == 0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_message(b"\xff" * 40)
+
+
+class TestMessageHelpers:
+    def test_question_singleton_enforced(self):
+        message = Message(msg_id=1)
+        with pytest.raises(WireFormatError):
+            _ = message.question
+
+    def test_make_response_rejects_response_input(self):
+        query = make_query("x.com")
+        response = make_response(query)
+        with pytest.raises(WireFormatError):
+            make_response(response)
+
+    def test_cname_loop_detected(self):
+        message = Message(
+            msg_id=1,
+            flags=Flags(qr=True),
+            answers=(
+                cname_record("a.com", "b.com"),
+                cname_record("b.com", "a.com"),
+            ),
+        )
+        with pytest.raises(WireFormatError):
+            message.resolve_cname_chain(DomainName("a.com"))
+
+    def test_message_id_range(self):
+        with pytest.raises(WireFormatError):
+            Message(msg_id=0x10000)

@@ -1,0 +1,159 @@
+"""Tests for repro.dns.zone: zones, delegation, the authoritative tree."""
+
+import pytest
+
+from repro.dns.message import Question, Rcode, make_query
+from repro.dns.name import DomainName
+from repro.dns.rr import RRType, a_record, cname_record, ns_record
+from repro.dns.zone import AuthoritativeServer, DnsHierarchy, Zone
+from repro.errors import ZoneError
+
+
+class TestZone:
+    def test_add_and_lookup(self):
+        zone = Zone("example.com")
+        record = a_record("www.example.com", "10.0.0.1")
+        zone.add(record)
+        assert zone.lookup(DomainName("www.example.com"), RRType.A) == (record,)
+
+    def test_lookup_is_case_insensitive(self):
+        zone = Zone("example.com")
+        zone.add(a_record("WWW.Example.Com", "10.0.0.1"))
+        assert zone.lookup(DomainName("www.example.com"), RRType.A)
+
+    def test_rejects_out_of_zone_record(self):
+        zone = Zone("example.com")
+        with pytest.raises(ZoneError):
+            zone.add(a_record("www.other.com", "10.0.0.1"))
+
+    def test_dynamic_rrset_sees_requester(self):
+        zone = Zone("cdn.net")
+        seen = []
+
+        def provider(requester):
+            seen.append(requester)
+            return (a_record("edge.cdn.net", "10.9.9.9"),)
+
+        zone.add_dynamic("edge.cdn.net", RRType.A, provider)
+        records = zone.lookup(DomainName("edge.cdn.net"), RRType.A, requester="google")
+        assert records[0].address == "10.9.9.9"
+        assert seen == ["google"]
+
+    def test_delegation_found_for_subdomains(self):
+        zone = Zone("com")
+        zone.delegate("example.com", [ns_record("example.com", "ns1.example.com")])
+        found = zone.find_delegation(DomainName("deep.www.example.com"))
+        assert found is not None
+        assert found[0] == DomainName("example.com")
+
+    def test_delegation_requires_ns(self):
+        zone = Zone("com")
+        with pytest.raises(ZoneError):
+            zone.delegate("example.com", [a_record("example.com", "1.2.3.4")])
+
+    def test_delegation_must_be_proper_child(self):
+        zone = Zone("com")
+        with pytest.raises(ZoneError):
+            zone.delegate("com", [ns_record("com", "ns.com")])
+        with pytest.raises(ZoneError):
+            zone.delegate("example.org", [ns_record("example.org", "ns.example.org")])
+
+
+class TestAuthoritativeServer:
+    def _server(self):
+        zone = Zone("example.com")
+        zone.add(a_record("www.example.com", "10.0.0.1"))
+        zone.add(cname_record("alias.example.com", "www.example.com"))
+        zone.delegate("sub.example.com", [ns_record("sub.example.com", "ns1.sub.example.com")])
+        return AuthoritativeServer("ns1.example.com", [zone])
+
+    def test_answers_data(self):
+        server = self._server()
+        answer = server.query(Question(DomainName("www.example.com")))
+        assert answer.rcode == Rcode.NOERROR
+        assert answer.answers[0].address == "10.0.0.1"
+
+    def test_refuses_foreign_zone(self):
+        server = self._server()
+        answer = server.query(Question(DomainName("www.other.org")))
+        assert answer.rcode == Rcode.REFUSED
+
+    def test_referral_for_delegated_child(self):
+        server = self._server()
+        answer = server.query(Question(DomainName("host.sub.example.com")))
+        assert answer.is_referral
+        assert answer.referral.zone == DomainName("sub.example.com")
+
+    def test_nxdomain_for_unknown_name(self):
+        server = self._server()
+        answer = server.query(Question(DomainName("nothere.example.com")))
+        assert answer.rcode == Rcode.NXDOMAIN
+
+    def test_cname_chased_in_zone(self):
+        server = self._server()
+        answer = server.query(Question(DomainName("alias.example.com")))
+        types = [rr.rtype for rr in answer.answers]
+        assert RRType.CNAME in types and RRType.A in types
+
+    def test_respond_builds_message(self):
+        server = self._server()
+        response = server.respond(make_query("www.example.com", msg_id=9))
+        assert response.msg_id == 9
+        assert response.flags.aa
+        assert response.answer_addresses() == ("10.0.0.1",)
+
+
+class TestDnsHierarchy:
+    def test_add_address_builds_zones(self):
+        hierarchy = DnsHierarchy()
+        hierarchy.add_address("www.cnn.com", "151.101.1.67")
+        path = hierarchy.resolution_path(DomainName("www.cnn.com"))
+        assert len(path) == 3  # root, .com, cnn.com
+        assert path[0] is hierarchy.root_server
+
+    def test_resolution_walk_produces_answer(self):
+        hierarchy = DnsHierarchy()
+        hierarchy.add_address("www.cnn.com", "151.101.1.67")
+        question = Question(DomainName("www.cnn.com"))
+        # Walk: root refers to .com, .com refers to cnn.com, leaf answers.
+        root_answer = hierarchy.root_server.query(question)
+        assert root_answer.is_referral
+        tld_server = hierarchy.server_for_zone(DomainName("com"))
+        tld_answer = tld_server.query(question)
+        assert tld_answer.is_referral
+        leaf = hierarchy.server_for_zone(DomainName("cnn.com"))
+        leaf_answer = leaf.query(question)
+        assert leaf_answer.answers[0].address == "151.101.1.67"
+
+    def test_shared_tld_zone(self):
+        hierarchy = DnsHierarchy()
+        hierarchy.add_address("a.one.com", "10.0.0.1")
+        hierarchy.add_address("b.two.com", "10.0.0.2")
+        # Both leaves delegate from the same .com zone.
+        tld = hierarchy.server_for_zone(DomainName("com"))
+        assert tld.query(Question(DomainName("a.one.com"))).is_referral
+        assert tld.query(Question(DomainName("b.two.com"))).is_referral
+
+    def test_dynamic_address(self):
+        hierarchy = DnsHierarchy()
+        hierarchy.add_dynamic_address(
+            "img.cdn.net", lambda requester: (a_record("img.cdn.net", "10.1.1.1"),)
+        )
+        leaf = hierarchy.server_for_zone(DomainName("cdn.net"))
+        answer = leaf.query(Question(DomainName("img.cdn.net")))
+        assert answer.answers[0].address == "10.1.1.1"
+
+    def test_zone_origin_for_rejects_tld(self):
+        hierarchy = DnsHierarchy()
+        with pytest.raises(ZoneError):
+            hierarchy.zone_origin_for(DomainName("com"))
+
+    def test_server_for_unknown_zone_raises(self):
+        hierarchy = DnsHierarchy()
+        with pytest.raises(ZoneError):
+            hierarchy.server_for_zone(DomainName("nozone.example"))
+
+    def test_leaf_zone_requires_two_labels(self):
+        hierarchy = DnsHierarchy()
+        with pytest.raises(ZoneError):
+            hierarchy.ensure_leaf_zone("com")

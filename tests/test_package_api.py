@@ -1,0 +1,84 @@
+"""Tests for the top-level package API and error hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisError,
+    DnsError,
+    LogFormatError,
+    NameError_,
+    PcapError,
+    ReproError,
+    ResolutionError,
+    SimulationError,
+    WireFormatError,
+    WorkloadError,
+    ZoneError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            DnsError, NameError_, WireFormatError, ZoneError, ResolutionError,
+            PcapError, SimulationError, WorkloadError, LogFormatError, AnalysisError,
+        ):
+            assert issubclass(exc, ReproError), exc
+
+    def test_dns_sub_hierarchy(self):
+        for exc in (NameError_, WireFormatError, ZoneError, ResolutionError):
+            assert issubclass(exc, DnsError), exc
+
+    def test_catchable_as_base(self):
+        from repro.dns.name import DomainName
+
+        with pytest.raises(ReproError):
+            DomainName("a..b")
+
+
+class TestTopLevel:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_version_matches_pyproject(self):
+        import pathlib
+
+        text = pathlib.Path(__file__).parent.parent.joinpath("pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in text
+
+    def test_run_default_study(self):
+        study = repro.run_default_study(seed=3, houses=3, duration=1800.0)
+        assert len(study.trace.conns) > 20
+        assert "Local Cache" in study.classification_table()
+
+    def test_public_subpackages_import(self):
+        import repro.core
+        import repro.dns
+        import repro.monitor
+        import repro.pcap
+        import repro.report
+        import repro.simulation
+        import repro.workload
+
+        for module in (
+            repro.core, repro.dns, repro.monitor, repro.pcap,
+            repro.report, repro.simulation, repro.workload,
+        ):
+            assert module.__all__, module.__name__
+
+    def test_all_exports_resolve(self):
+        import repro.core
+        import repro.dns
+        import repro.monitor
+        import repro.pcap
+        import repro.report
+        import repro.simulation
+        import repro.workload
+
+        for module in (
+            repro.core, repro.dns, repro.monitor, repro.pcap,
+            repro.report, repro.simulation, repro.workload,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

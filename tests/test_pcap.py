@@ -1,0 +1,217 @@
+"""Tests for repro.pcap: headers, checksums, pcap container, dissection."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import make_query
+from repro.dns.wire import decode_message, encode_message
+from repro.errors import PcapError
+from repro.pcap.ethernet import ETHERTYPE_IPV4, EthernetFrame, format_mac, parse_mac
+from repro.pcap.ip import IPv4Packet, PROTO_TCP, PROTO_UDP, internet_checksum
+from repro.pcap.packet import build_tcp_packet, build_udp_packet, dissect
+from repro.pcap.pcapfile import (
+    CapturedPacket,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+from repro.pcap.tcp import TCPFlags, TCPSegment
+from repro.pcap.udp import UDPDatagram
+
+
+class TestEthernet:
+    def test_mac_roundtrip(self):
+        assert format_mac(parse_mac("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_parse_mac_rejects_garbage(self):
+        with pytest.raises(PcapError):
+            parse_mac("aa:bb:cc")
+        with pytest.raises(PcapError):
+            parse_mac("zz:bb:cc:dd:ee:ff")
+
+    def test_frame_roundtrip(self):
+        frame = EthernetFrame("02:00:00:00:00:01", "02:00:00:00:00:02", ETHERTYPE_IPV4, b"payload")
+        assert EthernetFrame.from_wire(frame.to_wire()) == frame
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(PcapError):
+            EthernetFrame.from_wire(b"\x00" * 10)
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        packet = IPv4Packet(src="10.0.0.1", dst="8.8.8.8", protocol=PROTO_UDP, payload=b"hello")
+        parsed = IPv4Packet.from_wire(packet.to_wire())
+        assert parsed.src == "10.0.0.1"
+        assert parsed.dst == "8.8.8.8"
+        assert parsed.payload == b"hello"
+
+    def test_checksum_verified(self):
+        wire = bytearray(IPv4Packet(src="10.0.0.1", dst="8.8.8.8", protocol=17, payload=b"x").to_wire())
+        wire[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(PcapError):
+            IPv4Packet.from_wire(bytes(wire))
+
+    def test_checksum_check_can_be_skipped(self):
+        wire = bytearray(IPv4Packet(src="10.0.0.1", dst="8.8.8.8", protocol=17, payload=b"x").to_wire())
+        wire[8] ^= 0xFF
+        parsed = IPv4Packet.from_wire(bytes(wire), verify_checksum=False)
+        assert parsed.ttl != 64
+
+    def test_rejects_non_ipv4(self):
+        with pytest.raises(PcapError):
+            IPv4Packet.from_wire(b"\x60" + b"\x00" * 30)
+
+    def test_internet_checksum_known_value(self):
+        # RFC 1071 example data.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        total = internet_checksum(data)
+        # Verify the defining property: the checksum of data+checksum is 0.
+        assert internet_checksum(data + struct.pack("!H", total)) == 0
+
+    def test_ttl_range(self):
+        with pytest.raises(PcapError):
+            IPv4Packet(src="1.1.1.1", dst="2.2.2.2", protocol=6, payload=b"", ttl=300)
+
+
+class TestUDP:
+    def test_roundtrip_with_checksum(self):
+        datagram = UDPDatagram(1234, 53, b"dns payload")
+        wire = datagram.to_wire("10.0.0.1", "8.8.8.8")
+        parsed = UDPDatagram.from_wire(wire, "10.0.0.1", "8.8.8.8", verify_checksum=True)
+        assert parsed == datagram
+
+    def test_corrupted_checksum_detected(self):
+        wire = bytearray(UDPDatagram(1234, 53, b"dns payload").to_wire("10.0.0.1", "8.8.8.8"))
+        wire[-1] ^= 0xFF
+        with pytest.raises(PcapError):
+            UDPDatagram.from_wire(bytes(wire), "10.0.0.1", "8.8.8.8", verify_checksum=True)
+
+    def test_port_validation(self):
+        with pytest.raises(PcapError):
+            UDPDatagram(70000, 53, b"")
+
+    def test_length_validation(self):
+        with pytest.raises(PcapError):
+            UDPDatagram.from_wire(b"\x00\x01")
+
+
+class TestTCP:
+    def test_roundtrip_with_checksum(self):
+        segment = TCPSegment(40000, 443, seq=7, ack=9, flags=TCPFlags.SYN | TCPFlags.ACK, payload=b"hi")
+        wire = segment.to_wire("10.0.0.1", "1.2.3.4")
+        parsed = TCPSegment.from_wire(wire, "10.0.0.1", "1.2.3.4", verify_checksum=True)
+        assert parsed.seq == 7 and parsed.ack == 9
+        assert parsed.is_syn and not parsed.is_fin
+        assert parsed.payload == b"hi"
+
+    def test_flag_helpers(self):
+        assert TCPSegment(1, 2, flags=TCPFlags.FIN).is_fin
+        assert TCPSegment(1, 2, flags=TCPFlags.RST).is_rst
+
+    def test_options_validation(self):
+        with pytest.raises(PcapError):
+            TCPSegment(1, 2, options=b"\x01\x02\x03")  # not multiple of 4
+        with pytest.raises(PcapError):
+            TCPSegment(1, 2, options=b"\x00" * 44)  # too long
+
+    def test_options_roundtrip(self):
+        segment = TCPSegment(1, 2, options=b"\x02\x04\x05\xb4")
+        parsed = TCPSegment.from_wire(segment.to_wire())
+        assert parsed.options == b"\x02\x04\x05\xb4"
+
+
+class TestPcapContainer:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "test.pcap")
+        packets = [
+            CapturedPacket(1.0, b"first"),
+            CapturedPacket(2.000001, b"second"),
+        ]
+        assert write_pcap(path, packets) == 2
+        header, loaded = read_pcap(path)
+        assert header.linktype == 1
+        assert [p.data for p in loaded] == [b"first", b"second"]
+        assert loaded[1].timestamp == pytest.approx(2.000001, abs=1e-6)
+
+    def test_nanosecond_resolution(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, nanosecond=True)
+        writer.write(CapturedPacket(1.000000001, b"x"))
+        buffer.seek(0)
+        reader = PcapReader(buffer)
+        assert reader.header.nanosecond_resolution
+        packet = next(iter(reader))
+        assert packet.timestamp == pytest.approx(1.000000001, abs=1e-9)
+
+    def test_big_endian_files_readable(self):
+        # Hand-craft a big-endian pcap with one packet.
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 5, 250000, 3, 3) + b"abc"
+        reader = PcapReader(io.BytesIO(header + record))
+        packet = next(iter(reader))
+        assert packet.data == b"abc"
+        assert packet.timestamp == pytest.approx(5.25)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_record_rejected(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(CapturedPacket(1.0, b"abcdef"))
+        data = buffer.getvalue()[:-3]
+        reader = PcapReader(io.BytesIO(data))
+        with pytest.raises(PcapError):
+            list(reader)
+
+    def test_snaplen_truncation(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=4)
+        writer.write(CapturedPacket(1.0, b"abcdefgh"))
+        buffer.seek(0)
+        packet = next(iter(PcapReader(buffer)))
+        assert packet.data == b"abcd"
+        assert packet.truncated
+        assert packet.original_length == 8
+
+    def test_negative_timestamp_rejected(self):
+        writer = PcapWriter(io.BytesIO())
+        with pytest.raises(PcapError):
+            writer.write(CapturedPacket(-1.0, b"x"))
+
+
+class TestDissection:
+    def test_udp_dns_packet(self):
+        payload = encode_message(make_query("example.com", msg_id=3))
+        frame = build_udp_packet("10.0.0.5", 5353, "8.8.8.8", 53, payload)
+        layers = dissect(frame)
+        assert layers.five_tuple == ("10.0.0.5", 5353, "8.8.8.8", 53, PROTO_UDP)
+        assert decode_message(layers.transport_payload).msg_id == 3
+
+    def test_tcp_packet(self):
+        frame = build_tcp_packet("10.0.0.5", 40000, "1.2.3.4", 443, TCPFlags.SYN, seq=1)
+        layers = dissect(frame)
+        assert layers.tcp is not None and layers.tcp.is_syn
+        assert layers.five_tuple == ("10.0.0.5", 40000, "1.2.3.4", 443, PROTO_TCP)
+
+    def test_non_ip_ethertype(self):
+        frame = EthernetFrame("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0806, b"arp?")
+        layers = dissect(frame.to_wire())
+        assert layers.ip is None
+        assert layers.five_tuple is None
+        assert layers.transport_payload == b""
+
+    @given(st.binary(min_size=0, max_size=400))
+    @settings(max_examples=80)
+    def test_dissect_never_hangs_on_garbage(self, data):
+        try:
+            dissect(data)
+        except PcapError:
+            pass  # rejection is fine; crashes or hangs are not

@@ -1,0 +1,163 @@
+"""Tests for repro.monitor.pcap_ingest: the mini-Zeek packet pipeline."""
+
+import pytest
+
+from repro.dns.message import make_query, make_response
+from repro.dns.rr import a_record
+from repro.dns.wire import encode_message
+from repro.monitor.pcap_ingest import PcapIngest, UDP_TIMEOUT
+from repro.monitor.records import Proto
+from repro.pcap.packet import build_tcp_packet, build_udp_packet
+from repro.pcap.pcapfile import CapturedPacket
+from repro.pcap.tcp import TCPFlags
+
+HOUSE = "10.77.0.10"
+SERVER = "93.184.216.34"
+RESOLVER = "8.8.8.8"
+
+
+def dns_exchange(ingest, ts, qname="www.example.com", address="93.184.216.34", rtt=0.01, msg_id=7):
+    query = make_query(qname, msg_id=msg_id)
+    response = make_response(query, answers=(a_record(qname, address, ttl=60),))
+    ingest.feed(CapturedPacket(ts, build_udp_packet(HOUSE, 5353, RESOLVER, 53, encode_message(query))))
+    ingest.feed(
+        CapturedPacket(ts + rtt, build_udp_packet(RESOLVER, 53, HOUSE, 5353, encode_message(response)))
+    )
+
+
+def tcp_conn(ingest, start, end, sport=40000, dport=443, payload=b"x" * 100, server=SERVER):
+    ingest.feed(CapturedPacket(start, build_tcp_packet(HOUSE, sport, server, dport, TCPFlags.SYN, seq=1)))
+    ingest.feed(
+        CapturedPacket(
+            start + 0.05,
+            build_tcp_packet(server, dport, HOUSE, sport, TCPFlags.SYN | TCPFlags.ACK, seq=9, ack=2),
+        )
+    )
+    ingest.feed(
+        CapturedPacket(
+            start + 0.1,
+            build_tcp_packet(HOUSE, sport, server, dport, TCPFlags.ACK | TCPFlags.PSH, seq=2, ack=10, payload=payload),
+        )
+    )
+    ingest.feed(CapturedPacket(end, build_tcp_packet(HOUSE, sport, server, dport, TCPFlags.FIN | TCPFlags.ACK, seq=200)))
+
+
+class TestDnsExtraction:
+    def test_query_response_pairing(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        dns_exchange(ingest, ts=100.0, rtt=0.015)
+        trace = ingest.finish()
+        assert len(trace.dns) == 1
+        record = trace.dns[0]
+        assert record.ts == pytest.approx(100.0)
+        assert record.rtt == pytest.approx(0.015)
+        assert record.query == "www.example.com"
+        assert record.addresses() == ("93.184.216.34",)
+        assert record.orig_h == HOUSE and record.resp_h == RESOLVER
+
+    def test_unmatched_response_still_logged(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        response = make_response(
+            make_query("x.com", msg_id=1), answers=(a_record("x.com", "1.2.3.4"),)
+        )
+        ingest.feed(
+            CapturedPacket(5.0, build_udp_packet(RESOLVER, 53, HOUSE, 5353, encode_message(response)))
+        )
+        trace = ingest.finish()
+        assert len(trace.dns) == 1
+        assert trace.dns[0].rtt == 0.0
+
+    def test_dns_not_counted_as_connection(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        dns_exchange(ingest, ts=1.0)
+        trace = ingest.finish()
+        assert trace.conns == []
+
+    def test_malformed_dns_ignored(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        ingest.feed(CapturedPacket(1.0, build_udp_packet(HOUSE, 5353, RESOLVER, 53, b"\x00\x01")))
+        assert ingest.finish().dns == []
+
+
+class TestTcpTracking:
+    def test_syn_fin_delineation(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        tcp_conn(ingest, start=10.0, end=14.0)
+        trace = ingest.finish()
+        assert len(trace.conns) == 1
+        conn = trace.conns[0]
+        assert conn.proto == Proto.TCP
+        assert conn.ts == pytest.approx(10.0)
+        assert conn.duration == pytest.approx(4.0)
+        assert conn.orig_bytes == 100
+        assert conn.orig_h == HOUSE  # local endpoint is the originator
+        assert conn.service == "ssl"
+
+    def test_rst_closes_connection(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        ingest.feed(CapturedPacket(1.0, build_tcp_packet(HOUSE, 40000, SERVER, 443, TCPFlags.SYN)))
+        ingest.feed(CapturedPacket(2.0, build_tcp_packet(SERVER, 443, HOUSE, 40000, TCPFlags.RST)))
+        trace = ingest.finish()
+        assert trace.conns[0].conn_state == "RSTO"
+
+    def test_midstream_packets_ignored_without_syn(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        ingest.feed(
+            CapturedPacket(1.0, build_tcp_packet(HOUSE, 40000, SERVER, 443, TCPFlags.ACK, payload=b"data"))
+        )
+        assert ingest.finish().conns == []
+
+    def test_open_connection_flushed_at_finish(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        ingest.feed(CapturedPacket(1.0, build_tcp_packet(HOUSE, 40000, SERVER, 443, TCPFlags.SYN)))
+        trace = ingest.finish()
+        assert len(trace.conns) == 1
+
+    def test_response_direction_bytes(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        ingest.feed(CapturedPacket(1.0, build_tcp_packet(HOUSE, 40000, SERVER, 443, TCPFlags.SYN)))
+        ingest.feed(
+            CapturedPacket(1.1, build_tcp_packet(SERVER, 443, HOUSE, 40000, TCPFlags.ACK, payload=b"y" * 300))
+        )
+        ingest.feed(CapturedPacket(2.0, build_tcp_packet(HOUSE, 40000, SERVER, 443, TCPFlags.FIN)))
+        conn = ingest.finish().conns[0]
+        assert conn.resp_bytes == 300
+        assert conn.orig_bytes == 0
+
+
+class TestUdpTracking:
+    def test_udp_flow_with_timeout(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        ingest.feed(CapturedPacket(1.0, build_udp_packet(HOUSE, 50000, SERVER, 50001, b"a" * 10)))
+        ingest.feed(CapturedPacket(2.0, build_udp_packet(SERVER, 50001, HOUSE, 50000, b"b" * 20)))
+        # Past the 60s timeout a new "connection" begins (§3 of the paper).
+        ingest.feed(CapturedPacket(2.0 + UDP_TIMEOUT + 1, build_udp_packet(HOUSE, 50000, SERVER, 50001, b"c" * 5)))
+        trace = ingest.finish()
+        assert len(trace.conns) == 2
+        first = trace.conns[0]
+        assert first.duration == pytest.approx(1.0)
+        assert first.orig_bytes == 10 and first.resp_bytes == 20
+
+    def test_udp_flow_within_timeout_is_one_conn(self):
+        ingest = PcapIngest(local_networks=("10.77.",))
+        for i in range(5):
+            ingest.feed(CapturedPacket(1.0 + i * 10, build_udp_packet(HOUSE, 50000, SERVER, 50001, b"x")))
+        assert len(ingest.finish().conns) == 1
+
+
+class TestEndToEnd:
+    def test_full_pipeline_pairs_with_analysis(self):
+        """A pcap-built trace flows through pairing and classification."""
+        from repro.core.context import ContextStudy
+
+        ingest = PcapIngest(local_networks=("10.77.",))
+        dns_exchange(ingest, ts=100.0, rtt=0.004, msg_id=11)
+        tcp_conn(ingest, start=100.02, end=105.0)  # blocked on the lookup
+        tcp_conn(ingest, start=400.0, end=401.0, sport=41000, server="203.0.113.9")  # no candidate: N
+        study = ContextStudy(ingest.finish(houses=1))
+        classes = {item.conn_class.value for item in study.classified}
+        assert len(study.classified) == 2
+        assert "N" in classes  # the pairless connection
+        paired = [item for item in study.classified if item.dns is not None]
+        assert len(paired) == 1
+        assert paired[0].gap == pytest.approx(100.02 - 100.004, abs=1e-6)

@@ -1,0 +1,203 @@
+"""Property-based tests: wire-codec roundtrips over arbitrary messages,
+and model-based testing of the DNS cache against a reference model."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.dns.cache import DnsCache, cache_key
+from repro.dns.message import Flags, Message, Opcode, Question, Rcode
+from repro.dns.name import DomainName
+from repro.dns.rr import (
+    MXRecordData,
+    NameRecordData,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    SRVRecordData,
+    TXTRecordData,
+    a_record,
+    aaaa_record,
+)
+from repro.dns.wire import decode_message, encode_message
+
+LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-"
+
+labels = st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=12)
+names = st.lists(labels, min_size=1, max_size=4).map(DomainName.from_labels)
+ttls = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def address_records(draw):
+    name = draw(names)
+    ttl = draw(ttls)
+    if draw(st.booleans()):
+        octets = draw(st.tuples(*[st.integers(0, 255)] * 4))
+        return a_record(name, ".".join(map(str, octets)), ttl)
+    pieces = draw(st.tuples(*[st.integers(0, 0xFFFF)] * 8))
+    return aaaa_record(name, ":".join(f"{p:x}" for p in pieces), ttl)
+
+
+@st.composite
+def name_records(draw):
+    rtype = draw(st.sampled_from([RRType.CNAME, RRType.NS, RRType.PTR]))
+    return ResourceRecord(draw(names), rtype, NameRecordData(draw(names)), draw(ttls))
+
+
+@st.composite
+def mx_records(draw):
+    return ResourceRecord(
+        draw(names),
+        RRType.MX,
+        MXRecordData(draw(st.integers(0, 0xFFFF)), draw(names)),
+        draw(ttls),
+    )
+
+
+@st.composite
+def txt_records(draw):
+    strings = draw(st.lists(st.binary(min_size=0, max_size=60), min_size=1, max_size=3))
+    return ResourceRecord(draw(names), RRType.TXT, TXTRecordData(tuple(strings)), draw(ttls))
+
+
+@st.composite
+def srv_records(draw):
+    return ResourceRecord(
+        draw(names),
+        RRType.SRV,
+        SRVRecordData(
+            draw(st.integers(0, 0xFFFF)),
+            draw(st.integers(0, 0xFFFF)),
+            draw(st.integers(0, 0xFFFF)),
+            draw(names),
+        ),
+        draw(ttls),
+    )
+
+
+records = st.one_of(address_records(), name_records(), mx_records(), txt_records(), srv_records())
+
+
+@st.composite
+def messages(draw):
+    flags = Flags(
+        qr=draw(st.booleans()),
+        opcode=draw(st.sampled_from(list(Opcode))),
+        aa=draw(st.booleans()),
+        tc=draw(st.booleans()),
+        rd=draw(st.booleans()),
+        ra=draw(st.booleans()),
+        rcode=draw(st.sampled_from(list(Rcode))),
+    )
+    questions = tuple(
+        Question(draw(names), draw(st.sampled_from([RRType.A, RRType.AAAA, RRType.ANY])))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return Message(
+        msg_id=draw(st.integers(0, 0xFFFF)),
+        flags=flags,
+        questions=questions,
+        answers=tuple(draw(st.lists(records, max_size=4))),
+        authorities=tuple(draw(st.lists(records, max_size=2))),
+        additionals=tuple(draw(st.lists(records, max_size=2))),
+    )
+
+
+@given(messages())
+@settings(max_examples=120)
+def test_wire_roundtrip_arbitrary_messages(message):
+    """encode -> decode is the identity (names fold case on compare)."""
+    back = decode_message(encode_message(message))
+    assert back.msg_id == message.msg_id
+    assert back.flags == message.flags
+    assert back.questions == message.questions
+    assert back.answers == message.answers
+    assert back.authorities == message.authorities
+    assert back.additionals == message.additionals
+
+
+@given(messages())
+@settings(max_examples=60)
+def test_wire_encoding_is_deterministic(message):
+    assert encode_message(message) == encode_message(message)
+
+
+@given(messages())
+@settings(max_examples=60)
+def test_compressed_never_longer_than_naive(message):
+    """Compression only ever helps: each name costs at most its full form."""
+    wire = encode_message(message)
+    naive = 12
+    for question in message.questions:
+        naive += question.qname.wire_length() + 4
+    for section in (message.answers, message.authorities, message.additionals):
+        for rr in section:
+            # owner + fixed header + generous uncompressed-RDATA bound
+            naive += rr.name.wire_length() + 10
+            naive += 512
+    assert len(wire) <= naive
+
+
+class CacheModel(RuleBasedStateMachine):
+    """Model-based test: DnsCache against a plain-dict reference.
+
+    The reference ignores capacity (the real cache uses capacity 8), so
+    invariants compare only where the reference and cache agree an entry
+    should exist; expiry semantics must match exactly.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.cache = DnsCache(capacity=8, overstay=5.0)
+        self.reference: dict = {}
+        self.clock = 0.0
+
+    keys = st.integers(min_value=0, max_value=5)
+
+    @rule(which=keys, ttl=st.integers(min_value=1, max_value=100), advance=st.floats(min_value=0, max_value=50))
+    def put(self, which, ttl, advance):
+        self.clock += advance
+        key = cache_key(f"name{which}.example.com")
+        rrset = (a_record(f"name{which}.example.com", "10.0.0.1", ttl),)
+        self.cache.put(key, rrset, self.clock)
+        self.reference[key] = (self.clock, float(ttl))
+
+    @rule(which=keys, advance=st.floats(min_value=0, max_value=50))
+    def get(self, which, advance):
+        self.clock += advance
+        key = cache_key(f"name{which}.example.com")
+        lookup = self.cache.get(key, self.clock)
+        model = self.reference.get(key)
+        if model is None:
+            assert not lookup.hit
+            return
+        stored_at, ttl = model
+        expires = stored_at + ttl
+        if self.clock < expires:
+            # Within TTL: a hit unless capacity evicted it.
+            if lookup.hit:
+                assert not lookup.expired
+        elif self.clock < expires + 5.0:
+            # Within the overstay window: if served, it must be flagged.
+            if lookup.hit:
+                assert lookup.expired
+        else:
+            assert not lookup.hit
+            self.reference.pop(key, None)
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.cache) <= 8
+
+    @invariant()
+    def stats_consistent(self):
+        stats = self.cache.stats
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.expired_hits <= stats.hits
+
+
+TestCacheModel = CacheModel.TestCase
+TestCacheModel.settings = settings(max_examples=40, stateful_step_count=30)

@@ -1,0 +1,82 @@
+"""Tests for repro.report: table and figure rendering."""
+
+import pytest
+
+from repro.core.classify import ClassBreakdown, ConnClass
+from repro.core.improvements import CacheSimulationResult, RefreshComparison
+from repro.core.resolvers import ResolverUsageRow
+from repro.core.stats import Cdf
+from repro.report.figures import ascii_cdf, cdf_series, series_to_csv
+from repro.report.tables import render_table, render_table1, render_table2, render_table3
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(("A", "Blah"), [("x", "1"), ("yyyy", "22")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert all(len(line) <= max(len(l) for l in lines) for line in lines)
+
+    def test_render_table_arity_check(self):
+        with pytest.raises(ValueError):
+            render_table(("A", "B"), [("only-one",)])
+
+    def test_table1(self):
+        rows = [ResolverUsageRow("local", 0.924, 0.728, 0.74, 0.708)]
+        text = render_table1(rows)
+        assert "92.4" in text and "72.8" in text
+
+    def test_table2(self):
+        breakdown = ClassBreakdown({ConnClass.NO_DNS: 10, ConnClass.LOCAL_CACHE: 90})
+        text = render_table2(breakdown)
+        assert "No DNS" in text
+        assert "10.0" in text  # N share
+        assert "90.0" in text
+
+    def test_table3(self):
+        comparison = RefreshComparison(
+            standard=CacheSimulationResult("standard", 1000, 400, 0.2, 0.6),
+            refresh_all=CacheSimulationResult("refresh-all", 1000, 40000, 25.0, 0.97),
+        )
+        text = render_table3(comparison)
+        assert "Refresh All" in text
+        assert "97.0%" in text
+        assert comparison.lookup_blowup == pytest.approx(100.0)
+
+
+class TestFigures:
+    def test_cdf_series(self):
+        cdf = Cdf.from_values([1.0, 2.0, 3.0])
+        series = cdf_series(cdf, points=10)
+        # Step CDF semantics: P[X <= min] = 1/3 for three samples.
+        assert series[0] == (1.0, pytest.approx(1 / 3))
+        assert series[-1][1] == 1.0
+
+    def test_series_to_csv(self):
+        csv = series_to_csv([(1.0, 0.5), (2.0, 1.0)], x_label="delay")
+        lines = csv.splitlines()
+        assert lines[0] == "delay,cdf"
+        assert len(lines) == 3
+
+    def test_ascii_cdf_renders(self):
+        cdf = Cdf.from_values([0.001 * i for i in range(1, 200)])
+        plot = ascii_cdf({"delays": cdf.series(50)}, title="test plot")
+        assert "test plot" in plot
+        assert "*=delays" in plot
+        assert "1.0 +" in plot and "0.0 +" in plot
+
+    def test_ascii_cdf_multiple_series(self):
+        a = Cdf.from_values([1.0, 2.0, 3.0, 4.0])
+        b = Cdf.from_values([10.0, 20.0, 30.0])
+        plot = ascii_cdf({"a": a.series(20), "b": b.series(20)})
+        assert "*=a" in plot and "o=b" in plot
+
+    def test_ascii_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_ascii_cdf_linear_axis(self):
+        cdf = Cdf.from_values([-5.0, 0.0, 5.0])
+        plot = ascii_cdf({"x": cdf.series(10)}, log_x=False)
+        assert "x:" in plot

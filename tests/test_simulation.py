@@ -1,0 +1,211 @@
+"""Tests for repro.simulation: engine determinism, latency, RNG streams."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.latency import (
+    LatencyModel,
+    authoritative_latency,
+    lan_latency,
+    metro_latency,
+)
+from repro.simulation.random import (
+    RandomStreams,
+    derive_seed,
+    poisson_arrivals,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(9.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for label in "abc":
+            engine.schedule(1.0, lambda label=label: fired.append(label))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(3.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.5]
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule(1.0, lambda: fired.append("second"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == ["first", "second"]
+        assert engine.now == 2.0
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i), lambda: None)
+        processed = engine.run(max_events=4)
+        assert processed == 4
+        assert engine.pending() == 6
+
+    def test_reentrant_run_rejected(self):
+        engine = SimulationEngine()
+
+        def evil():
+            engine.run()
+
+        engine.schedule(1.0, evil)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_step_on_empty_returns_false(self):
+        assert not SimulationEngine().step()
+
+
+class TestLatency:
+    def test_sample_at_least_base(self):
+        model = LatencyModel(base_rtt=0.01, jitter_median=0.001)
+        rng = random.Random(1)
+        for _ in range(200):
+            assert model.sample(rng) >= 0.01
+
+    def test_loss_adds_penalty(self):
+        model = LatencyModel(base_rtt=0.01, jitter_median=0.0, loss_probability=0.5, retransmit_penalty=1.0)
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert any(sample > 1.0 for sample in samples)
+        assert any(sample < 0.1 for sample in samples)
+
+    def test_scaled(self):
+        model = metro_latency().scaled(2.0)
+        assert model.base_rtt == pytest.approx(2 * metro_latency().base_rtt)
+
+    def test_scaled_requires_positive(self):
+        with pytest.raises(SimulationError):
+            metro_latency().scaled(0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            LatencyModel(base_rtt=-1.0)
+        with pytest.raises(SimulationError):
+            LatencyModel(base_rtt=0.01, loss_probability=1.5)
+
+    def test_presets_ordering(self):
+        assert lan_latency().base_rtt < metro_latency().base_rtt < authoritative_latency().base_rtt
+
+
+class TestRandomStreams:
+    def test_streams_are_deterministic(self):
+        a = RandomStreams(7).stream("x").random()
+        b = RandomStreams(7).stream("x").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x").random() != streams.stream("y").random()
+
+    def test_stream_identity_cached(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_namespaces(self):
+        parent = RandomStreams(7)
+        child_a = parent.spawn("houses")
+        child_b = parent.spawn("resolvers")
+        assert child_a.stream("s").random() != child_b.stream("s").random()
+
+    def test_derive_seed_stability(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestDistributions:
+    def test_poisson_arrival_rate(self):
+        rng = random.Random(3)
+        arrivals = list(poisson_arrivals(rng, rate_per_second=0.1, start=0.0, end=10000.0))
+        assert 800 < len(arrivals) < 1200
+        assert all(0.0 <= t < 10000.0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_poisson_zero_rate(self):
+        assert list(poisson_arrivals(random.Random(1), 0.0, 0.0, 100.0)) == []
+
+    def test_poisson_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            list(poisson_arrivals(random.Random(1), -1.0, 0.0, 100.0))
+
+    def test_weighted_choice_proportions(self):
+        rng = random.Random(4)
+        picks = [weighted_choice(rng, {"a": 3.0, "b": 1.0}) for _ in range(4000)]
+        share = picks.count("a") / len(picks)
+        assert 0.70 < share < 0.80
+
+    def test_weighted_choice_validation(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(1), {})
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(1), {"a": 0.0})
+
+    def test_zipf_weights_decreasing(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.5)
+
+    @given(st.integers(min_value=1, max_value=50), st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=30)
+    def test_zipf_weights_positive(self, count, exponent):
+        assert all(w > 0 for w in zipf_weights(count, exponent))

@@ -1,0 +1,240 @@
+"""Tests for repro.workload: universe, households, devices, generation."""
+
+import random
+
+import pytest
+
+from repro.monitor.records import Proto, TruthClass
+from repro.workload.apps import BrowsingConfig, diurnal_factor, _geometric
+from repro.workload.devices import Device
+from repro.workload.generate import TrafficGenerator, generate_trace
+from repro.workload.households import HouseholdMixConfig, house_address
+from repro.workload.namespace import (
+    CONNECTIVITY_CHECK_HOST,
+    IpAllocator,
+    NameUniverse,
+)
+from repro.workload.scenario import ScenarioConfig, smoke_scenario
+from repro.errors import WorkloadError
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return NameUniverse(random.Random(11), site_count=30, cdn_host_count=6, ads_host_count=4)
+
+
+@pytest.fixture(scope="module")
+def smoke_trace():
+    return generate_trace(smoke_scenario(seed=5))
+
+
+class TestIpAllocator:
+    def test_same_org_shares_block(self):
+        allocator = IpAllocator()
+        a = allocator.allocate("org1")
+        b = allocator.allocate("org1")
+        assert a.rsplit(".", 1)[0] == b.rsplit(".", 1)[0]
+        assert a != b
+
+    def test_different_orgs_different_blocks(self):
+        allocator = IpAllocator()
+        a = allocator.allocate("org1")
+        b = allocator.allocate("org2")
+        assert a.rsplit(".", 1)[0] != b.rsplit(".", 1)[0]
+
+    def test_block_overflow_allocates_new_block(self):
+        allocator = IpAllocator()
+        addresses = {allocator.allocate("big") for _ in range(300)}
+        assert len(addresses) == 300
+
+
+class TestNameUniverse:
+    def test_all_sites_resolvable(self, universe):
+        from repro.dns.message import Question
+        from repro.dns.name import DomainName
+        from repro.dns.rr import RRType
+
+        for site in universe.sites[:10]:
+            name = DomainName(site.primary.hostname)
+            origin = universe.hierarchy.zone_origin_for(name)
+            server = universe.hierarchy.server_for_zone(origin)
+            answer = server.query(Question(name, RRType.A), requester="local")
+            assert answer.answers, f"{site.primary.hostname} has no A records"
+
+    def test_cdn_answers_vary_by_platform(self, universe):
+        cdn_host = universe.cdn_hosts[0]
+        org = cdn_host.cdn_org
+        local_edge = universe.cdn_edge(org, "local")
+        cloudflare_edge = universe.cdn_edge(org, "cloudflare")
+        assert set(local_edge.addresses).isdisjoint(cloudflare_edge.addresses)
+
+    def test_cloudflare_edge_is_slower_in_expectation(self, universe):
+        org = universe.cdn_hosts[0].cdn_org
+        assert (
+            universe.cdn_edge(org, "cloudflare").throughput_factor
+            < universe.cdn_edge(org, "local").throughput_factor
+        )
+
+    def test_edge_addresses_stable_per_hostname(self, universe):
+        org = universe.cdn_hosts[0].cdn_org
+        edge = universe.cdn_edge(org, "local")
+        assert edge.addresses_for("a.example.com") == edge.addresses_for("a.example.com")
+
+    def test_connectivity_check_host_registered(self, universe):
+        host = universe.host(CONNECTIVITY_CHECK_HOST)
+        assert host.category == "connectivity"
+
+    def test_unknown_host_rejected(self, universe):
+        with pytest.raises(WorkloadError):
+            universe.host("nope.example.com")
+
+    def test_zipf_sampling_prefers_popular(self, universe):
+        rng = random.Random(3)
+        counts = {}
+        for _ in range(2000):
+            site = universe.pick_site(rng)
+            counts[site.primary.hostname] = counts.get(site.primary.hostname, 0) + 1
+        top = universe.sites[0].primary.hostname
+        bottom = universe.sites[-1].primary.hostname
+        assert counts.get(top, 0) > counts.get(bottom, 0)
+
+    def test_link_targets_exclude_self(self, universe):
+        rng = random.Random(4)
+        exclude = universe.sites[0].primary.hostname
+        for _ in range(20):
+            targets = universe.pick_link_targets(rng, 4, exclude=exclude)
+            assert all(t.primary.hostname != exclude for t in targets)
+            assert len({t.primary.hostname for t in targets}) == len(targets)
+
+    def test_minimum_site_count(self):
+        with pytest.raises(WorkloadError):
+            NameUniverse(random.Random(1), site_count=1)
+
+
+class TestHouseholds:
+    def test_house_address_stable(self):
+        assert house_address(0) == "10.77.0.10"
+        assert house_address(200) == "10.77.1.10"
+
+    def test_house_address_bounds(self):
+        with pytest.raises(WorkloadError):
+            house_address(-1)
+
+    def test_quota_kind_assignment(self):
+        generator = TrafficGenerator(smoke_scenario(seed=9).scaled(houses=30))
+        kinds = [house.kind for house in generator.houses]
+        assert kinds.count("forwarder") in (4, 5, 6)
+        assert kinds.count("cloudflare") >= 1
+        assert kinds.count("opendns") in (6, 7, 8)
+
+    def test_forwarder_houses_use_only_local(self):
+        generator = TrafficGenerator(smoke_scenario(seed=9).scaled(houses=30))
+        for house in generator.houses:
+            if house.kind == "forwarder":
+                assert house.resolver_platforms == {"local"}
+
+    def test_googledns_houses_skip_local(self):
+        generator = TrafficGenerator(smoke_scenario(seed=9).scaled(houses=30))
+        google_only = [h for h in generator.houses if h.kind == "googledns"]
+        for house in google_only:
+            assert "local" not in house.resolver_platforms
+
+    def test_every_house_has_devices(self):
+        generator = TrafficGenerator(smoke_scenario(seed=9))
+        for house in generator.houses:
+            assert house.devices
+            assert any(d.kind == "laptop" for d in house.devices)
+
+    def test_nat_ports_in_range(self):
+        generator = TrafficGenerator(smoke_scenario(seed=9))
+        house = generator.houses[0]
+        for _ in range(100):
+            assert 32768 <= house.nat_port() <= 60999
+
+    def test_mix_validation(self):
+        with pytest.raises(WorkloadError):
+            HouseholdMixConfig(forwarder_fraction=1.5)
+
+
+class TestApps:
+    def test_diurnal_factor_bounds(self):
+        for hour in range(24):
+            value = diurnal_factor(hour * 3600.0)
+            assert 0.3 <= value <= 1.01
+
+    def test_diurnal_evening_busier_than_night(self):
+        assert diurnal_factor(20 * 3600.0) > diurnal_factor(4 * 3600.0)
+
+    def test_geometric_mean(self):
+        rng = random.Random(8)
+        samples = [_geometric(rng, 4.0) for _ in range(4000)]
+        assert 3.5 < sum(samples) / len(samples) < 4.5
+
+    def test_geometric_zero_mean(self):
+        assert _geometric(random.Random(1), 0.0) == 0
+
+
+class TestGeneration:
+    def test_trace_nonempty(self, smoke_trace):
+        assert len(smoke_trace.dns) > 100
+        assert len(smoke_trace.conns) > 500
+        assert smoke_trace.houses == 6
+
+    def test_determinism(self):
+        config = smoke_scenario(seed=6).scaled(houses=3, duration=1800.0)
+        a = generate_trace(config)
+        b = generate_trace(config)
+        assert len(a.dns) == len(b.dns)
+        assert len(a.conns) == len(b.conns)
+        assert [c.ts for c in a.conns[:50]] == [c.ts for c in b.conns[:50]]
+        assert [d.query for d in a.dns[:50]] == [d.query for d in b.dns[:50]]
+
+    def test_seed_changes_trace(self):
+        base = smoke_scenario(seed=6).scaled(houses=3, duration=1800.0)
+        other = smoke_scenario(seed=7).scaled(houses=3, duration=1800.0)
+        a = generate_trace(base)
+        b = generate_trace(other)
+        assert [c.ts for c in a.conns[:50]] != [c.ts for c in b.conns[:50]]
+
+    def test_all_conns_have_truth(self, smoke_trace):
+        assert set(smoke_trace.truth) == {c.uid for c in smoke_trace.conns}
+
+    def test_truth_classes_all_present(self, smoke_trace):
+        classes = {t.truth_class for t in smoke_trace.truth.values()}
+        assert TruthClass.NO_DNS in classes
+        assert TruthClass.LOCAL_CACHE in classes
+        assert TruthClass.SHARED_CACHE in classes
+
+    def test_house_granularity(self, smoke_trace):
+        assert all(c.orig_h.startswith("10.77.") for c in smoke_trace.conns)
+        assert len(smoke_trace.house_addresses()) <= 6
+
+    def test_protocol_mix(self, smoke_trace):
+        udp = sum(1 for c in smoke_trace.conns if c.proto == Proto.UDP)
+        assert 0 < udp < len(smoke_trace.conns) / 2
+
+    def test_timestamps_within_horizon(self, smoke_trace):
+        horizon = smoke_trace.duration
+        assert all(0 <= c.ts for c in smoke_trace.conns)
+        # Connections may start slightly after the end of scheduling,
+        # but not absurdly so (clicks are bounded by the horizon).
+        assert max(c.ts for c in smoke_trace.conns) < horizon + 3600.0
+
+    def test_warmup_clipping(self):
+        config = ScenarioConfig(
+            seed=6, houses=3, duration=1800.0, warmup=900.0,
+            universe=smoke_scenario().universe,
+        )
+        trace = generate_trace(config)
+        assert all(c.ts >= 0 for c in trace.conns)
+        # DNS lookups from the warmup window are kept (negative ts).
+        assert any(d.ts < 0 for d in trace.dns)
+        assert set(trace.truth) == {c.uid for c in trace.conns}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ScenarioConfig(houses=0)
+        with pytest.raises(WorkloadError):
+            ScenarioConfig(duration=-1.0)
+        with pytest.raises(WorkloadError):
+            ScenarioConfig(warmup=-1.0)

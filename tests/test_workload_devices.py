@@ -1,0 +1,193 @@
+"""Unit tests for repro.workload.devices: the Device primitives."""
+
+import random
+
+import pytest
+
+from repro.dns.cache import DnsCache
+from repro.dns.resolver import RecursiveResolver, ResolverProfile, StubResolver
+from repro.dns.zone import DnsHierarchy
+from repro.monitor.capture import MonitorCapture
+from repro.monitor.records import Proto, TruthClass
+from repro.simulation.latency import LatencyModel
+from repro.workload.devices import Device
+from repro.workload.households import House
+from repro.workload.namespace import NameUniverse
+
+
+def quiet(base):
+    return LatencyModel(base_rtt=base, jitter_median=0.0001, jitter_sigma=0.1)
+
+
+@pytest.fixture()
+def setup():
+    """A universe, one house, one device with a local-only stub."""
+    universe = NameUniverse(random.Random(5), site_count=12, cdn_host_count=4, ads_host_count=3)
+    profile = ResolverProfile(
+        platform="local",
+        address="192.168.200.10",
+        client_latency=quiet(0.002),
+        auth_latency=quiet(0.02),
+    )
+    resolver = RecursiveResolver(profile, universe.hierarchy, rng=random.Random(6))
+    capture = MonitorCapture()
+    house = House(0, "10.77.0.10", capture, universe, random.Random(7))
+    stub = StubResolver([(resolver, 1.0)], cache=DnsCache(), rng=random.Random(8))
+    device = Device("d0", house, stub, random.Random(9), kind="laptop")
+    house.devices.append(device)
+    return universe, house, device, capture
+
+
+class TestResolve:
+    def test_first_resolve_is_wire_visible(self, setup):
+        universe, house, device, capture = setup
+        hostname = universe.sites[0].primary.hostname
+        resolution = device.resolve(hostname, now=10.0)
+        assert resolution.wire_visible
+        assert resolution.truth_class in (TruthClass.SHARED_CACHE, TruthClass.RESOLUTION)
+        assert resolution.dns_uid is not None
+        assert len(capture.trace.dns) == 1
+        record = capture.trace.dns[0]
+        assert record.orig_h == house.ip
+        assert record.query == hostname
+        assert record.rtt > 0
+
+    def test_repeat_resolve_is_local_cache(self, setup):
+        universe, house, device, capture = setup
+        hostname = universe.sites[0].primary.hostname
+        first = device.resolve(hostname, now=10.0)
+        device.open_connections(universe.sites[0].primary, first, count=1)
+        again = device.resolve(hostname, now=20.0)
+        assert not again.wire_visible
+        assert again.truth_class == TruthClass.LOCAL_CACHE
+        assert len(capture.trace.dns) == 1
+
+    def test_unused_then_resolved_is_prefetched_truth(self, setup):
+        universe, house, device, capture = setup
+        hostname = universe.sites[1].primary.hostname
+        device.prefetch(hostname, now=10.0)  # wire lookup, never used
+        later = device.resolve(hostname, now=30.0)
+        assert later.truth_class == TruthClass.PREFETCHED
+
+    def test_prefetch_skips_cached_names(self, setup):
+        universe, house, device, capture = setup
+        hostname = universe.sites[0].primary.hostname
+        device.resolve(hostname, now=10.0)
+        assert device.prefetch(hostname, now=20.0) is None
+        assert len(capture.trace.dns) == 1
+
+    def test_prefetch_requeries_expired_names(self, setup):
+        universe, house, device, capture = setup
+        hostname = universe.sites[0].primary.hostname
+        device.resolve(hostname, now=10.0)
+        ttl = universe.sites[0].primary.ttl
+        result = device.prefetch(hostname, now=10.0 + ttl + 10)
+        assert result is not None
+        assert len(capture.trace.dns) == 2
+
+
+class TestConnections:
+    def test_blocked_batch_shares_truth(self, setup):
+        universe, house, device, capture = setup
+        site = universe.sites[0]
+        resolution = device.resolve(site.primary.hostname, now=10.0)
+        device.open_connections(site.primary, resolution, count=3, parallel=True)
+        conns = capture.trace.conns
+        assert len(conns) == 3
+        truths = {capture.trace.truth[c.uid].truth_class for c in conns}
+        assert truths == {resolution.truth_class}
+        # All start within the blocking window of the lookup completion.
+        for c in conns:
+            assert 0 < c.ts - resolution.completed_at < 0.1
+
+    def test_cache_hit_siblings_are_lc(self, setup):
+        universe, house, device, capture = setup
+        site = universe.sites[0]
+        first = device.resolve(site.primary.hostname, now=10.0)
+        device.open_connections(site.primary, first, count=1)
+        cached = device.resolve(site.primary.hostname, now=20.0)
+        device.open_connections(site.primary, cached, count=2, parallel=True)
+        newest = capture.trace.conns[-1]
+        assert capture.trace.truth[newest.uid].truth_class == TruthClass.LOCAL_CACHE
+
+    def test_followup_connections_are_lc_and_later(self, setup):
+        universe, house, device, capture = setup
+        site = universe.sites[0]
+        resolution = device.resolve(site.primary.hostname, now=10.0)
+        device.followup_connections(site.primary, resolution, count=2, delay_min=1.0, delay_max=5.0)
+        assert len(capture.trace.conns) == 2
+        for c in capture.trace.conns:
+            assert capture.trace.truth[c.uid].truth_class == TruthClass.LOCAL_CACHE
+            assert c.ts - resolution.completed_at >= 1.0
+
+    def test_failed_resolution_opens_nothing(self, setup):
+        universe, house, device, capture = setup
+        from repro.workload.devices import Resolution
+
+        failed = Resolution(
+            hostname="x", addresses=(), completed_at=1.0,
+            truth_class=TruthClass.RESOLUTION, dns_uid=None,
+            used_expired_record=False, resolver_platform=None, wire_visible=True,
+        )
+        device.open_connections(universe.sites[0].primary, failed, count=2)
+        assert capture.trace.conns == []
+
+    def test_quic_fraction_zero_means_all_tcp(self, setup):
+        universe, house, device, capture = setup
+        device.quic_fraction = 0.0
+        site = universe.sites[0]
+        resolution = device.resolve(site.primary.hostname, now=10.0)
+        device.open_connections(site.primary, resolution, count=5)
+        assert all(c.proto == Proto.TCP for c in capture.trace.conns)
+
+    def test_quic_fraction_one_means_all_udp(self, setup):
+        universe, house, device, capture = setup
+        device.quic_fraction = 1.0
+        site = universe.sites[0]
+        resolution = device.resolve(site.primary.hostname, now=10.0)
+        device.open_connections(site.primary, resolution, count=5, port=443)
+        assert all(c.proto == Proto.UDP for c in capture.trace.conns)
+
+    def test_hardcoded_connection_truth(self, setup):
+        universe, house, device, capture = setup
+        device.connect_hardcoded(
+            now=5.0, address="128.138.141.172", port=123, proto=Proto.UDP,
+            duration=0.0, orig_bytes=48, resp_bytes=0, service="ntp", conn_state="S0",
+        )
+        conn = capture.trace.conns[0]
+        assert capture.trace.truth[conn.uid].truth_class == TruthClass.NO_DNS
+        assert conn.conn_state == "S0"
+
+    def test_nat_ports_used(self, setup):
+        universe, house, device, capture = setup
+        site = universe.sites[0]
+        resolution = device.resolve(site.primary.hostname, now=10.0)
+        device.open_connections(site.primary, resolution, count=3)
+        ports = [c.orig_p for c in capture.trace.conns]
+        assert len(set(ports)) == 3
+        assert all(32768 <= p <= 60999 for p in ports)
+
+
+class TestEncryptedDevice:
+    def test_encrypted_lookup_leaves_dot_conn(self, setup):
+        universe, house, device, capture = setup
+        device.encrypted_dns = True
+        hostname = universe.sites[0].primary.hostname
+        resolution = device.resolve(hostname, now=10.0)
+        assert not resolution.wire_visible
+        assert resolution.dns_uid is None
+        assert not resolution.failed  # resolution itself still works
+        assert capture.trace.dns == []
+        dot = [c for c in capture.trace.conns if c.resp_p == 853]
+        assert len(dot) == 1
+        assert dot[0].service == "dot"
+
+    def test_encrypted_cache_still_works(self, setup):
+        universe, house, device, capture = setup
+        device.encrypted_dns = True
+        hostname = universe.sites[0].primary.hostname
+        device.resolve(hostname, now=10.0)
+        again = device.resolve(hostname, now=20.0)
+        assert again.truth_class in (TruthClass.PREFETCHED, TruthClass.LOCAL_CACHE)
+        # Only the first lookup produced a DoT connection.
+        assert len([c for c in capture.trace.conns if c.resp_p == 853]) == 1

@@ -1,0 +1,203 @@
+"""Tests for repro.dns.zonefile and repro.core.timeline."""
+
+import pytest
+
+from repro.core.timeline import lookups_per_connection, peak_to_trough, timeline
+from repro.dns.name import DomainName
+from repro.dns.rr import RRType
+from repro.dns.zonefile import load_zone_text, parse_zone_text, serialize_records
+from repro.errors import AnalysisError, ZoneError
+from repro.monitor.capture import Trace
+from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, Proto
+
+EXAMPLE_ZONE = """
+; example.com zone
+$ORIGIN example.com.
+$TTL 3600
+@       IN  SOA  ns1 hostmaster 2024010101 7200 900 1209600 300
+@       IN  NS   ns1
+ns1     IN  A    192.0.2.53
+www     300 IN A 192.0.2.80
+        IN  AAAA 2001:db8::80
+alias   IN  CNAME www
+@       IN  MX   10 mail
+mail    IN  A    192.0.2.25
+_sip._tcp IN SRV 0 5 5060 sip
+sip     IN  A    192.0.2.60
+@       IN  TXT  "v=spf1 -all"
+absolute.example.org. 60 IN A 192.0.2.99
+"""
+
+
+class TestZoneFileParsing:
+    def test_record_count(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        assert len(records) == 12
+
+    def test_origin_shorthand(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        soa = records[0]
+        assert soa.rtype == RRType.SOA
+        assert soa.name == DomainName("example.com")
+
+    def test_relative_names_qualified(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        www = next(r for r in records if r.rtype == RRType.A and "www" in str(r.name))
+        assert www.name == DomainName("www.example.com")
+        assert www.ttl == 300  # per-record TTL wins over $TTL
+
+    def test_default_ttl_applied(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        ns1 = next(r for r in records if r.rtype == RRType.NS)
+        assert ns1.ttl == 3600
+
+    def test_blank_owner_continuation(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        aaaa = next(r for r in records if r.rtype == RRType.AAAA)
+        assert aaaa.name == DomainName("www.example.com")
+
+    def test_cname_target_qualified(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        cname = next(r for r in records if r.rtype == RRType.CNAME)
+        assert str(cname.rdata) == "www.example.com"
+
+    def test_mx_preference(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        mx = next(r for r in records if r.rtype == RRType.MX)
+        assert "10" in str(mx.rdata)
+
+    def test_srv_with_underscore_labels(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        srv = next(r for r in records if r.rtype == RRType.SRV)
+        assert srv.name == DomainName("_sip._tcp.example.com")
+
+    def test_absolute_name_preserved(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        last = records[-1]
+        assert last.name == DomainName("absolute.example.org")
+        assert last.ttl == 60
+
+    def test_txt_quoted_string(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        txt = next(r for r in records if r.rtype == RRType.TXT)
+        assert "spf1" in str(txt.rdata)
+
+    def test_ttl_unit_suffixes(self):
+        records = parse_zone_text("$ORIGIN x.com.\n$TTL 1h\na IN A 1.2.3.4\nb 2d IN A 1.2.3.5\n")
+        assert records[0].ttl == 3600
+        assert records[1].ttl == 172800
+
+    def test_missing_origin_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("www IN A 1.2.3.4\n")
+
+    def test_missing_ttl_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("$ORIGIN x.com.\nwww IN A 1.2.3.4\n")
+
+    def test_bad_rdata_arity_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("$ORIGIN x.com.\n$TTL 60\nwww IN MX mail\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("$ORIGIN x.com.\n$TTL 60\nwww IN NAPTR x\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("$INCLUDE other.zone\n")
+
+    def test_continuation_without_owner_rejected(self):
+        with pytest.raises(ZoneError):
+            parse_zone_text("$ORIGIN x.com.\n$TTL 60\n  IN A 1.2.3.4\n")
+
+    def test_load_zone_serves_records(self):
+        zone = load_zone_text(EXAMPLE_ZONE.replace("absolute.example.org. 60 IN A 192.0.2.99", ""), "example.com")
+        found = zone.lookup(DomainName("www.example.com"), RRType.A)
+        assert found and found[0].address == "192.0.2.80"
+
+    def test_serialize_roundtrip(self):
+        records = parse_zone_text(EXAMPLE_ZONE)
+        text = serialize_records(records, origin="example.com")
+        reparsed = parse_zone_text(text)
+        assert len(reparsed) == len(records)
+        assert {(r.name.folded(), r.rtype) for r in reparsed} == {
+            (r.name.folded(), r.rtype) for r in records
+        }
+
+
+def dns(uid, ts):
+    return DnsRecord(
+        ts=ts, uid=uid, orig_h="10.77.0.10", orig_p=1, resp_h="8.8.8.8", resp_p=53,
+        query="x.example.com", rtt=0.01, answers=(DnsAnswer("1.2.3.4", 300.0, "A"),),
+    )
+
+
+def conn(uid, ts, resp_bytes=1000):
+    return ConnRecord(
+        ts=ts, uid=uid, orig_h="10.77.0.10", orig_p=2, resp_h="1.2.3.4", resp_p=443,
+        proto=Proto.TCP, duration=1.0, orig_bytes=0, resp_bytes=resp_bytes,
+    )
+
+
+class TestTimeline:
+    def _trace(self):
+        # Two busy hours, one quiet one.
+        conns = [conn("B0", 100.02)]  # blocked: right after Q0's answer
+        conns += [conn(f"C{i}", 110.0 + i * 10) for i in range(9)]
+        conns += [conn(f"D{i}", 3700.0 + i * 100) for i in range(2)]
+        conns += [conn(f"E{i}", 7300.0 + i * 10) for i in range(8)]
+        records = [dns(f"Q{i}", 100.0 + i * 20) for i in range(5)]
+        return Trace(dns=records, conns=conns)
+
+    def test_binning(self):
+        bins = timeline(self._trace(), bin_seconds=3600.0)
+        assert len(bins) == 3
+        assert bins[0].conns == 10
+        assert bins[1].conns == 2
+        assert bins[2].conns == 8
+        assert bins[0].lookups == 5
+
+    def test_bytes_accumulated(self):
+        bins = timeline(self._trace(), bin_seconds=3600.0)
+        assert bins[0].bytes_total == 10_000
+
+    def test_blocked_counts_with_classification(self):
+        from repro.core.classify import Classifier
+        from repro.core.pairing import pair_trace
+
+        trace = self._trace()
+        classified = Classifier(trace.dns).classify_all(pair_trace(trace.dns, trace.conns))
+        bins = timeline(trace, classified, bin_seconds=3600.0)
+        assert sum(b.blocked_conns for b in bins) >= 1
+        assert all(0.0 <= b.blocked_fraction <= 1.0 for b in bins)
+
+    def test_peak_to_trough(self):
+        bins = timeline(self._trace(), bin_seconds=3600.0)
+        assert peak_to_trough(bins) == pytest.approx(5.0)
+
+    def test_lookups_per_connection(self):
+        bins = timeline(self._trace(), bin_seconds=3600.0)
+        ratios = lookups_per_connection(bins)
+        assert ratios[0] == pytest.approx(0.5)
+        assert ratios[1] == 0.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            timeline(Trace())
+
+    def test_bad_bin_size_rejected(self):
+        with pytest.raises(AnalysisError):
+            timeline(self._trace(), bin_seconds=0.0)
+
+    def test_synthetic_trace_is_diurnal(self):
+        """A full simulated day shows a clear activity rhythm."""
+        from repro.workload.generate import generate_trace
+        from repro.workload.scenario import ScenarioConfig, UniverseConfig
+
+        config = ScenarioConfig(
+            seed=13, houses=4, duration=86400.0,
+            universe=UniverseConfig(site_count=30, cdn_host_count=6),
+        )
+        bins = timeline(generate_trace(config), bin_seconds=4 * 3600.0)
+        assert peak_to_trough(bins) > 1.3
