@@ -19,7 +19,7 @@ from repro.report.tables import render_table
 def test_ext_adaptive_refresh(benchmark, study):
     def run_policies():
         simulator = RefreshSimulator(
-            study.trace.dns, study.classified, ttl_floor=10.0, houses=study.trace.houses
+            study.trace.dns, study.classified, ttl_floor_s=10.0, houses=study.trace.houses
         )
         return {
             "standard": simulator.run_standard(),

@@ -20,7 +20,7 @@ from repro.report.tables import render_table3
 def test_table3_refresh(benchmark, study):
     def simulate():
         simulator = RefreshSimulator(
-            study.trace.dns, study.classified, ttl_floor=10.0, houses=study.trace.houses
+            study.trace.dns, study.classified, ttl_floor_s=10.0, houses=study.trace.houses
         )
         return simulator.compare()
 
@@ -48,7 +48,7 @@ def test_table3_ttl_floor_sweep(benchmark, study):
         results = {}
         for floor in (60.0, 10.0, 1.0):
             simulator = RefreshSimulator(
-                study.trace.dns, study.classified, ttl_floor=floor, houses=study.trace.houses
+                study.trace.dns, study.classified, ttl_floor_s=floor, houses=study.trace.houses
             )
             results[floor] = simulator.run_refresh_all()
         return results

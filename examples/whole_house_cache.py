@@ -47,7 +47,7 @@ def main() -> None:
 
     # ---- Refreshing (Table 3) ----------------------------------------------
     print("\nRefreshing expiring names (Table 3):")
-    comparison = study.refresh(ttl_floor=10.0)
+    comparison = study.refresh(ttl_floor_s=10.0)
     print(render_table3(comparison))
     print(
         f"  Refreshing lifts the hit rate by "
@@ -61,7 +61,7 @@ def main() -> None:
     rows = []
     for floor in (300.0, 60.0, 10.0, 1.0):
         simulator = RefreshSimulator(
-            study.trace.dns, study.classified, ttl_floor=floor, houses=study.trace.houses
+            study.trace.dns, study.classified, ttl_floor_s=floor, houses=study.trace.houses
         )
         result = simulator.run_refresh_all()
         rows.append(

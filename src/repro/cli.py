@@ -14,6 +14,10 @@ Subcommands::
     repro-dns report --houses 20 --hours 12 --seed 1
         Generate and analyse in one step.
 
+    repro-dns lint src/repro
+        Run the repro-lint static invariant checker (also available as
+        the ``repro-lint`` entry point; extra flags are passed through).
+
 Also runnable as ``python -m repro``.
 """
 
@@ -117,6 +121,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dns",
@@ -150,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
     report = subparsers.add_parser("report", help="generate and analyse in one step")
     _add_scenario_arguments(report)
     report.set_defaults(func=cmd_report)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro-lint static invariant checker",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER, help="arguments passed to repro-lint")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

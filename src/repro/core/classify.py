@@ -61,10 +61,12 @@ class ThresholdPolicy:
     min_lookups: int = 200
     default_threshold: float = 0.005
 
-    def derive(self, min_duration: float) -> float:
-        if min_duration < 0:
-            raise AnalysisError(f"negative minimum duration: {min_duration}")
-        raw = min_duration * self.multiplier
+    def derive(self, min_duration_s: float) -> float:
+        """The SC/R threshold in seconds for a resolver whose fastest
+        observed lookup took *min_duration_s* seconds."""
+        if min_duration_s < 0:
+            raise AnalysisError(f"negative minimum duration: {min_duration_s}")
+        raw = min_duration_s * self.multiplier
         return max(self.grid, math.ceil(raw / self.grid - 1e-9) * self.grid)
 
 
@@ -96,14 +98,17 @@ class ClassifiedConnection:
 
     @property
     def conn(self) -> ConnRecord:
+        """The underlying connection record."""
         return self.pairing.conn
 
     @property
     def dns(self) -> DnsRecord | None:
+        """The paired DNS transaction (None for class N)."""
         return self.pairing.dns
 
     @property
     def gap(self) -> float | None:
+        """Seconds between the lookup answer and the connection start."""
         return self.pairing.gap
 
     @property
@@ -115,6 +120,7 @@ class ClassifiedConnection:
 
     @property
     def is_blocked(self) -> bool:
+        """Did a fresh network lookup hold this connection up (SC or R)?"""
         return self.conn_class in BLOCKED_CLASSES
 
     @property
@@ -146,13 +152,14 @@ class ClassifierConfig:
     resolver_names: dict[str, str] = field(default_factory=lambda: dict(DEFAULT_RESOLVER_NAMES))
 
     def platform_of(self, resolver_address: str) -> str:
+        """The platform label for *resolver_address* ("other" if unmapped)."""
         return self.resolver_names.get(resolver_address, "other")
 
 
 class Classifier:
     """Applies the N/LC/P/SC/R taxonomy to paired connections."""
 
-    def __init__(self, dns_records: list[DnsRecord], config: ClassifierConfig | None = None):
+    def __init__(self, dns_records: list[DnsRecord], config: ClassifierConfig | None = None) -> None:
         self.config = config if config is not None else ClassifierConfig()
         self.thresholds = resolver_thresholds(dns_records, self.config.threshold_policy)
 
@@ -195,6 +202,7 @@ class ClassBreakdown:
 
     @property
     def total(self) -> int:
+        """Number of classified connections across all classes."""
         return sum(self.counts.values())
 
     def share(self, conn_class: ConnClass) -> float:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 from repro.core.blocking import DEFAULT_BLOCKING_THRESHOLD, GapAnalysis, analyze_gaps
 from repro.core.classify import (
@@ -71,6 +72,12 @@ from repro.core.sources import (
 from repro.errors import AnalysisError
 from repro.monitor.capture import Trace
 
+if TYPE_CHECKING:
+    from repro.core.population import PopulationStats
+    from repro.core.stats import Cdf
+    from repro.monitor.records import ConnRecord, DnsRecord
+    from repro.workload.scenario import ScenarioConfig
+
 
 def _looks_like_json(path: str) -> bool:
     """True when the file's first non-blank character starts a JSON object."""
@@ -82,7 +89,7 @@ def _looks_like_json(path: str) -> bool:
     return False
 
 
-def _load_any_dns(path: str):
+def _load_any_dns(path: str) -> "list[DnsRecord]":
     if _looks_like_json(path):
         from repro.monitor.json_logs import read_dns_json
 
@@ -93,7 +100,7 @@ def _load_any_dns(path: str):
     return load_dns_log(path)
 
 
-def _load_any_conn(path: str):
+def _load_any_conn(path: str) -> "list[ConnRecord]":
     if _looks_like_json(path):
         from repro.monitor.json_logs import read_conn_json
 
@@ -116,7 +123,7 @@ class StudyOptions:
 class ContextStudy:
     """One trace plus every analysis the paper runs on it."""
 
-    def __init__(self, trace: Trace, options: StudyOptions | None = None):
+    def __init__(self, trace: Trace, options: StudyOptions | None = None) -> None:
         if not trace.conns:
             raise AnalysisError("the trace has no connections to analyse")
         self.trace = trace
@@ -125,7 +132,7 @@ class ContextStudy:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def from_scenario(cls, config, options: StudyOptions | None = None) -> "ContextStudy":
+    def from_scenario(cls, config: "ScenarioConfig", options: StudyOptions | None = None) -> "ContextStudy":
         """Generate a synthetic trace for *config* and analyse it."""
         from repro.workload.generate import generate_trace
 
@@ -195,7 +202,7 @@ class ContextStudy:
         """§4: share of paired connections with a unique candidate (paper: 82%)."""
         return ambiguity_fraction(self.paired)
 
-    def population(self):
+    def population(self) -> PopulationStats:
         """§3-style dataset characterization (volumes, mixes, per-house)."""
         from repro.core.population import characterize
 
@@ -245,8 +252,8 @@ class ContextStudy:
         """§7: shared-cache hit rate per platform."""
         return hit_rate_by_platform(self.classified)
 
-    def r_delays(self):
-        """Figure 3 (top): per-platform R-lookup delay CDFs."""
+    def r_delays(self) -> dict[str, Cdf]:
+        """Figure 3 (top): per-platform R-lookup delay CDFs (seconds)."""
         return r_delay_by_platform(self.classified)
 
     def throughput(self) -> ThroughputByPlatform:
@@ -259,10 +266,10 @@ class ContextStudy:
         """§8: who would a whole-house cache help."""
         return whole_house_cache_analysis(self.trace.dns, self.classified)
 
-    def refresh(self, ttl_floor: float = 10.0) -> RefreshComparison:
+    def refresh(self, ttl_floor_s: float = 10.0) -> RefreshComparison:
         """Table 3: standard vs refresh-all whole-house cache."""
         simulator = RefreshSimulator(
-            self.trace.dns, self.classified, ttl_floor=ttl_floor, houses=self.trace.houses or None
+            self.trace.dns, self.classified, ttl_floor_s=ttl_floor_s, houses=self.trace.houses or None
         )
         return simulator.compare()
 

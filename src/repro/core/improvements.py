@@ -121,6 +121,7 @@ class CacheSimulationResult:
 
     @property
     def miss_rate(self) -> float:
+        """Fraction of simulated queries the cache could not answer."""
         return 1.0 - self.hit_rate
 
 
@@ -146,12 +147,12 @@ class RefreshSimulator:
         self,
         dns_records: list[DnsRecord],
         classified: list[ClassifiedConnection],
-        ttl_floor: float = REFRESH_TTL_FLOOR,
+        ttl_floor_s: float = REFRESH_TTL_FLOOR,
         houses: int | None = None,
-    ):
-        if ttl_floor < 0:
-            raise AnalysisError(f"ttl_floor cannot be negative, got {ttl_floor}")
-        self.ttl_floor = ttl_floor
+    ) -> None:
+        if ttl_floor_s < 0:
+            raise AnalysisError(f"ttl_floor_s cannot be negative, got {ttl_floor_s}")
+        self.ttl_floor_s = ttl_floor_s
         # Authoritative TTL estimate: the maximum TTL observed per name.
         self.auth_ttl: dict[str, float] = {}
         for record in dns_records:
@@ -210,7 +211,7 @@ class RefreshSimulator:
         for when, house, query in self.events:
             key = (house, query)
             ttl = self.auth_ttl.get(query, 0.0)
-            if ttl > self.ttl_floor:
+            if ttl > self.ttl_floor_s:
                 if key in refreshed_since:
                     hits += 1
                 else:
@@ -251,7 +252,7 @@ class RefreshSimulator:
         for when, house, query in self.events:
             key = (house, query)
             ttl = self.auth_ttl.get(query, 0.0)
-            if ttl <= self.ttl_floor:
+            if ttl <= self.ttl_floor_s:
                 # Below the floor: plain on-demand caching.
                 if expiry.get(key, -math.inf) > when:
                     hits += 1
@@ -279,7 +280,7 @@ class RefreshSimulator:
         # closes or the trace ends.
         for (house, query), since in last_use.items():
             ttl = self.auth_ttl[query]
-            if ttl <= self.ttl_floor:
+            if ttl <= self.ttl_floor_s:
                 continue
             horizon_gap = min(self.horizon - since, idle_multiplier * ttl)
             lookups += int(max(0.0, horizon_gap) / ttl)

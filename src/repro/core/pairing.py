@@ -64,7 +64,7 @@ class _Candidate:
 class DnsIndex:
     """Index of DNS transactions by (house, answered address)."""
 
-    def __init__(self, dns_records: list[DnsRecord]):
+    def __init__(self, dns_records: list[DnsRecord]) -> None:
         self._by_house_address: dict[tuple[str, str], list[_Candidate]] = defaultdict(list)
         self.records = sorted(dns_records, key=lambda record: record.completed_at)
         for record in self.records:
@@ -99,7 +99,7 @@ class Pairer:
         dns_records: list[DnsRecord],
         policy: PairingPolicy = PairingPolicy.MOST_RECENT,
         rng: random.Random | None = None,
-    ):
+    ) -> None:
         self.index = DnsIndex(dns_records)
         self.policy = policy
         if policy == PairingPolicy.RANDOM_NON_EXPIRED and rng is None:

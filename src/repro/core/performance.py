@@ -40,6 +40,7 @@ class LookupDelayAnalysis:
     over_100ms_fraction: float
 
     def series(self, points: int = 200) -> list[tuple[float, float]]:
+        """(delay seconds, cumulative probability) pairs for plotting."""
         return self.cdf.series(points)
 
 
@@ -136,6 +137,7 @@ class SignificanceQuadrant:
     total_conns: int
 
     def as_rows(self) -> list[tuple[str, float]]:
+        """(quadrant label, fraction of paired connections) table rows."""
         return [
             ("<=20ms and <=1%", self.insignificant_both),
             (">1% only (<=20ms)", self.relative_only),

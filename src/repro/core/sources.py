@@ -82,6 +82,7 @@ class TtlViolationStats:
     p_expired_fraction: float
 
     def summary(self) -> str:
+        """One-line human-readable digest of expired-record usage."""
         return (
             f"{100 * self.lc_expired_fraction:.1f}% of LC connections use expired records; "
             f"{100 * self.violation_over_30s_fraction:.0f}% of violations exceed 30 s "

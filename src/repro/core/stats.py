@@ -63,6 +63,7 @@ class Cdf:
 
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "Cdf":
+        """An empirical CDF over *values* (at least one sample required)."""
         xs = tuple(sorted(float(v) for v in values))
         if not xs:
             raise AnalysisError("cannot build a CDF from no samples")
@@ -86,6 +87,7 @@ class Cdf:
 
     @property
     def median(self) -> float:
+        """The 0.5 quantile of the samples."""
         return self.quantile(0.5)
 
     def series(self, points: int = 200) -> list[tuple[float, float]]:

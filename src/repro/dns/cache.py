@@ -113,7 +113,7 @@ class DnsCache:
         served (``0`` = strict TTL honoring), or a callable
         ``overstay(key) -> float`` evaluated when the entry is stored.
         This models the real-world TTL violations §5.2 quantifies.
-    min_ttl / max_ttl:
+    min_ttl_s / max_ttl_s:
         Clamp stored TTLs, mirroring resolver implementations that floor
         or cap TTLs.
     """
@@ -122,19 +122,19 @@ class DnsCache:
         self,
         capacity: int | None = None,
         overstay: float | Callable[[CacheKey], float] = 0.0,
-        min_ttl: float = 0.0,
-        max_ttl: float | None = None,
+        min_ttl_s: float = 0.0,
+        max_ttl_s: float | None = None,
     ):
         if capacity is not None and capacity <= 0:
             raise DnsError(f"cache capacity must be positive, got {capacity}")
-        if min_ttl < 0:
-            raise DnsError(f"min_ttl must be non-negative, got {min_ttl}")
-        if max_ttl is not None and max_ttl < min_ttl:
-            raise DnsError("max_ttl must be >= min_ttl")
+        if min_ttl_s < 0:
+            raise DnsError(f"min_ttl_s must be non-negative, got {min_ttl_s}")
+        if max_ttl_s is not None and max_ttl_s < min_ttl_s:
+            raise DnsError("max_ttl_s must be >= min_ttl_s")
         self._capacity = capacity
         self._overstay = overstay
-        self._min_ttl = min_ttl
-        self._max_ttl = max_ttl
+        self._min_ttl_s = min_ttl_s
+        self._max_ttl_s = max_ttl_s
         self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
         self._overstays: dict[CacheKey, float] = {}
         self.stats = CacheStats()
@@ -169,9 +169,9 @@ class DnsCache:
         if not records:
             raise DnsError("refusing to cache an empty RRset")
         effective_ttl = float(ttl) if ttl is not None else float(min(rr.ttl for rr in records))
-        effective_ttl = max(self._min_ttl, effective_ttl)
-        if self._max_ttl is not None:
-            effective_ttl = min(self._max_ttl, effective_ttl)
+        effective_ttl = max(self._min_ttl_s, effective_ttl)
+        if self._max_ttl_s is not None:
+            effective_ttl = min(self._max_ttl_s, effective_ttl)
         entry = CacheEntry(key=key, records=records, stored_at=now, ttl=effective_ttl)
         if key in self._entries:
             del self._entries[key]

@@ -26,7 +26,7 @@ from repro.dns.cache import CacheKey, CacheLookup, DnsCache, cache_key
 from repro.dns.name import DomainName
 from repro.dns.rr import ResourceRecord, RRType
 from repro.dns.zone import DnsHierarchy
-from repro.errors import ResolutionError
+from repro.errors import NameError_, ResolutionError, ZoneError
 from repro.simulation.latency import (
     LatencyModel,
     authoritative_latency,
@@ -55,8 +55,8 @@ class ResolverProfile:
 
     platform: str
     address: str
-    client_latency: LatencyModel
-    auth_latency: LatencyModel
+    client_latency_model: LatencyModel
+    auth_latency_model: LatencyModel
     cache_effectiveness: float = 1.0
     background_scale: float = 0.0
     cache_capacity: int | None = None
@@ -79,7 +79,7 @@ class ResolutionOutcome:
     qname: DomainName
     qtype: RRType
     records: tuple[ResourceRecord, ...]
-    duration: float
+    duration_s: float
     cache_hit: bool
     auth_queries: int
     nxdomain: bool = False
@@ -113,10 +113,12 @@ class RecursiveResolver:
 
     @property
     def platform(self) -> str:
+        """The platform label of this resolver's profile."""
         return self.profile.platform
 
     @property
     def address(self) -> str:
+        """The IPv4 address clients send queries to."""
         return self.profile.address
 
     def resolve(
@@ -134,7 +136,7 @@ class RecursiveResolver:
         rng = rng if rng is not None else self._rng
         name = qname if isinstance(qname, DomainName) else DomainName(qname)
         self.queries_served += 1
-        duration = self.profile.client_latency.sample(rng) + _PROCESSING_DELAY
+        duration = self.profile.client_latency_model.sample(rng) + _PROCESSING_DELAY
 
         key = cache_key(name, qtype)
         demand = self._demand.get(key)
@@ -156,7 +158,7 @@ class RecursiveResolver:
                     qname=name,
                     qtype=qtype,
                     records=lookup.records,
-                    duration=duration,
+                    duration_s=duration,
                     cache_hit=True,
                     auth_queries=0,
                     nxdomain=not lookup.records,
@@ -171,7 +173,7 @@ class RecursiveResolver:
                     qname=name,
                     qtype=qtype,
                     records=(),
-                    duration=duration,
+                    duration_s=duration,
                     cache_hit=True,
                     auth_queries=0,
                     nxdomain=was_nxdomain,
@@ -192,7 +194,7 @@ class RecursiveResolver:
                     qname=name,
                     qtype=qtype,
                     records=aged,
-                    duration=duration,
+                    duration_s=duration,
                     cache_hit=True,
                     auth_queries=0,
                     nxdomain=nxdomain,
@@ -203,12 +205,12 @@ class RecursiveResolver:
         else:
             self._negative[key] = (now + _NEGATIVE_TTL, nxdomain)
         for _ in range(auth_queries):
-            duration += self.profile.auth_latency.sample(rng)
+            duration += self.profile.auth_latency_model.sample(rng)
         return ResolutionOutcome(
             qname=name,
             qtype=qtype,
             records=records,
-            duration=duration,
+            duration_s=duration,
             cache_hit=False,
             auth_queries=auth_queries,
             nxdomain=nxdomain,
@@ -251,7 +253,7 @@ class RecursiveResolver:
             raise ResolutionError(f"resolution of {name} exceeded CNAME depth limit")
         try:
             path = self.hierarchy.resolution_path(name)
-        except Exception as exc:
+        except (ZoneError, NameError_) as exc:
             raise ResolutionError(f"cannot resolve {name}: {exc}") from exc
 
         # Skip hops whose delegation is already cached; a real resolver
@@ -325,7 +327,7 @@ class StubLookup:
     qname: DomainName
     qtype: RRType
     records: tuple[ResourceRecord, ...]
-    duration: float
+    duration_s: float
     network_transaction: bool
     resolver_address: str | None = None
     resolver_platform: str | None = None
@@ -395,19 +397,19 @@ class StubResolver:
                     qname=name,
                     qtype=qtype,
                     records=cached.records,
-                    duration=0.0,
+                    duration_s=0.0,
                     network_transaction=False,
                     cache_result=cached,
                 )
         resolver = self.pick_upstream(rng)
         outcome = resolver.resolve(name, now, qtype, rng)
         if outcome.records:
-            self.cache.put(key, outcome.records, now + outcome.duration)
+            self.cache.put(key, outcome.records, now + outcome.duration_s)
         return StubLookup(
             qname=name,
             qtype=qtype,
             records=outcome.records,
-            duration=outcome.duration,
+            duration_s=outcome.duration_s,
             network_transaction=True,
             resolver_address=resolver.address,
             resolver_platform=resolver.platform,
@@ -427,19 +429,19 @@ def build_platform_profiles() -> dict[str, ResolverProfile]:
         "local": ResolverProfile(
             platform="local",
             address="192.168.200.10",
-            client_latency=metro_latency(),
-            auth_latency=authoritative_latency(),
+            client_latency_model=metro_latency(),
+            auth_latency_model=authoritative_latency(),
             cache_effectiveness=0.60,
             background_scale=10.0,
         ),
         "google": ResolverProfile(
             platform="google",
             address="8.8.8.8",
-            client_latency=continental_latency(),
+            client_latency_model=continental_latency(),
             # Google chases authoritative servers from farther frontends
             # (longer median) but with tight engineering (shorter tail).
-            auth_latency=LatencyModel(
-                base_rtt=0.036,
+            auth_latency_model=LatencyModel(
+                base_rtt_s=0.036,
                 jitter_median=0.010,
                 jitter_sigma=0.55,
                 loss_probability=0.002,
@@ -450,16 +452,16 @@ def build_platform_profiles() -> dict[str, ResolverProfile]:
         "opendns": ResolverProfile(
             platform="opendns",
             address="208.67.222.222",
-            client_latency=continental_latency(),
-            auth_latency=authoritative_latency(),
+            client_latency_model=continental_latency(),
+            auth_latency_model=authoritative_latency(),
             cache_effectiveness=0.50,
             background_scale=8.0,
         ),
         "cloudflare": ResolverProfile(
             platform="cloudflare",
             address="1.1.1.1",
-            client_latency=regional_latency(),
-            auth_latency=authoritative_latency().scaled(0.9),
+            client_latency_model=regional_latency(),
+            auth_latency_model=authoritative_latency().scaled(0.9),
             cache_effectiveness=0.90,
             background_scale=110.0,
         ),

@@ -72,10 +72,12 @@ class ARecordData:
         object.__setattr__(self, "address", str(ipaddress.IPv4Address(self.address)))
 
     def to_wire(self) -> bytes:
+        """The 4-octet RDATA encoding of the address."""
         return ipaddress.IPv4Address(self.address).packed
 
     @classmethod
     def from_wire(cls, data: bytes) -> "ARecordData":
+        """Decode 4 octets of A RDATA."""
         if len(data) != 4:
             raise WireFormatError(f"A RDATA must be 4 octets, got {len(data)}")
         return cls(str(ipaddress.IPv4Address(data)))
@@ -94,10 +96,12 @@ class AAAARecordData:
         object.__setattr__(self, "address", str(ipaddress.IPv6Address(self.address)))
 
     def to_wire(self) -> bytes:
+        """The 16-octet RDATA encoding of the address."""
         return ipaddress.IPv6Address(self.address).packed
 
     @classmethod
     def from_wire(cls, data: bytes) -> "AAAARecordData":
+        """Decode 16 octets of AAAA RDATA."""
         if len(data) != 16:
             raise WireFormatError(f"AAAA RDATA must be 16 octets, got {len(data)}")
         return cls(str(ipaddress.IPv6Address(data)))
@@ -143,10 +147,12 @@ class TXTRecordData:
                 raise WireFormatError("TXT character-string exceeds 255 octets")
 
     def to_wire(self) -> bytes:
+        """The length-prefixed character-string RDATA encoding."""
         return b"".join(bytes([len(chunk)]) + chunk for chunk in self.strings)
 
     @classmethod
     def from_wire(cls, data: bytes) -> "TXTRecordData":
+        """Decode a sequence of length-prefixed character-strings."""
         strings: list[bytes] = []
         offset = 0
         while offset < len(data):
@@ -160,6 +166,7 @@ class TXTRecordData:
 
     @classmethod
     def from_text(cls, *texts: str) -> "TXTRecordData":
+        """A TXT RDATA whose character-strings are UTF-8 encodings of *texts*."""
         return cls(tuple(text.encode("utf-8") for text in texts))
 
     def __str__(self) -> str:
@@ -210,6 +217,7 @@ class OpaqueRecordData:
     data: bytes
 
     def to_wire(self) -> bytes:
+        """The RDATA exactly as captured."""
         return self.data
 
     def __str__(self) -> str:

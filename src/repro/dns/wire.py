@@ -134,24 +134,29 @@ class _Reader:
         self.offset = 0
 
     def need(self, count: int) -> None:
+        """Raise :class:`WireFormatError` unless *count* octets remain."""
         if self.offset + count > len(self.data):
             raise WireFormatError(
                 f"message truncated: need {count} octets at offset {self.offset}"
             )
 
     def read(self, count: int) -> bytes:
+        """Consume and return the next *count* octets."""
         self.need(count)
         chunk = self.data[self.offset:self.offset + count]
         self.offset += count
         return chunk
 
     def read_u8(self) -> int:
+        """Consume one octet as an unsigned integer."""
         return self.read(1)[0]
 
     def read_u16(self) -> int:
+        """Consume two octets as a network-order unsigned integer."""
         return struct.unpack("!H", self.read(2))[0]
 
     def read_u32(self) -> int:
+        """Consume four octets as a network-order unsigned integer."""
         return struct.unpack("!I", self.read(4))[0]
 
     def read_name(self) -> DomainName:

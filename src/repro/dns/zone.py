@@ -118,6 +118,7 @@ class AuthoritativeAnswer:
 
     @property
     def is_referral(self) -> bool:
+        """Is this answer a delegation to another zone's servers?"""
         return self.referral is not None
 
 

@@ -1,0 +1,56 @@
+"""repro-lint: AST-based invariant checker for the repro codebase.
+
+The reproduction's headline numbers are only trustworthy if the trace
+generator and discrete-event simulator are bit-for-bit deterministic
+under a master seed, if every time-valued quantity has an unambiguous
+unit, and if failures surface as typed :mod:`repro.errors` exceptions
+instead of being swallowed. This package enforces those contracts
+statically, before code ever runs:
+
+==========  ==========================================================
+Rule        Invariant
+==========  ==========================================================
+``DET001``  No module-level ``random.*`` / ``numpy.random`` calls —
+            all randomness flows through an injected
+            :class:`random.Random` or ``RandomStreams``.
+``DET002``  No wall-clock reads (``time.time``, ``datetime.now``, …)
+            inside ``repro.simulation``, ``repro.workload`` or
+            ``repro.core`` — simulated time only.
+``UNIT001`` Time-valued parameters and attributes carry a ``_ms`` /
+            ``_s`` unit suffix; additive arithmetic never mixes the
+            two.
+``FLT001``  No ``==`` / ``!=`` between float time expressions.
+``EXC001``  No bare ``except:`` or broad ``except Exception:``;
+            generic raises use :mod:`repro.errors` types.
+``DOC001``  Public functions in ``repro.core`` and ``repro.dns`` have
+            docstrings and return annotations.
+==========  ==========================================================
+
+Findings can be suppressed inline with ``# repro-lint: disable=RULE``
+or grandfathered (with a justification) in a committed
+``lint-baseline.json``. See ``repro-lint --help`` for the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.engine import FileContext, LintEngine, LintRun
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, register_rule
+
+# Importing the rules package registers every built-in rule.
+from repro.lint import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintRun",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+]

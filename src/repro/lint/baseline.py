@@ -1,0 +1,180 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry matches findings by ``(rule, path, stripped source
+line)`` rather than by line number, so a baselined finding stays
+baselined when unrelated code moves above it. Every entry must carry a
+non-empty justification — the baseline is a ledger of conscious
+decisions, not a mute button.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding
+
+BASELINE_FILENAME = "lint-baseline.json"
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """A baseline file is malformed or missing required fields."""
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One grandfathered finding pattern.
+
+    ``count`` is the number of occurrences of ``line_text`` in ``path``
+    that the entry covers (a single line can legitimately trip the same
+    rule more than once, e.g. two unsuffixed parameters on one line).
+    """
+
+    rule: str
+    path: str
+    line_text: str
+    justification: str
+    count: int = 1
+
+    def key(self) -> tuple[str, str, str]:
+        """The matching key shared with findings."""
+        return (self.rule, self.path, self.line_text)
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from ``lint-baseline.json``."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = (), root: Path | None = None) -> None:
+        self.root = root
+        self._budget: Counter[tuple[str, str, str]] = Counter()
+        self.entries: list[BaselineEntry] = list(entries)
+        for entry in self.entries:
+            if not entry.justification.strip():
+                raise BaselineError(
+                    f"baseline entry for {entry.rule} at {entry.path} has no justification"
+                )
+            self._budget[entry.key()] += entry.count
+
+    # -- persistence -----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file written by :meth:`save` (or by hand)."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise BaselineError(f"{path}: expected a version-{_FORMAT_VERSION} baseline object")
+        entries = []
+        for raw in payload.get("entries", []):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=raw["rule"],
+                        path=raw["path"],
+                        line_text=raw["line_text"],
+                        justification=raw["justification"],
+                        count=int(raw.get("count", 1)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(f"{path}: malformed baseline entry {raw!r}") from exc
+        return cls(entries, root=path.parent.resolve())
+
+    def save(self, path: Path) -> None:
+        """Write this baseline as deterministic, diff-friendly JSON."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "line_text": entry.line_text,
+                    "count": entry.count,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(self.entries, key=lambda e: (e.path, e.rule, e.line_text))
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- matching --------------------------------------------------------
+
+    def _finding_key(self, finding: Finding) -> tuple[str, str, str]:
+        path = finding.path
+        if self.root is not None:
+            try:
+                path = path.resolve().relative_to(self.root)
+            except ValueError:
+                pass
+        return (finding.rule_id, path.as_posix(), finding.line_text)
+
+    def filter(self, findings: Iterable[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Split *findings* into (new, baselined).
+
+        Each entry absorbs at most ``count`` matching findings; any
+        excess beyond the budget is reported as new, so regressions on
+        an already-baselined line still fail.
+        """
+        budget = Counter(self._budget)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = self._finding_key(finding)
+            if budget[key] > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        root: Path,
+        justification: str = "TODO: justify or fix",
+        previous: "Baseline | None" = None,
+    ) -> "Baseline":
+        """A baseline covering *findings*, keeping justifications from *previous*."""
+        kept: dict[tuple[str, str, str], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                kept[entry.key()] = entry.justification
+        counts: Counter[tuple[str, str, str]] = Counter()
+        for finding in findings:
+            path = finding.path
+            try:
+                path = path.resolve().relative_to(root.resolve())
+            except ValueError:
+                pass
+            counts[(finding.rule_id, path.as_posix(), finding.line_text)] += 1
+        entries = [
+            BaselineEntry(
+                rule=rule,
+                path=path,
+                line_text=line_text,
+                justification=kept.get((rule, path, line_text), justification),
+                count=count,
+            )
+            for (rule, path, line_text), count in counts.items()
+        ]
+        return cls(entries, root=root.resolve())
+
+
+def discover_baseline(start: Path) -> Path | None:
+    """The nearest ``lint-baseline.json`` at or above *start*, if any."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,139 @@
+"""``repro-lint`` command-line interface.
+
+Exit codes::
+
+    0   no new findings (baselined/suppressed findings are fine)
+    1   at least one new finding at error severity (any severity with --strict)
+    2   usage or configuration error (bad rule id, unreadable baseline, ...)
+
+Examples::
+
+    repro-lint src/repro
+    repro-lint src/repro --format json | jq '.summary'
+    repro-lint src/repro --write-baseline      # grandfather current findings
+    repro-lint src/repro --no-baseline --strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.lint.baseline import BASELINE_FILENAME, Baseline, discover_baseline
+from repro.lint.engine import LintEngine
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import all_rules
+
+_JSON_FORMAT_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro-lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro codebase "
+        "(determinism, time-unit hygiene, exception discipline).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories to lint (default src/repro)")
+    parser.add_argument("--format", choices=("human", "json"), default="human", help="output format")
+    parser.add_argument("--baseline", type=Path, default=None, help=f"baseline file (default: nearest {BASELINE_FILENAME} above the first path)")
+    parser.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true", help="write current findings to the baseline file and exit 0")
+    parser.add_argument("--select", action="append", default=None, metavar="RULE", help="run only these rules (repeatable, comma-separated)")
+    parser.add_argument("--ignore", action="append", default=None, metavar="RULE", help="skip these rules (repeatable, comma-separated)")
+    parser.add_argument("--strict", action="store_true", help="treat warnings as failures")
+    parser.add_argument("--list-rules", action="store_true", help="list registered rules and exit")
+    return parser
+
+
+def _split_rule_ids(values: list[str] | None) -> list[str] | None:
+    if values is None:
+        return None
+    return [token.strip().upper() for value in values for token in value.split(",") if token.strip()]
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    first = Path(args.paths[0])
+    return discover_baseline(first if first.exists() else Path.cwd())
+
+
+def _render_human(new: list[Finding], baselined: list[Finding], files_checked: int) -> None:
+    for finding in new:
+        print(finding.render())
+    errors = sum(1 for f in new if f.severity is Severity.ERROR)
+    warnings = len(new) - errors
+    print(
+        f"repro-lint: {files_checked} files checked, {errors} errors, "
+        f"{warnings} warnings, {len(baselined)} baselined"
+    )
+
+
+def _render_json(new: list[Finding], baselined: list[Finding], files_checked: int) -> str:
+    payload = {
+        "version": _JSON_FORMAT_VERSION,
+        "findings": [finding.to_json_dict() for finding in new],
+        "baselined": [finding.to_json_dict() for finding in baselined],
+        "summary": {
+            "files_checked": files_checked,
+            "errors": sum(1 for f in new if f.severity is Severity.ERROR),
+            "warnings": sum(1 for f in new if f.severity is Severity.WARNING),
+            "baselined": len(baselined),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  [{rule.default_severity}]  {rule.title}")
+        return 0
+
+    try:
+        rules = all_rules(select=_split_rule_ids(args.select), ignore=_split_rule_ids(args.ignore))
+        engine = LintEngine(rules)
+        run = engine.lint_paths(args.paths)
+
+        baseline_path = _resolve_baseline(args)
+
+        if args.write_baseline:
+            target = baseline_path or Path(BASELINE_FILENAME)
+            previous = Baseline.load(target) if target.exists() else None
+            root = target.parent if str(target.parent) != "" else Path(".")
+            Baseline.from_findings(run.findings, root=root.resolve(), previous=previous).save(target)
+            print(f"repro-lint: wrote {len(run.findings)} findings to {target}")
+            return 0
+
+        baseline = (
+            Baseline.load(baseline_path)
+            if baseline_path is not None and baseline_path.exists()
+            else Baseline()
+        )
+        new, baselined = baseline.filter(run.findings)
+    except (ReproError, KeyError, OSError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(_render_json(new, baselined, run.files_checked))
+    else:
+        _render_human(new, baselined, run.files_checked)
+
+    failing = new if args.strict else [f for f in new if f.severity is Severity.ERROR]
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,165 @@
+"""The lint engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately dependency-free: it walks files, parses each
+one with :mod:`ast`, hands a :class:`FileContext` to every rule, and
+filters the resulting findings through inline suppressions
+(``# repro-lint: disable=RULE``) and, in the CLI layer, the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class LintConfigError(ReproError):
+    """The linter was configured or driven incorrectly."""
+
+
+@dataclass(frozen=True, slots=True)
+class FileContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    path: Path
+    module: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+
+    def severity_for(self, rule: Rule) -> Severity:
+        """*rule*'s severity after per-run overrides."""
+        return self.severity_overrides.get(rule.rule_id, rule.default_severity)
+
+    def in_package(self, *packages: str) -> bool:
+        """Is this file inside any of the given dotted packages?"""
+        return any(
+            self.module == package or self.module.startswith(package + ".")
+            for package in packages
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LintRun:
+    """The outcome of linting a set of paths."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+
+    def errors(self) -> tuple[Finding, ...]:
+        """The findings at :data:`Severity.ERROR`."""
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module path of *path*, derived from ``__init__.py`` files.
+
+    Walks upward while the containing directory is a package, so
+    ``src/repro/dns/cache.py`` maps to ``repro.dns.cache`` regardless of
+    where the repository is checked out. A loose file maps to its stem.
+    """
+    resolved = path.resolve()
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    directory = resolved.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+def _suppressed_rules(line_text: str) -> set[str] | None:
+    """Rule ids disabled by an inline comment on *line_text*.
+
+    Returns ``None`` when there is no suppression comment; the special
+    token ``all`` suppresses every rule on the line.
+    """
+    match = _SUPPRESS_RE.search(line_text)
+    if match is None:
+        return None
+    return {token.strip().upper() for token in match.group(1).split(",") if token.strip()}
+
+
+class LintEngine:
+    """Runs a set of rules over files, sources, or directory trees."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        severity_overrides: Mapping[str, Severity] | None = None,
+    ) -> None:
+        self.rules: tuple[Rule, ...] = tuple(rules if rules is not None else all_rules())
+        self.severity_overrides: dict[str, Severity] = dict(severity_overrides or {})
+
+    # -- entry points ----------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[Path | str]) -> LintRun:
+        """Lint every ``.py`` file in *paths* (files or directories)."""
+        findings: list[Finding] = []
+        files = list(self._discover(paths))
+        for file_path in files:
+            findings.extend(self.lint_file(file_path))
+        findings.sort(key=lambda f: (f.path.as_posix(), f.line, f.col, f.rule_id))
+        return LintRun(findings=tuple(findings), files_checked=len(files))
+
+    def lint_file(self, path: Path | str) -> list[Finding]:
+        """Lint one file, deriving its module path from the filesystem."""
+        file_path = Path(path)
+        source = file_path.read_text(encoding="utf-8")
+        return self.lint_source(source, file_path, module=module_name_for(file_path))
+
+    def lint_source(self, source: str, path: Path | str, module: str | None = None) -> list[Finding]:
+        """Lint *source* as if it lived at *path* in package *module*."""
+        file_path = Path(path)
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            raise LintConfigError(f"cannot parse {file_path}: {exc}") from exc
+        ctx = FileContext(
+            path=file_path,
+            module=module if module is not None else file_path.stem,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+            severity_overrides=self.severity_overrides,
+        )
+        findings: list[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check(ctx))
+        return [f for f in findings if not self._is_suppressed(f, ctx)]
+
+    # -- internals -------------------------------------------------------
+
+    def _is_suppressed(self, finding: Finding, ctx: FileContext) -> bool:
+        if not 1 <= finding.line <= len(ctx.lines):
+            return False
+        disabled = _suppressed_rules(ctx.lines[finding.line - 1])
+        if disabled is None:
+            return False
+        return "ALL" in disabled or finding.rule_id.upper() in disabled
+
+    def _discover(self, paths: Iterable[Path | str]) -> Iterator[Path]:
+        for entry in paths:
+            path = Path(entry)
+            if path.is_dir():
+                yield from sorted(
+                    candidate
+                    for candidate in path.rglob("*.py")
+                    if "__pycache__" not in candidate.parts
+                )
+            elif path.suffix == ".py":
+                yield path
+            elif not path.exists():
+                raise LintConfigError(f"no such file or directory: {path}")

@@ -1,0 +1,67 @@
+"""The finding data model shared by the engine, rules, baseline and CLI."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How seriously a finding affects the exit code.
+
+    ``ERROR`` findings fail the run; ``WARNING`` findings are reported
+    but only fail under ``--strict``.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``line_text`` is the stripped source line the finding points at; the
+    baseline matches on it (rather than the line number) so findings
+    survive unrelated edits above them in the file.
+    """
+
+    rule_id: str
+    path: Path
+    line: int
+    col: int
+    message: str
+    severity: Severity
+    line_text: str
+
+    def location(self) -> str:
+        """The ``path:line:col`` prefix used in human output."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """The one-line human-readable form of this finding."""
+        return f"{self.location()}: {self.rule_id} [{self.severity}] {self.message}"
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable mapping describing this finding."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path.as_posix(),
+            "line": self.line,
+            "col": self.col,
+            "severity": str(self.severity),
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+
+
+def normalized_line(source_lines: list[str], line: int) -> str:
+    """The stripped text of 1-based *line*, or ``""`` when out of range."""
+    if 1 <= line <= len(source_lines):
+        return source_lines[line - 1].strip()
+    return ""

@@ -1,0 +1,86 @@
+"""Rule base class and the global rule registry.
+
+Rules register themselves with :func:`register_rule` at import time;
+:mod:`repro.lint.rules` imports every built-in rule module so that
+``all_rules()`` is complete after ``import repro.lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator, Type, TypeVar
+
+from repro.lint.findings import Finding, Severity, normalized_line
+
+if TYPE_CHECKING:
+    from repro.lint.engine import FileContext
+
+
+class Rule:
+    """Base class for a lint rule.
+
+    Subclasses set ``rule_id``, ``title`` and ``default_severity`` and
+    implement :meth:`check`, yielding findings for one parsed file.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for *ctx*; subclasses must override."""
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` for *node* with this rule's id and severity."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            severity=ctx.severity_for(self),
+            line_text=normalized_line(ctx.lines, line),
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+R = TypeVar("R", bound=Type[Rule])
+
+
+def register_rule(rule_class: R) -> R:
+    """Class decorator adding *rule_class* to the global registry."""
+    rule_id = rule_class.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_class.__name__} does not define rule_id")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def get_rule(rule_id: str) -> Rule:
+    """An instance of the registered rule with *rule_id*."""
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise KeyError(f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def all_rules(select: Iterable[str] | None = None, ignore: Iterable[str] | None = None) -> list[Rule]:
+    """Instances of every registered rule, optionally filtered.
+
+    *select* keeps only the named rules; *ignore* drops the named rules.
+    Unknown ids in either set raise :class:`KeyError` so typos in CLI
+    flags fail loudly.
+    """
+    known = set(_REGISTRY)
+    for requested in (set(select or ()) | set(ignore or ())) - known:
+        raise KeyError(f"unknown rule {requested!r}; known: {sorted(known)}")
+    chosen = set(select) if select else known
+    chosen -= set(ignore or ())
+    return [_REGISTRY[rule_id]() for rule_id in sorted(chosen)]

@@ -1,0 +1,7 @@
+"""Built-in rule modules; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.lint.rules import determinism, docs, exceptions, units
+
+__all__ = ["determinism", "docs", "exceptions", "units"]

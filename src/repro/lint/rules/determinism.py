@@ -1,0 +1,212 @@
+"""DET001/DET002: simulation determinism.
+
+The whole experiment rests on one contract: a master seed fully
+determines the trace (``repro.simulation.random.RandomStreams``) and
+events happen in simulated time only. Both rules track import aliases
+so ``import random as r`` or ``from time import time as wall`` cannot
+slip past them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register_rule
+
+#: Module-level functions of :mod:`random` that consume the hidden
+#: global generator. ``random.Random`` (the class) is deliberately
+#: absent: constructing an explicitly seeded generator is the sanctioned
+#: path.
+_RANDOM_FUNCTIONS = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Wall-clock reads that leak host time into simulated components.
+_TIME_FUNCTIONS = frozenset(
+    {
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "time",
+        "time_ns",
+    }
+)
+_DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
+
+#: Packages whose notion of time must come from the simulation clock.
+_SIMULATED_PACKAGES = ("repro.simulation", "repro.workload", "repro.core")
+
+
+class _ImportAliases(ast.NodeVisitor):
+    """Maps local names to the modules/objects they were imported as."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}  # local name -> dotted module
+        self.objects: dict[str, tuple[str, str]] = {}  # local name -> (module, attr)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            dotted = alias.name if alias.asname else alias.name.split(".")[0]
+            self.modules[local] = dotted
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            self.objects[alias.asname or alias.name] = (node.module, alias.name)
+
+
+def _collect_aliases(tree: ast.Module) -> _ImportAliases:
+    aliases = _ImportAliases()
+    aliases.visit(tree)
+    return aliases
+
+
+def _call_target(node: ast.Call, aliases: _ImportAliases) -> tuple[str, str] | None:
+    """Resolve a call to ``(module, function)`` via the import table.
+
+    Handles ``module.func()``, ``pkg.module.func()`` (for ``import
+    numpy`` style access to ``numpy.random``) and bare ``func()`` bound
+    by a ``from module import func``.
+    """
+    func = node.func
+    if isinstance(func, ast.Name):
+        return aliases.objects.get(func.id)
+    if isinstance(func, ast.Attribute):
+        attrs: list[str] = [func.attr]
+        value = func.value
+        while isinstance(value, ast.Attribute):
+            attrs.append(value.attr)
+            value = value.value
+        if not isinstance(value, ast.Name):
+            return None
+        root = aliases.modules.get(value.id)
+        if root is None:
+            # ``from datetime import datetime`` then ``datetime.now()``
+            bound = aliases.objects.get(value.id)
+            if bound is None:
+                return None
+            root = f"{bound[0]}.{bound[1]}"
+        function = attrs[0]
+        dotted = ".".join([root, *reversed(attrs[1:])])
+        return (dotted, function)
+    return None
+
+
+@register_rule
+class SeededRandomnessRule(Rule):
+    """DET001: all randomness must flow through an injected generator."""
+
+    rule_id = "DET001"
+    title = "no module-level random.* calls"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = _collect_aliases(ctx.tree)
+        for name, (module, attr) in aliases.objects.items():
+            if module == "random" and attr in _RANDOM_FUNCTIONS:
+                node = self._import_node(ctx.tree, name)
+                yield self.finding(
+                    ctx,
+                    node if node is not None else ctx.tree,
+                    f"importing random.{attr} binds the hidden global generator; "
+                    "inject a random.Random (see repro.simulation.random.RandomStreams)",
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, aliases)
+            if target is None:
+                continue
+            module, function = target
+            if module == "random" and function in _RANDOM_FUNCTIONS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"random.{function}() uses the unseeded global generator and breaks "
+                    "master-seed determinism; draw from an injected random.Random stream",
+                )
+            elif module == "numpy.random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"numpy.random.{function}() uses numpy's global generator; "
+                    "use an explicitly seeded numpy.random.Generator or a RandomStreams stream",
+                )
+
+    @staticmethod
+    def _import_node(tree: ast.Module, local_name: str) -> ast.ImportFrom | None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and any(
+                (alias.asname or alias.name) == local_name for alias in node.names
+            ):
+                return node
+        return None
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET002: simulated components read the simulation clock, never the host's."""
+
+    rule_id = "DET002"
+    title = "no wall-clock reads in simulated components"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*_SIMULATED_PACKAGES):
+            return
+        aliases = _collect_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, aliases)
+            if target is None:
+                continue
+            module, function = target
+            if module == "time" and function in _TIME_FUNCTIONS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"time.{function}() reads the wall clock inside a simulated component; "
+                    "use the engine's simulated now",
+                )
+            elif (
+                module in ("datetime.datetime", "datetime.date")
+                and function in _DATETIME_FUNCTIONS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{module}.{function}() reads the wall clock inside a simulated "
+                    "component; derive timestamps from simulated time",
+                )

@@ -1,0 +1,71 @@
+"""DOC001: public API documentation in ``repro.core`` and ``repro.dns``.
+
+These two packages are the analysis pipeline's public surface; every
+public function needs a docstring and a return annotation so results
+(and their units) are never guessed at call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register_rule
+
+_DOCUMENTED_PACKAGES = ("repro.core", "repro.dns")
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+@register_rule
+class PublicDocstringRule(Rule):
+    """DOC001: public functions have docstrings and return annotations."""
+
+    rule_id = "DOC001"
+    title = "public functions are documented and annotated"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*_DOCUMENTED_PACKAGES):
+            return
+        yield from self._check_body(ctx, ctx.tree.body)
+
+    def _check_body(self, ctx: FileContext, body: list[ast.stmt]) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not node.name.startswith("_"):
+                    yield from self._check_body(ctx, node.body)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        if node.name.startswith("_"):  # private helpers and dunders
+            return
+        if "overload" in _decorator_names(node):
+            return
+        if ast.get_docstring(node) is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"public function {node.name}() has no docstring; state what it "
+                "returns and the units of any time values",
+            )
+        if node.returns is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"public function {node.name}() has no return annotation",
+            )

@@ -1,0 +1,117 @@
+"""EXC001: exception discipline.
+
+Swallowed exceptions turn determinism bugs into silently wrong tables;
+generic exception types strip callers of the ability to distinguish
+library failures (:class:`repro.errors.ReproError`) from programming
+errors. This rule bans bare/broad handlers and generic raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register_rule
+
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+#: Builtins that legitimately signal caller programming errors at an
+#: API boundary; anything else generic must be a :mod:`repro.errors`
+#: type so callers can catch library failures as ``ReproError``.
+_ALLOWED_BUILTIN_RAISES = frozenset(
+    {
+        "AssertionError",
+        "IndexError",
+        "KeyError",
+        "NotImplementedError",
+        "OSError",
+        "StopIteration",
+        "SystemExit",
+        "TypeError",
+        "ValueError",
+    }
+)
+_BANNED_RAISES = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+
+def _type_names(annotation: ast.expr) -> Iterator[str]:
+    """Exception type names in an ``except`` clause (unpacks tuples)."""
+    if isinstance(annotation, ast.Tuple):
+        for element in annotation.elts:
+            yield from _type_names(element)
+    elif isinstance(annotation, ast.Name):
+        yield annotation.id
+    elif isinstance(annotation, ast.Attribute):
+        yield annotation.attr
+
+
+def _is_swallowing(body: list[ast.stmt]) -> bool:
+    """Does the handler body discard the exception without acting on it?"""
+    meaningful = [stmt for stmt in body if not isinstance(stmt, ast.Pass)]
+    if not meaningful:
+        return True
+    return all(
+        isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+        for stmt in meaningful
+    )
+
+
+@register_rule
+class ExceptionDisciplineRule(Rule):
+    """EXC001: no bare/broad excepts; raises use repro.errors types."""
+
+    rule_id = "EXC001"
+    title = "exception discipline"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(ctx, node)
+
+    def _check_handler(self, ctx: FileContext, node: ast.ExceptHandler) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                ctx,
+                node,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt and hides bugs; "
+                "catch the concrete failure types",
+            )
+            return
+        broad = [name for name in _type_names(node.type) if name in _BROAD_TYPES]
+        if not broad:
+            return
+        if _is_swallowing(node.body):
+            yield self.finding(
+                ctx,
+                node,
+                f"'except {broad[0]}: pass' silently swallows failures; catch the "
+                "concrete types and handle or re-raise as a repro.errors type",
+            )
+        else:
+            yield self.finding(
+                ctx,
+                node,
+                f"overly broad 'except {broad[0]}' also catches programming errors; "
+                "narrow to the concrete failure types (repro.errors)",
+            )
+
+    def _check_raise(self, ctx: FileContext, node: ast.Raise) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:  # bare re-raise is the right way to propagate
+            return
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        if not isinstance(target, ast.Name):
+            return  # attribute raises (repro.errors.X, module-qualified) are typed
+        name = target.id
+        if name in _BANNED_RAISES:
+            yield self.finding(
+                ctx,
+                node,
+                f"raising generic {name} across a module boundary strips type "
+                "information; raise a repro.errors type instead",
+            )

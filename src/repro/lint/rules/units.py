@@ -1,0 +1,193 @@
+"""UNIT001/FLT001: time-unit hygiene.
+
+The paper's thresholds (100 ms blocking knee, 20 ms significance bar)
+make millisecond/second confusion a silent factor-of-1000 error in the
+headline numbers. UNIT001 requires time-valued *definitions* (function
+parameters and annotated attributes) to carry an explicit ``_ms`` /
+``_s`` suffix and flags additive arithmetic that mixes the two; FLT001
+flags exact float equality between time expressions, which is almost
+always a latent tolerance bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register_rule
+
+#: Name segments that mark a quantity as time-valued.
+_TIME_WORDS = frozenset({"delay", "gap", "latency", "rtt", "ttl", "duration", "timeout"})
+
+#: Accepted unit suffixes (final ``_``-separated segment).
+_UNIT_SUFFIXES = frozenset({"ms", "s", "us", "ns"})
+
+#: Trailing qualifiers that do not change the quantity's dimension:
+#: ``delay_min`` is still a delay, so the unit suffix is still required.
+_QUALIFIERS = frozenset(
+    {"avg", "cap", "floor", "limit", "max", "mean", "median", "min", "p50", "p75", "p90", "p95", "p99", "total"}
+)
+
+_SKIP_PARAMS = frozenset({"self", "cls"})
+
+
+def _segments(name: str) -> list[str]:
+    return [segment for segment in name.lower().split("_") if segment]
+
+
+def unit_of(name: str) -> str | None:
+    """The unit suffix of *name* (``"ms"``, ``"s"``, …), if it has one.
+
+    A name that is *only* a unit token (``NS`` the record type, a loop
+    variable ``s``) does not count: a suffix needs something to qualify.
+    """
+    segments = _segments(name)
+    if len(segments) >= 2 and segments[-1] in _UNIT_SUFFIXES:
+        return segments[-1]
+    return None
+
+
+def needs_unit_suffix(name: str) -> bool:
+    """Does *name* denote a raw time value but lack a unit suffix?
+
+    A name needs a suffix when, after dropping dimension-preserving
+    qualifiers (``min``, ``max``, ``median``, …), its final segment is a
+    time word. Derived quantities whose head is something else
+    (``ttl_violator_fraction``, ``click_delay_sigma``) are exempt: their
+    dimension is not time.
+    """
+    segments = _segments(name)
+    if not segments or segments[-1] in _UNIT_SUFFIXES:
+        return False
+    while segments and segments[-1] in _QUALIFIERS:
+        segments = segments[:-1]
+    return bool(segments) and segments[-1] in _TIME_WORDS
+
+
+def is_time_named(name: str) -> bool:
+    """Is *name* time-valued, with or without a unit suffix?"""
+    if unit_of(name) is not None:
+        return True
+    return needs_unit_suffix(name)
+
+
+def _expr_name(node: ast.expr) -> str | None:
+    """The identifier carried by a Name/Attribute expression, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register_rule
+class TimeUnitSuffixRule(Rule):
+    """UNIT001: time-valued definitions carry a unit suffix; no mixed arithmetic."""
+
+    rule_id = "UNIT001"
+    title = "time-valued names carry _ms/_s suffixes"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_parameters(ctx, node)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if needs_unit_suffix(node.target.id):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"time-valued attribute {node.target.id!r} has no unit suffix; "
+                        f"rename to {node.target.id}_s or {node.target.id}_ms",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_mixed_arithmetic(ctx, node)
+
+    def _check_parameters(
+        self, ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        arguments = node.args
+        every = [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+            *(arg for arg in (arguments.vararg, arguments.kwarg) if arg is not None),
+        ]
+        for arg in every:
+            if arg.arg in _SKIP_PARAMS:
+                continue
+            if needs_unit_suffix(arg.arg):
+                yield self.finding(
+                    ctx,
+                    arg,
+                    f"time-valued parameter {arg.arg!r} of {node.name}() has no unit "
+                    f"suffix; rename to {arg.arg}_s or {arg.arg}_ms",
+                )
+
+    def _check_mixed_arithmetic(self, ctx: FileContext, node: ast.BinOp) -> Iterator[Finding]:
+        units: dict[str, str] = {}
+        for operand in (node.left, node.right):
+            name = _expr_name(operand)
+            if name is None:
+                continue
+            unit = unit_of(name)
+            if unit is not None:
+                units[name] = unit
+        distinct = set(units.values())
+        if len(distinct) > 1:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            detail = ", ".join(f"{name} [{unit}]" for name, unit in sorted(units.items()))
+            yield self.finding(
+                ctx,
+                node,
+                f"additive '{op}' mixes time units ({detail}); convert to a common unit first",
+            )
+
+
+#: Names that look like text/identifier fields; comparing them with
+#: ``==`` is string comparison, not float comparison.
+_TEXTUAL_SUFFIXES = ("text", "str", "name", "key", "label", "id", "field")
+
+
+def _is_textual(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return not isinstance(node.value, (int, float)) or isinstance(node.value, bool)
+    name = _expr_name(node)
+    if name is None:
+        return False
+    segments = _segments(name)
+    return bool(segments) and segments[-1] in _TEXTUAL_SUFFIXES
+
+
+@register_rule
+class FloatTimeEqualityRule(Rule):
+    """FLT001: no exact equality between float time expressions."""
+
+    rule_id = "FLT001"
+    title = "no ==/!= on float time expressions"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_textual(left) or _is_textual(right):
+                    continue
+                for side in (left, right):
+                    name = _expr_name(side)
+                    if name is not None and is_time_named(name):
+                        symbol = "==" if isinstance(op, ast.Eq) else "!="
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"exact float {symbol} on time value {name!r}; compare with a "
+                            "tolerance (math.isclose) or restructure to avoid equality",
+                        )
+                        break

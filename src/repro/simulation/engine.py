@@ -73,11 +73,11 @@ class SimulationEngine:
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
-    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
-        """Schedule *callback* after *delay* seconds of simulated time."""
-        if delay < 0:
-            raise SimulationError(f"delay must be non-negative, got {delay}")
-        return self.schedule_at(self._now + delay, callback)
+    def schedule(self, delay_s: float, callback: EventCallback) -> EventHandle:
+        """Schedule *callback* after *delay_s* seconds of simulated time."""
+        if delay_s < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay_s}")
+        return self.schedule_at(self._now + delay_s, callback)
 
     def pending(self) -> int:
         """Number of scheduled (possibly cancelled) events remaining."""

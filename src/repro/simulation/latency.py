@@ -24,7 +24,7 @@ class LatencyModel:
 
     Parameters
     ----------
-    base_rtt:
+    base_rtt_s:
         The floor of the distribution (propagation + minimal processing).
     jitter_median:
         Median of the additive lognormal jitter component.
@@ -37,15 +37,15 @@ class LatencyModel:
         Extra delay per retransmission event (UDP timeout).
     """
 
-    base_rtt: float
+    base_rtt_s: float
     jitter_median: float = 0.0005
     jitter_sigma: float = 0.8
     loss_probability: float = 0.0
     retransmit_penalty: float = 0.8
 
     def __post_init__(self) -> None:
-        if self.base_rtt < 0:
-            raise SimulationError(f"base_rtt must be non-negative, got {self.base_rtt}")
+        if self.base_rtt_s < 0:
+            raise SimulationError(f"base_rtt_s must be non-negative, got {self.base_rtt_s}")
         if self.jitter_median < 0:
             raise SimulationError("jitter_median must be non-negative")
         if not 0.0 <= self.loss_probability < 1.0:
@@ -53,7 +53,7 @@ class LatencyModel:
 
     def sample(self, rng: random.Random) -> float:
         """One RTT sample in seconds."""
-        rtt = self.base_rtt
+        rtt = self.base_rtt_s
         if self.jitter_median > 0:
             rtt += rng.lognormvariate(math.log(self.jitter_median), self.jitter_sigma)
         while self.loss_probability and rng.random() < self.loss_probability:
@@ -65,7 +65,7 @@ class LatencyModel:
         if factor <= 0:
             raise SimulationError(f"scale factor must be positive, got {factor}")
         return LatencyModel(
-            base_rtt=self.base_rtt * factor,
+            base_rtt_s=self.base_rtt_s * factor,
             jitter_median=self.jitter_median * factor,
             jitter_sigma=self.jitter_sigma,
             loss_probability=self.loss_probability,
@@ -75,24 +75,24 @@ class LatencyModel:
 
 def lan_latency() -> LatencyModel:
     """In-home / on-device latency: effectively instantaneous."""
-    return LatencyModel(base_rtt=0.0002, jitter_median=0.0001, jitter_sigma=0.5)
+    return LatencyModel(base_rtt_s=0.0002, jitter_median=0.0001, jitter_sigma=0.5)
 
 
 def metro_latency() -> LatencyModel:
     """House to a resolver inside the ISP (the paper observed ~2 ms)."""
-    return LatencyModel(base_rtt=0.002, jitter_median=0.0004, jitter_sigma=0.7, loss_probability=0.001)
+    return LatencyModel(base_rtt_s=0.002, jitter_median=0.0004, jitter_sigma=0.7, loss_probability=0.001)
 
 
 def regional_latency() -> LatencyModel:
     """House to a nearby anycast platform (Cloudflare-like, ~10 ms)."""
-    return LatencyModel(base_rtt=0.009, jitter_median=0.001, jitter_sigma=0.7, loss_probability=0.002)
+    return LatencyModel(base_rtt_s=0.009, jitter_median=0.001, jitter_sigma=0.7, loss_probability=0.002)
 
 
 def continental_latency() -> LatencyModel:
     """House to a farther platform (Google/OpenDNS-like, ~17 ms)."""
-    return LatencyModel(base_rtt=0.016, jitter_median=0.0015, jitter_sigma=0.7, loss_probability=0.003)
+    return LatencyModel(base_rtt_s=0.016, jitter_median=0.0015, jitter_sigma=0.7, loss_probability=0.003)
 
 
 def authoritative_latency() -> LatencyModel:
     """Resolver to an arbitrary authoritative server (wide spread)."""
-    return LatencyModel(base_rtt=0.006, jitter_median=0.008, jitter_sigma=1.25, loss_probability=0.02)
+    return LatencyModel(base_rtt_s=0.006, jitter_median=0.008, jitter_sigma=1.25, loss_probability=0.02)

@@ -98,7 +98,7 @@ class BrowsingConfig:
     prefetch_links_min: int = 4
     prefetch_links_max: int = 6
     click_probability: float = 0.95
-    click_delay_median: float = 260.0
+    click_delay_median_s: float = 260.0
     click_delay_sigma: float = 1.1
     favorite_probability: float = 0.75
 
@@ -153,7 +153,7 @@ class WebBrowsingModel:
             # later off the now-cached mapping.
             if rng.random() < 0.55:
                 device.followup_connections(
-                    site.primary, resolution, count=1, delay_min=10.0, delay_max=150.0
+                    site.primary, resolution, count=1, delay_min_s=10.0, delay_max_s=150.0
                 )
         # The parser discovers subresources shortly after the primary fetch.
         parse_at = resolution.completed_at + rng.uniform(0.08, 0.6)
@@ -171,7 +171,7 @@ class WebBrowsingModel:
                 )
                 if rng.random() < 0.30:
                     device.followup_connections(
-                        host, sub_resolution, count=1, delay_min=10.0, delay_max=150.0
+                        host, sub_resolution, count=1, delay_min_s=10.0, delay_max_s=150.0
                     )
             parse_at = max(parse_at + rng.uniform(0.01, 0.2), sub_resolution.completed_at)
         # Speculative DNS prefetching of outbound links (§5.2).
@@ -185,7 +185,7 @@ class WebBrowsingModel:
         # process subcritical (a session must not spawn sessions forever).
         if links and click_depth < 4 and rng.random() < config.click_probability:
             target = rng.choice(links)
-            delay = rng.lognormvariate(math.log(config.click_delay_median), config.click_delay_sigma)
+            delay = rng.lognormvariate(math.log(config.click_delay_median_s), config.click_delay_sigma)
             click_at = prefetch_at + delay
             if click_at < end:
                 engine.schedule_at(
@@ -351,7 +351,7 @@ class P2PModel:
                 address=peer_ip,
                 port=peer_port,
                 proto=proto,
-                duration=duration,
+                duration_s=duration,
                 orig_bytes=int(size * rng.uniform(0.2, 1.0)),
                 resp_bytes=int(size),
                 service="-",
@@ -396,7 +396,7 @@ class IoTHardcodedModel:
             address=RETIRED_NTP_SERVER,
             port=123,
             proto=Proto.UDP,
-            duration=0.0,
+            duration_s=0.0,
             orig_bytes=48,
             resp_bytes=0,
             service="ntp",
@@ -409,7 +409,7 @@ class IoTHardcodedModel:
             address=device.rng.choice(OOMA_NTP_SERVERS),
             port=123,
             proto=Proto.UDP,
-            duration=device.rng.uniform(0.01, 0.08),
+            duration_s=device.rng.uniform(0.01, 0.08),
             orig_bytes=48,
             resp_bytes=48,
             service="ntp",
@@ -421,7 +421,7 @@ class IoTHardcodedModel:
             address=device.rng.choice(ALARMNET_SERVERS),
             port=443,
             proto=Proto.TCP,
-            duration=device.rng.uniform(0.2, 3.0),
+            duration_s=device.rng.uniform(0.2, 3.0),
             orig_bytes=device.rng.randint(500, 4000),
             resp_bytes=device.rng.randint(500, 6000),
             service="ssl",

@@ -121,7 +121,7 @@ class Device:
                 resp_h=lookup.resolver_address or "0.0.0.0",
                 resp_p=853,
                 proto=Proto.TCP,
-                duration=lookup.duration,
+                duration=lookup.duration_s,
                 orig_bytes=int(self.rng.uniform(200, 500)),
                 resp_bytes=int(self.rng.uniform(300, 900)),
                 service="dot",
@@ -140,7 +140,7 @@ class Device:
                 orig_p=self.house.nat_port(),
                 resp_h=lookup.resolver_address or "0.0.0.0",
                 query=hostname,
-                rtt=lookup.duration,
+                rtt=lookup.duration_s,
                 answers=answers,
                 rcode="NXDOMAIN" if outcome.nxdomain else "NOERROR",
             )
@@ -148,7 +148,7 @@ class Device:
         return Resolution(
             hostname=hostname,
             addresses=lookup.addresses(),
-            completed_at=now + lookup.duration,
+            completed_at=now + lookup.duration_s,
             truth_class=truth,
             dns_uid=record_uid,
             used_expired_record=False,
@@ -306,8 +306,8 @@ class Device:
         host: HostProfile,
         resolution: Resolution,
         count: int,
-        delay_min: float = 0.5,
-        delay_max: float = 8.0,
+        delay_min_s: float = 0.5,
+        delay_max_s: float = 8.0,
         size_scale: float = 1.0,
         port: int = 443,
     ) -> None:
@@ -321,7 +321,7 @@ class Device:
             return
         start = resolution.completed_at
         for _ in range(count):
-            start += self.rng.uniform(delay_min, delay_max)
+            start += self.rng.uniform(delay_min_s, delay_max_s)
             self._open_single(
                 host,
                 resolution,
@@ -339,7 +339,7 @@ class Device:
         address: str,
         port: int,
         proto: Proto,
-        duration: float,
+        duration_s: float,
         orig_bytes: int,
         resp_bytes: int,
         service: str = "-",
@@ -354,7 +354,7 @@ class Device:
             resp_h=address,
             resp_p=port,
             proto=proto,
-            duration=duration,
+            duration=duration_s,
             orig_bytes=orig_bytes,
             resp_bytes=resp_bytes,
             service=service,

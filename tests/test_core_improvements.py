@@ -102,7 +102,7 @@ class TestRefreshSimulator:
             records.append(dns(f"D{i}", ts, "1.2.3.4", ttl=ttl, query="api.example.com"))
             conns.append(conn(f"C{i}", ts + 0.005, "1.2.3.4"))
         classified = classify(records, conns)
-        return RefreshSimulator(records, classified, ttl_floor=ttl_floor, houses=1)
+        return RefreshSimulator(records, classified, ttl_floor_s=ttl_floor, houses=1)
 
     def test_standard_cache_misses_when_period_exceeds_ttl(self):
         simulator = self._simulator(ttl=100.0, period=150.0, polls=10)
@@ -156,7 +156,7 @@ class TestRefreshSimulator:
 
     def test_negative_floor_rejected(self):
         with pytest.raises(AnalysisError):
-            RefreshSimulator([], [], ttl_floor=-1.0)
+            RefreshSimulator([], [], ttl_floor_s=-1.0)
 
     def test_auth_ttl_is_max_observed(self):
         records = [

@@ -170,7 +170,7 @@ class TestStats:
         assert DnsCache().stats.hit_rate == 0.0
 
     def test_ttl_clamping(self):
-        cache = DnsCache(min_ttl=30.0, max_ttl=300.0)
+        cache = DnsCache(min_ttl_s=30.0, max_ttl_s=300.0)
         entry_low = cache.put(cache_key("low.com"), records_for("low.com", ttl=1), now=0.0)
         entry_high = cache.put(cache_key("high.com"), records_for("high.com", ttl=86400), now=0.0)
         assert entry_low.ttl == 30.0
@@ -178,9 +178,9 @@ class TestStats:
 
     def test_invalid_ttl_bounds(self):
         with pytest.raises(DnsError):
-            DnsCache(min_ttl=100.0, max_ttl=10.0)
+            DnsCache(min_ttl_s=100.0, max_ttl_s=10.0)
         with pytest.raises(DnsError):
-            DnsCache(min_ttl=-1.0)
+            DnsCache(min_ttl_s=-1.0)
 
 
 @given(

@@ -18,15 +18,15 @@ from repro.simulation.latency import LatencyModel, metro_latency
 
 
 def quiet_latency(base: float) -> LatencyModel:
-    return LatencyModel(base_rtt=base, jitter_median=0.0001, jitter_sigma=0.1)
+    return LatencyModel(base_rtt_s=base, jitter_median=0.0001, jitter_sigma=0.1)
 
 
 def make_profile(**overrides) -> ResolverProfile:
     defaults = dict(
         platform="test",
         address="192.0.2.1",
-        client_latency=quiet_latency(0.002),
-        auth_latency=quiet_latency(0.020),
+        client_latency_model=quiet_latency(0.002),
+        auth_latency_model=quiet_latency(0.020),
         cache_effectiveness=1.0,
         background_scale=0.0,
     )
@@ -51,7 +51,7 @@ class TestRecursiveResolver:
         assert outcome.auth_queries == 3  # root, .com, cnn.com
         assert outcome.addresses() == ("151.101.1.67",)
         # Three authoritative RTTs dominate the duration.
-        assert outcome.duration > 0.06
+        assert outcome.duration_s > 0.06
 
     def test_cache_hit_is_fast(self, hierarchy):
         resolver = RecursiveResolver(make_profile(), hierarchy, rng=random.Random(1))
@@ -59,7 +59,7 @@ class TestRecursiveResolver:
         outcome = resolver.resolve("www.cnn.com", now=1.0)
         assert outcome.cache_hit
         assert outcome.auth_queries == 0
-        assert outcome.duration < 0.01
+        assert outcome.duration_s < 0.01
 
     def test_delegation_cache_skips_upper_tree(self, hierarchy):
         resolver = RecursiveResolver(make_profile(), hierarchy, rng=random.Random(1))
@@ -139,7 +139,7 @@ class TestStubResolver:
         stub.lookup("www.cnn.com", now=0.0)
         lookup = stub.lookup("www.cnn.com", now=10.0)
         assert not lookup.network_transaction
-        assert lookup.duration == 0.0
+        assert lookup.duration_s == 0.0
 
     def test_expired_entry_requeried(self, hierarchy):
         stub = self._stub(hierarchy)
@@ -186,9 +186,9 @@ class TestPlatformProfiles:
     def test_rtt_ordering_matches_paper(self):
         profiles = build_platform_profiles()
         assert (
-            profiles["local"].client_latency.base_rtt
-            < profiles["cloudflare"].client_latency.base_rtt
-            < profiles["google"].client_latency.base_rtt
+            profiles["local"].client_latency_model.base_rtt_s
+            < profiles["cloudflare"].client_latency_model.base_rtt_s
+            < profiles["google"].client_latency_model.base_rtt_s
         )
 
     def test_google_has_lowest_cache_effectiveness(self):
@@ -211,7 +211,7 @@ class TestNegativeCaching:
         second = resolver.resolve("missing.cnn.com", now=10.0)
         assert second.nxdomain and second.cache_hit
         assert second.auth_queries == 0
-        assert second.duration < 0.01
+        assert second.duration_s < 0.01
 
     def test_negative_entry_expires(self, hierarchy):
         resolver = RecursiveResolver(make_profile(), hierarchy, rng=random.Random(9))

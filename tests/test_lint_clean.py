@@ -1,0 +1,57 @@
+"""Tier-1 gate: ``src/repro`` must stay repro-lint clean.
+
+Runs the analyzer over the real source tree in-process and fails on any
+finding that is neither fixed nor consciously baselined, so every future
+PR is gated on lint-cleanliness by the ordinary test suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, LintEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_TREE = REPO_ROOT / "src" / "repro"
+BASELINE_FILE = REPO_ROOT / "lint-baseline.json"
+
+
+@pytest.fixture(scope="module")
+def lint_run():
+    return LintEngine().lint_paths([SOURCE_TREE])
+
+
+class TestSourceTreeIsClean:
+    def test_source_tree_exists(self):
+        assert SOURCE_TREE.is_dir()
+
+    def test_no_non_baselined_findings(self, lint_run):
+        baseline = Baseline.load(BASELINE_FILE)
+        new, _ = baseline.filter(lint_run.findings)
+        details = "\n".join(finding.render() for finding in new)
+        assert not new, f"repro-lint found new violations:\n{details}"
+
+    def test_whole_tree_was_checked(self, lint_run):
+        assert lint_run.files_checked >= 50
+
+    def test_baseline_is_not_stale(self, lint_run):
+        """Every baseline entry still matches a real finding.
+
+        When a grandfathered violation gets fixed, its entry must be
+        removed (``repro-lint src/repro --write-baseline``) so the
+        baseline only ever shrinks.
+        """
+        baseline = Baseline.load(BASELINE_FILE)
+        _, baselined = baseline.filter(lint_run.findings)
+        total_budget = sum(entry.count for entry in baseline.entries)
+        assert len(baselined) == total_budget, (
+            "baseline has stale entries; regenerate with --write-baseline"
+        )
+
+    def test_baseline_entries_are_justified_unit_grandfathers(self):
+        baseline = Baseline.load(BASELINE_FILE)
+        for entry in baseline.entries:
+            assert entry.rule == "UNIT001", (
+                f"only UNIT001 naming grandfathers belong in the baseline, found {entry.rule}"
+            )
+            assert "TODO" not in entry.justification

@@ -1,0 +1,137 @@
+"""End-to-end tests for the ``repro-lint`` CLI: exit codes, JSON, baseline."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import Baseline, BaselineError, BaselineEntry, discover_baseline
+from repro.lint.cli import main
+
+VIOLATION = "import random\n\njitter = random.random()\n"
+CLEAN = '"""Module."""\n\nANSWER = 42\n'
+
+
+@pytest.fixture
+def violation_file(tmp_path):
+    path = tmp_path / "fixture.py"
+    path.write_text(VIOLATION)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text(CLEAN)
+        assert main([str(path)]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_seeded_rng_violation_exits_nonzero(self, violation_file, capsys):
+        assert main([str(violation_file)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "fixture.py:3" in out
+
+    def test_unknown_rule_is_usage_error(self, violation_file, capsys):
+        assert main([str(violation_file), "--select", "BOGUS123"]) == 2
+        assert "BOGUS123" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.py")]) == 2
+
+    def test_select_other_rule_ignores_violation(self, violation_file):
+        assert main([str(violation_file), "--select", "EXC001"]) == 0
+
+    def test_ignore_rule_passes(self, violation_file):
+        assert main([str(violation_file), "--ignore", "DET001"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "UNIT001", "FLT001", "EXC001", "DOC001"):
+            assert rule_id in out
+
+
+class TestJsonOutput:
+    def test_json_round_trips(self, violation_file, capsys):
+        assert main([str(violation_file), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET001"
+        assert finding["line"] == 3
+        assert finding["line_text"] == "jitter = random.random()"
+
+    def test_json_clean_summary(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text(CLEAN)
+        assert main([str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {
+            "files_checked": 1, "errors": 0, "warnings": 0, "baselined": 0,
+        }
+
+
+class TestBaselineWorkflow:
+    def test_write_then_pass_then_regress(self, tmp_path, capsys):
+        project = tmp_path / "proj"
+        project.mkdir()
+        target = project / "code.py"
+        target.write_text(VIOLATION)
+        baseline = project / "lint-baseline.json"
+
+        # 1. Grandfather the existing violation.
+        assert main([str(target), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert baseline.exists()
+
+        # 2. With the baseline the run is clean.
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # 3. A *new* violation on another line still fails.
+        target.write_text(VIOLATION + "more = random.uniform(0.0, 1.0)\n")
+        assert main([str(target), "--baseline", str(baseline)]) == 1
+
+        # 4. --no-baseline surfaces everything again.
+        assert main([str(target), "--baseline", str(baseline), "--no-baseline"]) == 1
+
+    def test_baseline_discovered_from_parent_directory(self, tmp_path):
+        project = tmp_path / "proj"
+        package = project / "pkg"
+        package.mkdir(parents=True)
+        target = package / "code.py"
+        target.write_text(VIOLATION)
+        baseline_path = project / "lint-baseline.json"
+        assert main([str(target), "--baseline", str(baseline_path), "--write-baseline"]) == 0
+        assert discover_baseline(target) == baseline_path
+        # No explicit --baseline: the nearest lint-baseline.json is used.
+        assert main([str(target)]) == 0
+
+    def test_entries_require_justification(self):
+        with pytest.raises(BaselineError):
+            Baseline([BaselineEntry(rule="DET001", path="x.py", line_text="y", justification="  ")])
+
+    def test_malformed_baseline_is_config_error(self, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        baseline.write_text("{not json")
+        target = tmp_path / "code.py"
+        target.write_text(CLEAN)
+        assert main([str(target), "--baseline", str(baseline)]) == 2
+
+    def test_budget_does_not_leak_across_lines(self, tmp_path):
+        """One baselined occurrence must not absolve two identical new ones."""
+        project = tmp_path / "proj"
+        project.mkdir()
+        target = project / "code.py"
+        target.write_text(VIOLATION)
+        baseline = project / "lint-baseline.json"
+        assert main([str(target), "--baseline", str(baseline), "--write-baseline"]) == 0
+        # Duplicate the exact same violating line: same line_text, count exceeded.
+        target.write_text(VIOLATION + "jitter = random.random()\n")
+        assert main([str(target), "--baseline", str(baseline)]) == 1
+
+
+class TestReproDnsSubcommand:
+    def test_lint_subcommand_delegates(self, violation_file):
+        from repro.cli import main as repro_dns_main
+
+        assert repro_dns_main(["lint", str(violation_file)]) == 1
+        assert repro_dns_main(["lint", str(violation_file), "--ignore", "DET001"]) == 0

@@ -1,0 +1,278 @@
+"""Unit tests for the repro-lint engine and each built-in rule."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintEngine, Severity, all_rules, get_rule
+from repro.lint.engine import LintConfigError, module_name_for
+
+
+def lint(source, module="repro.example", rules=None):
+    engine = LintEngine(rules=[get_rule(r) for r in rules] if rules else None)
+    return engine.lint_source(textwrap.dedent(source), Path("example.py"), module=module)
+
+
+def rule_ids(findings):
+    return [finding.rule_id for finding in findings]
+
+
+class TestEngine:
+    def test_clean_source_has_no_findings(self):
+        assert lint("x = 1\n") == []
+
+    def test_syntax_error_raises_config_error(self):
+        with pytest.raises(LintConfigError):
+            lint("def broken(:\n")
+
+    def test_findings_carry_location_and_line_text(self):
+        (finding,) = lint("import random\nrandom.random()\n", rules=["DET001"])
+        assert finding.line == 2
+        assert finding.line_text == "random.random()"
+        assert "example.py:2:" in finding.render()
+
+    def test_inline_suppression_by_rule(self):
+        assert lint("import random\nrandom.random()  # repro-lint: disable=DET001\n") == []
+
+    def test_inline_suppression_all(self):
+        assert lint("import random\nrandom.random()  # repro-lint: disable=all\n") == []
+
+    def test_suppression_of_other_rule_does_not_apply(self):
+        findings = lint("import random\nrandom.random()  # repro-lint: disable=EXC001\n")
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_unknown_rule_selection_fails_loudly(self):
+        with pytest.raises(KeyError):
+            all_rules(select=["NOPE999"])
+
+    def test_module_name_for_repro_file(self):
+        path = Path(__file__).parent.parent / "src" / "repro" / "dns" / "cache.py"
+        assert module_name_for(path) == "repro.dns.cache"
+
+    def test_severity_override(self):
+        engine = LintEngine(severity_overrides={"DET001": Severity.WARNING})
+        (finding,) = engine.lint_source("import random\nrandom.random()\n", Path("x.py"))
+        assert finding.severity is Severity.WARNING
+
+
+class TestDET001SeededRandomness:
+    def test_module_level_calls_flagged(self):
+        for call in ("random.random()", "random.randint(1, 6)", "random.choice([1])",
+                     "random.shuffle(xs)", "random.seed(0)"):
+            findings = lint(f"import random\nxs = [1]\n{call}\n", rules=["DET001"])
+            assert rule_ids(findings) == ["DET001"], call
+
+    def test_aliased_import_flagged(self):
+        findings = lint("import random as rnd\nrnd.uniform(0, 1)\n", rules=["DET001"])
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_from_import_flagged(self):
+        findings = lint("from random import choice\nchoice([1, 2])\n", rules=["DET001"])
+        # Both the import binding and the call are reported.
+        assert rule_ids(findings) == ["DET001", "DET001"]
+
+    def test_numpy_global_generator_flagged(self):
+        findings = lint("import numpy as np\nnp.random.rand(3)\n", rules=["DET001"])
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_injected_generator_allowed(self):
+        clean = """
+            import random
+
+            def draw(rng: random.Random) -> float:
+                return rng.random()
+
+            seeded = random.Random(42)
+        """
+        assert lint(clean, rules=["DET001"]) == []
+
+    def test_unrelated_random_attribute_allowed(self):
+        # a local object that happens to be called ``random``
+        assert lint("obj.random.choice([1])\n", rules=["DET001"]) == []
+
+
+class TestDET002WallClock:
+    def test_wall_clock_flagged_in_simulated_packages(self):
+        for module in ("repro.simulation.engine", "repro.workload.apps", "repro.core.stats"):
+            findings = lint("import time\nnow = time.time()\n", module=module, rules=["DET002"])
+            assert rule_ids(findings) == ["DET002"], module
+
+    def test_monotonic_and_from_import_flagged(self):
+        findings = lint(
+            "from time import monotonic\nx = monotonic()\n",
+            module="repro.simulation.engine",
+            rules=["DET002"],
+        )
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_datetime_now_flagged(self):
+        findings = lint(
+            "from datetime import datetime\nstamp = datetime.now()\n",
+            module="repro.core.context",
+            rules=["DET002"],
+        )
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_wall_clock_allowed_outside_simulated_packages(self):
+        # benchmarks and the report layer may time real execution
+        assert lint("import time\nt = time.time()\n", module="repro.report.figures", rules=["DET002"]) == []
+
+    def test_simulated_now_parameter_allowed(self):
+        assert lint("def f(now: float) -> float:\n    return now + 1.0\n",
+                    module="repro.simulation.engine", rules=["DET002"]) == []
+
+
+class TestUNIT001TimeUnits:
+    def test_unsuffixed_parameter_flagged(self):
+        findings = lint("def wait(delay: float) -> None:\n    pass\n", rules=["UNIT001"])
+        assert rule_ids(findings) == ["UNIT001"]
+
+    def test_unsuffixed_attribute_flagged(self):
+        findings = lint("class C:\n    timeout: float = 1.0\n", rules=["UNIT001"])
+        assert rule_ids(findings) == ["UNIT001"]
+
+    def test_qualified_names_still_flagged(self):
+        findings = lint("def f(delay_min: float, max_ttl: float) -> None:\n    pass\n", rules=["UNIT001"])
+        assert len(findings) == 2
+
+    def test_suffixed_names_allowed(self):
+        clean = """
+            def wait(delay_s: float, rtt_ms: float) -> None:
+                pass
+
+            class C:
+                duration_s: float = 0.0
+                ttl_s: int = 300
+        """
+        assert lint(clean, rules=["UNIT001"]) == []
+
+    def test_derived_quantities_allowed(self):
+        clean = """
+            class C:
+                ttl_violator_fraction: float = 0.02
+                click_delay_sigma: float = 1.1
+                lookup_delay_ks: float = 0.0
+        """
+        assert lint(clean, rules=["UNIT001"]) == []
+
+    def test_mixed_unit_arithmetic_flagged(self):
+        findings = lint("total = delay_ms + gap_s\n", rules=["UNIT001"])
+        assert rule_ids(findings) == ["UNIT001"]
+        assert "mixes time units" in findings[0].message
+
+    def test_same_unit_arithmetic_allowed(self):
+        assert lint("total_s = delay_s + gap_s\n", rules=["UNIT001"]) == []
+
+    def test_multiplicative_conversion_allowed(self):
+        assert lint("delay_ms = delay_s * 1000.0\n", rules=["UNIT001"]) == []
+
+    def test_record_type_ns_is_not_a_unit(self):
+        # RRType.NS must not parse as "nanoseconds"
+        assert lint("ok = rtype != RRType.NS\n", rules=["UNIT001", "FLT001"]) == []
+
+
+class TestFLT001FloatTimeEquality:
+    def test_time_equality_flagged(self):
+        findings = lint("blocked = gap == 0.1\n", rules=["FLT001"])
+        assert rule_ids(findings) == ["FLT001"]
+
+    def test_suffixed_time_inequality_flagged(self):
+        findings = lint("done = elapsed_s != deadline\n", rules=["FLT001"])
+        assert rule_ids(findings) == ["FLT001"]
+
+    def test_ordering_comparisons_allowed(self):
+        assert lint("late = gap > 0.1\nearly = delay_s <= cutoff\n", rules=["FLT001"]) == []
+
+    def test_string_comparison_not_flagged(self):
+        assert lint('missing = rtt_text == "-"\n', rules=["FLT001"]) == []
+
+    def test_non_time_equality_allowed(self):
+        assert lint("same = count == 3\n", rules=["FLT001"]) == []
+
+
+class TestEXC001ExceptionDiscipline:
+    def test_bare_except_flagged(self):
+        findings = lint("try:\n    x = 1\nexcept:\n    pass\n", rules=["EXC001"])
+        assert rule_ids(findings) == ["EXC001"]
+
+    def test_swallowing_broad_except_flagged(self):
+        findings = lint("try:\n    x = 1\nexcept Exception:\n    pass\n", rules=["EXC001"])
+        assert "swallows" in findings[0].message
+
+    def test_broad_except_with_reraise_still_flagged_as_broad(self):
+        source = """
+            try:
+                x = 1
+            except Exception as exc:
+                raise ValueError(str(exc)) from exc
+        """
+        findings = lint(source, rules=["EXC001"])
+        assert "broad" in findings[0].message
+
+    def test_concrete_except_allowed(self):
+        source = """
+            from repro.errors import DnsError
+            try:
+                x = 1
+            except (DnsError, ValueError):
+                x = 2
+        """
+        assert lint(source, rules=["EXC001"]) == []
+
+    def test_generic_raise_flagged(self):
+        findings = lint('raise RuntimeError("boom")\n', rules=["EXC001"])
+        assert rule_ids(findings) == ["EXC001"]
+
+    def test_typed_and_bare_reraise_allowed(self):
+        source = """
+            from repro.errors import WorkloadError
+            def f(x: int) -> None:
+                if x < 0:
+                    raise WorkloadError("bad")
+                if x == 0:
+                    raise ValueError("zero")
+                try:
+                    g()
+                except KeyError:
+                    raise
+        """
+        assert lint(source, rules=["EXC001"]) == []
+
+
+class TestDOC001PublicDocs:
+    def test_missing_docstring_and_annotation_flagged(self):
+        findings = lint("def f(x):\n    return x\n", module="repro.core.stats", rules=["DOC001"])
+        assert rule_ids(findings) == ["DOC001", "DOC001"]
+
+    def test_documented_annotated_function_allowed(self):
+        source = '''
+            def f(x: int) -> int:
+                """Doubles *x*."""
+                return 2 * x
+        '''
+        assert lint(source, module="repro.dns.cache", rules=["DOC001"]) == []
+
+    def test_private_and_dunder_skipped(self):
+        source = """
+            class C:
+                def __init__(self):
+                    self.x = 1
+
+                def _helper(self):
+                    return self.x
+        """
+        assert lint(source, module="repro.core.stats", rules=["DOC001"]) == []
+
+    def test_nested_functions_skipped(self):
+        source = '''
+            def outer() -> int:
+                """Documented."""
+                def inner(x):
+                    return x
+                return inner(1)
+        '''
+        assert lint(source, module="repro.core.stats", rules=["DOC001"]) == []
+
+    def test_rule_scoped_to_core_and_dns(self):
+        assert lint("def f(x):\n    return x\n", module="repro.workload.apps", rules=["DOC001"]) == []

@@ -112,13 +112,13 @@ class TestEngine:
 
 class TestLatency:
     def test_sample_at_least_base(self):
-        model = LatencyModel(base_rtt=0.01, jitter_median=0.001)
+        model = LatencyModel(base_rtt_s=0.01, jitter_median=0.001)
         rng = random.Random(1)
         for _ in range(200):
             assert model.sample(rng) >= 0.01
 
     def test_loss_adds_penalty(self):
-        model = LatencyModel(base_rtt=0.01, jitter_median=0.0, loss_probability=0.5, retransmit_penalty=1.0)
+        model = LatencyModel(base_rtt_s=0.01, jitter_median=0.0, loss_probability=0.5, retransmit_penalty=1.0)
         rng = random.Random(2)
         samples = [model.sample(rng) for _ in range(500)]
         assert any(sample > 1.0 for sample in samples)
@@ -126,7 +126,7 @@ class TestLatency:
 
     def test_scaled(self):
         model = metro_latency().scaled(2.0)
-        assert model.base_rtt == pytest.approx(2 * metro_latency().base_rtt)
+        assert model.base_rtt_s == pytest.approx(2 * metro_latency().base_rtt_s)
 
     def test_scaled_requires_positive(self):
         with pytest.raises(SimulationError):
@@ -134,12 +134,12 @@ class TestLatency:
 
     def test_validation(self):
         with pytest.raises(SimulationError):
-            LatencyModel(base_rtt=-1.0)
+            LatencyModel(base_rtt_s=-1.0)
         with pytest.raises(SimulationError):
-            LatencyModel(base_rtt=0.01, loss_probability=1.5)
+            LatencyModel(base_rtt_s=0.01, loss_probability=1.5)
 
     def test_presets_ordering(self):
-        assert lan_latency().base_rtt < metro_latency().base_rtt < authoritative_latency().base_rtt
+        assert lan_latency().base_rtt_s < metro_latency().base_rtt_s < authoritative_latency().base_rtt_s
 
 
 class TestRandomStreams:

@@ -32,7 +32,7 @@ from repro.workload.namespace import (
 
 
 def quiet(base):
-    return LatencyModel(base_rtt=base, jitter_median=0.0001, jitter_sigma=0.1)
+    return LatencyModel(base_rtt_s=base, jitter_median=0.0001, jitter_sigma=0.1)
 
 
 @pytest.fixture()
@@ -40,7 +40,7 @@ def world():
     universe = NameUniverse(random.Random(5), site_count=15, cdn_host_count=4, ads_host_count=3)
     profile = ResolverProfile(
         platform="local", address="192.168.200.10",
-        client_latency=quiet(0.002), auth_latency=quiet(0.02),
+        client_latency_model=quiet(0.002), auth_latency_model=quiet(0.02),
     )
     resolver = RecursiveResolver(profile, universe.hierarchy, rng=random.Random(6))
     capture = MonitorCapture()

@@ -16,7 +16,7 @@ from repro.workload.namespace import NameUniverse
 
 
 def quiet(base):
-    return LatencyModel(base_rtt=base, jitter_median=0.0001, jitter_sigma=0.1)
+    return LatencyModel(base_rtt_s=base, jitter_median=0.0001, jitter_sigma=0.1)
 
 
 @pytest.fixture()
@@ -26,8 +26,8 @@ def setup():
     profile = ResolverProfile(
         platform="local",
         address="192.168.200.10",
-        client_latency=quiet(0.002),
-        auth_latency=quiet(0.02),
+        client_latency_model=quiet(0.002),
+        auth_latency_model=quiet(0.02),
     )
     resolver = RecursiveResolver(profile, universe.hierarchy, rng=random.Random(6))
     capture = MonitorCapture()
@@ -114,7 +114,7 @@ class TestConnections:
         universe, house, device, capture = setup
         site = universe.sites[0]
         resolution = device.resolve(site.primary.hostname, now=10.0)
-        device.followup_connections(site.primary, resolution, count=2, delay_min=1.0, delay_max=5.0)
+        device.followup_connections(site.primary, resolution, count=2, delay_min_s=1.0, delay_max_s=5.0)
         assert len(capture.trace.conns) == 2
         for c in capture.trace.conns:
             assert capture.trace.truth[c.uid].truth_class == TruthClass.LOCAL_CACHE
@@ -152,7 +152,7 @@ class TestConnections:
         universe, house, device, capture = setup
         device.connect_hardcoded(
             now=5.0, address="128.138.141.172", port=123, proto=Proto.UDP,
-            duration=0.0, orig_bytes=48, resp_bytes=0, service="ntp", conn_state="S0",
+            duration_s=0.0, orig_bytes=48, resp_bytes=0, service="ntp", conn_state="S0",
         )
         conn = capture.trace.conns[0]
         assert capture.trace.truth[conn.uid].truth_class == TruthClass.NO_DNS
