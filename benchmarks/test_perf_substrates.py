@@ -77,6 +77,18 @@ def test_pairing_throughput(benchmark, trace):
     assert len(paired) == len(trace.conns)
 
 
+def test_parallel_pipeline(benchmark, trace):
+    """The sharded 4-worker pipeline over the full session trace."""
+    from repro.core.parallel import run_pipeline
+
+    def pipeline():
+        return run_pipeline(trace, workers=4)
+
+    result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    assert result.census.conns == len(trace.conns)
+    assert result == run_pipeline(trace, workers=1)
+
+
 def test_trace_generation_small(benchmark):
     """End-to-end generation of a small scenario (3 houses, 30 min)."""
     config = smoke_scenario(seed=3).scaled(houses=3, duration=1800.0)

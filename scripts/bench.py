@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Benchmark the analysis pipeline: serial vs sharded multiprocessing.
+
+Generates a seeded week-long synthetic scenario once, runs the full
+pairing → classification → performance pipeline serially and with a
+worker pool, verifies the outputs are identical, and writes the wall
+times to ``BENCH_pipeline.json`` next to the repository root.
+
+Usage:
+    PYTHONPATH=src python scripts/bench.py [--houses N] [--hours H]
+        [--seed S] [--workers W] [--repeats R] [--out PATH]
+
+Wall-clock timing lives here (not in ``repro.core``) on purpose: the
+library proper never reads the clock, which is what lets repro-lint
+enforce determinism over it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.parallel import run_pipeline  # noqa: E402
+from repro.workload.generate import generate_trace  # noqa: E402
+from repro.workload.scenario import ScenarioConfig  # noqa: E402
+
+
+def _time_pipeline(trace, workers: int, repeats: int):
+    """Best-of-*repeats* wall time plus the (deterministic) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_pipeline(trace, workers=workers)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--houses", type=int, default=8)
+    parser.add_argument("--hours", type=float, default=168.0, help="simulated hours (default: one week)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pipeline.json"))
+    args = parser.parse_args()
+
+    config = ScenarioConfig(seed=args.seed, houses=args.houses, duration=args.hours * 3600.0)
+    print(f"generating {args.houses} houses x {args.hours:.0f}h (seed={args.seed})...", flush=True)
+    start = time.perf_counter()
+    trace = generate_trace(config)
+    generate_s = time.perf_counter() - start
+    print(f"  {len(trace.conns)} connections, {len(trace.dns)} lookups in {generate_s:.1f}s")
+
+    serial_s, serial = _time_pipeline(trace, workers=1, repeats=args.repeats)
+    print(f"serial:      {serial_s:.3f}s (best of {args.repeats})")
+    parallel_s, parallel = _time_pipeline(trace, workers=args.workers, repeats=args.repeats)
+    print(f"{args.workers} workers:   {parallel_s:.3f}s (best of {args.repeats})")
+
+    identical = serial == parallel
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"identical outputs: {identical}; speedup: {speedup:.2f}x")
+
+    payload = {
+        "scenario": {
+            "houses": args.houses,
+            "hours": args.hours,
+            "seed": args.seed,
+            "connections": len(trace.conns),
+            "dns_records": len(trace.dns),
+        },
+        "host": {
+            "cpus_available": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+        },
+        "generate_wall_s": round(generate_s, 3),
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "workers": args.workers,
+        "repeats": args.repeats,
+        "speedup": round(speedup, 3),
+        "outputs_identical": identical,
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {out_path}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

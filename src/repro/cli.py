@@ -28,6 +28,7 @@ import os
 import sys
 
 from repro.core.context import ContextStudy
+from repro.core.parallel import parallel_study
 from repro.monitor.logs import save_conn_log, save_dns_log
 from repro.report.tables import render_table1, render_table2, render_table3
 from repro.workload.generate import generate_trace
@@ -37,6 +38,16 @@ from repro.workload.scenario import ScenarioConfig
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig(
         seed=args.seed, houses=args.houses, duration=args.hours * 3600.0
+    )
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="analysis worker processes; >1 shards the trace by household "
+        "and merges byte-identical results (default 1)",
     )
 
 
@@ -111,12 +122,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     else:
         print("analyze requires either --pcap or both --dns and --conn", file=sys.stderr)
         return 2
+    study = parallel_study(study.trace, study.options, workers=args.workers)
     _print_report(study)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    study = ContextStudy.from_scenario(_scenario_from_args(args))
+    from repro.workload.generate import generate_trace as _generate
+
+    trace = _generate(_scenario_from_args(args))
+    study = parallel_study(trace, workers=args.workers)
     _print_report(study)
     return 0
 
@@ -155,10 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=["10."],
         help="local network prefix for pcap ingestion (repeatable)",
     )
+    _add_workers_argument(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     report = subparsers.add_parser("report", help="generate and analyse in one step")
     _add_scenario_arguments(report)
+    _add_workers_argument(report)
     report.set_defaults(func=cmd_report)
 
     lint = subparsers.add_parser(

@@ -8,14 +8,21 @@ already-available information start much later. The paper validates the
 split with first-use rates (91% of sub-20 ms-gap connections are the
 first user of their lookup vs 21% beyond) and then adopts a
 conservative 100 ms threshold for the rest of the analysis.
+
+:class:`GapAnalysis` carries the raw first-use counters alongside the
+derived fractions so per-shard analyses merge exactly
+(:meth:`GapAnalysis.merge`): fractions are recomputed from summed
+counters and the knee is recomputed over the merged gap sample, making
+the merged object byte-identical to a whole-trace analysis.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.pairing import PairedConnection
-from repro.core.stats import Cdf, find_knee, fraction
+from repro.core.stats import Cdf, find_knee_detailed
 from repro.errors import AnalysisError
 
 KNEE_REFERENCE = 0.020
@@ -27,13 +34,26 @@ DEFAULT_BLOCKING_THRESHOLD = 0.100
 
 @dataclass(frozen=True, slots=True)
 class GapAnalysis:
-    """The Figure 1 analysis: gap distribution plus validation stats."""
+    """The Figure 1 analysis: gap distribution plus validation stats.
+
+    ``knee_excluded_samples`` surfaces how many (clamped-to-zero) gaps
+    could not be placed on the knee finder's log axis; their cumulative
+    mass still anchors the knee (see
+    :func:`repro.core.stats.find_knee_detailed`). The ``*_hits`` /
+    ``*_total`` integers are the raw counters behind the two first-use
+    fractions; :meth:`merge` sums them across shards.
+    """
 
     cdf: Cdf
     knee: float
     first_use_below_knee: float
     first_use_above_knee: float
     blocking_threshold: float
+    knee_excluded_samples: int = 0
+    first_use_below_hits: int = 0
+    first_use_below_total: int = 0
+    first_use_above_hits: int = 0
+    first_use_above_total: int = 0
 
     def blocked_fraction(self) -> float:
         """Fraction of paired connections at or below the threshold."""
@@ -42,6 +62,51 @@ class GapAnalysis:
     def series(self, points: int = 200) -> list[tuple[float, float]]:
         """The Figure 1 CDF as (gap seconds, cumulative fraction)."""
         return self.cdf.series(points)
+
+    @classmethod
+    def merge(
+        cls, parts: Sequence["GapAnalysis"], knee_reference: float = KNEE_REFERENCE
+    ) -> "GapAnalysis":
+        """Combine per-shard gap analyses into the whole-trace analysis.
+
+        The merged object equals :func:`analyze_gaps` over the pooled
+        paired connections: the CDF is the merged gap sample, the knee
+        is re-found on it, and the first-use fractions are recomputed
+        from the summed counters. All parts must share a blocking
+        threshold.
+        """
+        if not parts:
+            raise AnalysisError("cannot merge an empty collection of gap analyses")
+        thresholds = {part.blocking_threshold for part in parts}
+        if len(thresholds) > 1:
+            raise AnalysisError(f"cannot merge gap analyses with mixed thresholds: {thresholds}")
+        cdf = Cdf.merge([part.cdf for part in parts])
+        knee, excluded = _find_gap_knee(cdf.xs, knee_reference)
+        below_hits = sum(part.first_use_below_hits for part in parts)
+        below_total = sum(part.first_use_below_total for part in parts)
+        above_hits = sum(part.first_use_above_hits for part in parts)
+        above_total = sum(part.first_use_above_total for part in parts)
+        return cls(
+            cdf=cdf,
+            knee=knee,
+            first_use_below_knee=below_hits / below_total if below_total else 0.0,
+            first_use_above_knee=above_hits / above_total if above_total else 0.0,
+            blocking_threshold=thresholds.pop(),
+            knee_excluded_samples=excluded,
+            first_use_below_hits=below_hits,
+            first_use_below_total=below_total,
+            first_use_above_hits=above_hits,
+            first_use_above_total=above_total,
+        )
+
+
+def _find_gap_knee(gaps: Sequence[float], knee_reference: float) -> tuple[float, int]:
+    """The gap-CDF knee, falling back to the paper's 20 ms reference."""
+    try:
+        result = find_knee_detailed(gaps, log_x=True)
+    except AnalysisError:
+        return knee_reference, 0
+    return result.knee, result.excluded_samples
 
 
 def analyze_gaps(
@@ -53,8 +118,7 @@ def analyze_gaps(
     if blocking_threshold <= 0:
         raise AnalysisError(f"blocking threshold must be positive, got {blocking_threshold}")
     gaps: list[float] = []
-    below_first: list[bool] = []
-    above_first: list[bool] = []
+    below_hits = below_total = above_hits = above_total = 0
     for item in paired:
         gap = item.gap
         if gap is None:
@@ -62,22 +126,26 @@ def analyze_gaps(
         gap = max(0.0, gap)
         gaps.append(gap)
         if gap <= knee_reference:
-            below_first.append(item.first_use)
+            below_total += 1
+            below_hits += 1 if item.first_use else 0
         else:
-            above_first.append(item.first_use)
+            above_total += 1
+            above_hits += 1 if item.first_use else 0
     if not gaps:
         raise AnalysisError("no paired connections: cannot analyse gaps")
     cdf = Cdf.from_values(gaps)
-    try:
-        knee = find_knee(gaps, log_x=True)
-    except AnalysisError:
-        knee = knee_reference
+    knee, excluded = _find_gap_knee(gaps, knee_reference)
     return GapAnalysis(
         cdf=cdf,
         knee=knee,
-        first_use_below_knee=fraction(below_first),
-        first_use_above_knee=fraction(above_first),
+        first_use_below_knee=below_hits / below_total if below_total else 0.0,
+        first_use_above_knee=above_hits / above_total if above_total else 0.0,
         blocking_threshold=blocking_threshold,
+        knee_excluded_samples=excluded,
+        first_use_below_hits=below_hits,
+        first_use_below_total=below_total,
+        first_use_above_hits=above_hits,
+        first_use_above_total=above_total,
     )
 
 

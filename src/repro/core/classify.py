@@ -70,22 +70,75 @@ class ThresholdPolicy:
         return max(self.grid, math.ceil(raw / self.grid - 1e-9) * self.grid)
 
 
+@dataclass(frozen=True, slots=True)
+class ResolverDurationStats:
+    """Per-resolver lookup-duration aggregate (count + fastest lookup).
+
+    These two numbers are all threshold derivation needs, and both merge
+    exactly (sum / min), so per-shard collections combine into the
+    whole-trace statistics — the basis of the parallel pipeline's
+    two-phase threshold computation.
+    """
+
+    lookups: int
+    min_rtt_s: float
+
+    def merged_with(self, other: "ResolverDurationStats") -> "ResolverDurationStats":
+        """The aggregate over both samples."""
+        return ResolverDurationStats(
+            lookups=self.lookups + other.lookups,
+            min_rtt_s=min(self.min_rtt_s, other.min_rtt_s),
+        )
+
+
+def collect_resolver_stats(dns_records: list[DnsRecord]) -> dict[str, ResolverDurationStats]:
+    """Per-resolver-address duration aggregates for *dns_records*."""
+    counts: dict[str, int] = defaultdict(int)
+    minima: dict[str, float] = {}
+    for record in dns_records:
+        counts[record.resp_h] += 1
+        current = minima.get(record.resp_h)
+        if current is None or record.rtt < current:
+            minima[record.resp_h] = record.rtt
+    return {
+        resolver: ResolverDurationStats(lookups=count, min_rtt_s=minima[resolver])
+        for resolver, count in counts.items()
+    }
+
+
+def merge_resolver_stats(
+    parts: list[dict[str, ResolverDurationStats]],
+) -> dict[str, ResolverDurationStats]:
+    """Combine per-shard resolver aggregates into whole-trace aggregates."""
+    merged: dict[str, ResolverDurationStats] = {}
+    for part in parts:
+        for resolver, stats in part.items():
+            existing = merged.get(resolver)
+            merged[resolver] = stats if existing is None else existing.merged_with(stats)
+    return merged
+
+
+def thresholds_from_stats(
+    stats: dict[str, ResolverDurationStats],
+    policy: ThresholdPolicy | None = None,
+) -> dict[str, float]:
+    """Per-resolver SC/R thresholds from duration aggregates."""
+    policy = policy if policy is not None else ThresholdPolicy()
+    thresholds: dict[str, float] = {}
+    for resolver, resolver_stats in stats.items():
+        if resolver_stats.lookups < policy.min_lookups:
+            thresholds[resolver] = policy.default_threshold
+        else:
+            thresholds[resolver] = policy.derive(resolver_stats.min_rtt_s)
+    return thresholds
+
+
 def resolver_thresholds(
     dns_records: list[DnsRecord],
     policy: ThresholdPolicy | None = None,
 ) -> dict[str, float]:
     """Per-resolver-address SC/R thresholds from lookup durations."""
-    policy = policy if policy is not None else ThresholdPolicy()
-    durations: dict[str, list[float]] = defaultdict(list)
-    for record in dns_records:
-        durations[record.resp_h].append(record.rtt)
-    thresholds: dict[str, float] = {}
-    for resolver, values in durations.items():
-        if len(values) < policy.min_lookups:
-            thresholds[resolver] = policy.default_threshold
-        else:
-            thresholds[resolver] = policy.derive(min(values))
-    return thresholds
+    return thresholds_from_stats(collect_resolver_stats(dns_records), policy)
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,11 +210,25 @@ class ClassifierConfig:
 
 
 class Classifier:
-    """Applies the N/LC/P/SC/R taxonomy to paired connections."""
+    """Applies the N/LC/P/SC/R taxonomy to paired connections.
 
-    def __init__(self, dns_records: list[DnsRecord], config: ClassifierConfig | None = None) -> None:
+    Thresholds are normally derived from *dns_records*; passing
+    *thresholds* instead injects precomputed (e.g. shard-merged) values
+    and skips the derivation — the parallel pipeline computes thresholds
+    once globally and hands them to every worker.
+    """
+
+    def __init__(
+        self,
+        dns_records: list[DnsRecord],
+        config: ClassifierConfig | None = None,
+        thresholds: dict[str, float] | None = None,
+    ) -> None:
         self.config = config if config is not None else ClassifierConfig()
-        self.thresholds = resolver_thresholds(dns_records, self.config.threshold_policy)
+        if thresholds is not None:
+            self.thresholds = dict(thresholds)
+        else:
+            self.thresholds = resolver_thresholds(dns_records, self.config.threshold_policy)
 
     def threshold_for(self, resolver_address: str) -> float:
         """The SC/R duration threshold for one resolver address."""
@@ -196,9 +263,22 @@ class Classifier:
 
 @dataclass(frozen=True, slots=True)
 class ClassBreakdown:
-    """Table 2: connection counts and shares per class."""
+    """Table 2: connection counts and shares per class.
+
+    Counts merge by addition, so per-shard breakdowns combine into the
+    whole-trace breakdown (:meth:`merge`).
+    """
 
     counts: dict[ConnClass, int]
+
+    @classmethod
+    def merge(cls, parts: "list[ClassBreakdown]") -> "ClassBreakdown":
+        """Sum per-shard class counts into one breakdown."""
+        counts: dict[ConnClass, int] = {}
+        for part in parts:
+            for conn_class, count in part.counts.items():
+                counts[conn_class] = counts.get(conn_class, 0) + count
+        return cls(counts=counts)
 
     @property
     def total(self) -> int:

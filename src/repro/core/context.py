@@ -19,7 +19,6 @@ Example::
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import TYPE_CHECKING
@@ -41,6 +40,7 @@ from repro.core.improvements import (
 from repro.core.pairing import (
     PairedConnection,
     Pairer,
+    PairingCensus,
     PairingPolicy,
     ambiguity_fraction,
 )
@@ -173,7 +173,7 @@ class ContextStudy:
         pairer = Pairer(
             self.trace.dns,
             policy=self.options.pairing_policy,
-            rng=random.Random(self.options.pairing_seed),
+            seed=self.options.pairing_seed,
         )
         return pairer.pair_all(self.trace.conns)
 
@@ -201,6 +201,10 @@ class ContextStudy:
     def pairing_ambiguity(self) -> float:
         """§4: share of paired connections with a unique candidate (paper: 82%)."""
         return ambiguity_fraction(self.paired)
+
+    def pairing_census(self) -> PairingCensus:
+        """§4 pairing counts (paired / unique-viable / expired)."""
+        return PairingCensus.from_paired(self.paired)
 
     def population(self) -> PopulationStats:
         """§3-style dataset characterization (volumes, mixes, per-house)."""

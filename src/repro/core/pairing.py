@@ -10,6 +10,13 @@ candidate at all are unpaired — the `N` class.
 The module also implements the paper's robustness check: an alternate
 policy that pairs a *random* non-expired candidate instead of the most
 recent one (§4), exposed through :data:`PairingPolicy`.
+
+Pairing is strictly per-household: a connection only ever consults DNS
+lookups made by its own house, and the random policy draws from a
+per-house seeded stream (:func:`repro.simulation.random.derive_seed`).
+Both properties make the stage shardable by household — the parallel
+pipeline (:mod:`repro.core.parallel`) produces byte-identical pairings
+for any worker count.
 """
 
 from __future__ import annotations
@@ -19,9 +26,11 @@ import enum
 import random
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import AnalysisError
 from repro.monitor.records import ConnRecord, DnsRecord
+from repro.simulation.random import RandomStreams, derive_seed
 
 
 class PairingPolicy(enum.Enum):
@@ -33,13 +42,21 @@ class PairingPolicy(enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class PairedConnection:
-    """One connection with its paired DNS transaction (if any)."""
+    """One connection with its paired DNS transaction (if any).
+
+    ``candidates`` counts the *viable* (non-expired) candidates the
+    pairing chose among; for an expired fallback pairing it is 0.
+    ``expired_candidates`` counts the expired candidates that were
+    considered and rejected (or, for an expired pairing, fallen back
+    on), so the two counters never mix populations.
+    """
 
     conn: ConnRecord
     dns: DnsRecord | None
     candidates: int
     expired_pairing: bool
     first_use: bool
+    expired_candidates: int = 0
 
     @property
     def paired(self) -> bool:
@@ -92,19 +109,36 @@ class DnsIndex:
 
 
 class Pairer:
-    """Pairs a connection log against a DNS transaction log."""
+    """Pairs a connection log against a DNS transaction log.
+
+    The random policy draws from per-house streams derived from *seed*,
+    so a house's pairings do not depend on which other houses share the
+    trace (the shard-invariance contract of the parallel pipeline). An
+    explicitly supplied *rng* instead shares one stream across all
+    houses in chronological order — kept for ablations that want the
+    legacy behaviour, but not shard-invariant.
+    """
 
     def __init__(
         self,
         dns_records: list[DnsRecord],
         policy: PairingPolicy = PairingPolicy.MOST_RECENT,
         rng: random.Random | None = None,
+        seed: int = 0,
     ) -> None:
         self.index = DnsIndex(dns_records)
         self.policy = policy
-        if policy == PairingPolicy.RANDOM_NON_EXPIRED and rng is None:
-            rng = random.Random(0)
         self._rng = rng
+        self._streams: RandomStreams | None = None
+        if policy == PairingPolicy.RANDOM_NON_EXPIRED and rng is None:
+            self._streams = RandomStreams(derive_seed(seed, "pairing"))
+
+    def _rng_for(self, house: str) -> random.Random:
+        """The random stream used for *house* (shared when rng injected)."""
+        if self._rng is not None:
+            return self._rng
+        assert self._streams is not None
+        return self._streams.stream(house)
 
     def pair_all(self, conns: list[ConnRecord]) -> list[PairedConnection]:
         """Pair every connection, in timestamp order.
@@ -135,10 +169,10 @@ class Pairer:
             for candidate in candidates
             if candidate.expires_at is None or candidate.expires_at > conn.ts
         ]
+        expired_count = len(candidates) - len(non_expired)
         if non_expired:
             if self.policy == PairingPolicy.RANDOM_NON_EXPIRED:
-                assert self._rng is not None
-                chosen = self._rng.choice(non_expired)
+                chosen = self._rng_for(conn.orig_h).choice(non_expired)
             else:
                 chosen = non_expired[-1]
             expired_pairing = False
@@ -149,9 +183,10 @@ class Pairer:
         return PairedConnection(
             conn=conn,
             dns=chosen.record,
-            candidates=len(non_expired) if non_expired else len(candidates),
+            candidates=len(non_expired),
             expired_pairing=expired_pairing,
             first_use=chosen.record.uid not in used_uids,
+            expired_candidates=expired_count,
         )
 
 
@@ -160,24 +195,81 @@ def pair_trace(
     conns: list[ConnRecord],
     policy: PairingPolicy = PairingPolicy.MOST_RECENT,
     rng: random.Random | None = None,
+    seed: int = 0,
 ) -> list[PairedConnection]:
     """Pair a full trace (convenience wrapper around :class:`Pairer`)."""
     if not conns:
         raise AnalysisError("cannot pair an empty connection log")
-    return Pairer(dns_records, policy=policy, rng=rng).pair_all(conns)
+    return Pairer(dns_records, policy=policy, rng=rng, seed=seed).pair_all(conns)
+
+
+@dataclass(frozen=True, slots=True)
+class PairingCensus:
+    """Mergeable §4 pairing counts.
+
+    All fields are plain counters, so per-shard censuses merge by
+    addition into exactly the census of the whole trace.
+    ``unique_viable`` counts paired connections with at most one
+    non-expired candidate — the paper's "82% have exactly one viable
+    candidate" statistic — and deliberately excludes expired candidates
+    from the ambiguity measure.
+    """
+
+    conns: int
+    paired: int
+    unique_viable: int
+    expired_pairings: int
+    expired_candidates: int
+
+    @classmethod
+    def from_paired(cls, paired: Sequence[PairedConnection]) -> "PairingCensus":
+        """Count one shard's (or the whole trace's) pairing outcomes."""
+        with_pair = [item for item in paired if item.paired]
+        return cls(
+            conns=len(paired),
+            paired=len(with_pair),
+            unique_viable=sum(1 for item in with_pair if item.candidates <= 1),
+            expired_pairings=sum(1 for item in with_pair if item.expired_pairing),
+            expired_candidates=sum(item.expired_candidates for item in with_pair),
+        )
+
+    @classmethod
+    def merge(cls, parts: Sequence["PairingCensus"]) -> "PairingCensus":
+        """Combine per-shard censuses into the whole-trace census."""
+        if not parts:
+            raise AnalysisError("cannot merge an empty collection of pairing censuses")
+        return cls(
+            conns=sum(part.conns for part in parts),
+            paired=sum(part.paired for part in parts),
+            unique_viable=sum(part.unique_viable for part in parts),
+            expired_pairings=sum(part.expired_pairings for part in parts),
+            expired_candidates=sum(part.expired_candidates for part in parts),
+        )
+
+    @property
+    def ambiguity_fraction(self) -> float:
+        """Share of paired connections with <=1 viable candidate."""
+        if not self.paired:
+            return 0.0
+        return self.unique_viable / self.paired
+
+    @property
+    def expired_pairing_fraction(self) -> float:
+        """Share of paired connections that fell back to an expired lookup."""
+        if not self.paired:
+            return 0.0
+        return self.expired_pairings / self.paired
 
 
 def ambiguity_fraction(paired: list[PairedConnection]) -> float:
     """Fraction of paired connections with a single viable candidate.
 
     The paper reports 82% of application transactions have exactly one
-    non-expired candidate (§4).
+    non-expired candidate (§4). Expired candidates do not count toward
+    ambiguity: a connection whose only candidates were expired has zero
+    viable candidates and is therefore unambiguous.
     """
-    with_pair = [p for p in paired if p.paired]
-    if not with_pair:
-        return 0.0
-    unique = sum(1 for p in with_pair if p.candidates <= 1)
-    return unique / len(with_pair)
+    return PairingCensus.from_paired(paired).ambiguity_fraction
 
 
 def unused_lookup_fraction(dns_records: list[DnsRecord], paired: list[PairedConnection]) -> float:

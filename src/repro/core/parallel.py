@@ -1,0 +1,440 @@
+"""Sharded parallel analysis pipeline: the paper's analyses at scale.
+
+The paper's §4–§6 analyses are embarrassingly parallel across
+households: pairing consults only same-house lookups, classification is
+per-connection once the per-resolver SC/R thresholds are known, and the
+performance aggregates are all counts, multisets, and order-invariant
+statistics. This module exploits that structure:
+
+1. **Shard** the trace by household (round-robin over the sorted house
+   addresses), preserving each connection's position in the global
+   chronological order.
+2. **Phase one** derives the per-resolver SC/R thresholds from
+   per-shard :class:`~repro.core.classify.ResolverDurationStats`
+   aggregates merged across shards — thresholds are a whole-trace
+   property and must be fixed before any shard classifies.
+3. **Phase two** fans pairing → classification → performance analysis
+   out over a :mod:`multiprocessing` pool, one task per shard.
+4. **Merge** the per-shard partial results with the merge constructors
+   on the statistics classes (:meth:`Cdf.merge`,
+   :meth:`GapAnalysis.merge`, :meth:`ClassBreakdown.merge`,
+   :meth:`LookupDelayAnalysis.merge`, :meth:`ContributionAnalysis.merge`,
+   :meth:`SignificanceQuadrant.merge`, :meth:`PairingCensus.merge`)
+   into the exact objects the serial path produces.
+
+**Determinism contract**: results are byte-identical to the serial path
+for any worker/shard count. Every merged statistic is either an integer
+count (merged by addition), a sorted multiset (merged by k-way merge),
+or recomputed from one of those; the random pairing policy draws from
+per-house seeded streams (``derive_seed(seed, "pairing") -> house``), so
+no draw depends on which shard — or which other households — a house is
+processed with. Workers never read the wall clock or global RNG state.
+
+On platforms with ``fork`` the shard tasks are inherited by the workers
+through copy-on-write memory instead of being pickled, so the dominant
+IPC cost is only the (small) partial results coming back.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.blocking import DEFAULT_BLOCKING_THRESHOLD, GapAnalysis, analyze_gaps
+from repro.core.classify import (
+    ClassBreakdown,
+    ClassifiedConnection,
+    Classifier,
+    class_breakdown,
+    collect_resolver_stats,
+    merge_resolver_stats,
+    thresholds_from_stats,
+)
+from repro.core.context import ContextStudy, StudyOptions
+from repro.core.pairing import PairedConnection, Pairer, PairingCensus
+from repro.core.performance import (
+    ABS_INSIGNIFICANT,
+    REL_INSIGNIFICANT,
+    ContributionAnalysis,
+    LookupDelayAnalysis,
+    SignificanceQuadrant,
+    contribution_analysis,
+    lookup_delay_analysis,
+    significance_quadrant,
+)
+from repro.errors import AnalysisError
+from repro.monitor.capture import Trace
+from repro.monitor.records import ConnRecord, DnsRecord
+
+DEFAULT_SHARDS_PER_WORKER = 4
+"""Shards per worker: small enough to amortise task overhead, large
+enough that one slow household cannot stall the pool tail."""
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """Everything one worker needs to analyse one household shard.
+
+    ``conn_indices[i]`` is the position of ``conns[i]`` in the global
+    chronological order, letting the parent scatter per-connection
+    results back into exactly the serial output order.
+    """
+
+    shard_id: int
+    dns_records: tuple[DnsRecord, ...]
+    conns: tuple[ConnRecord, ...]
+    conn_indices: tuple[int, ...]
+    thresholds: dict[str, float]
+    options: StudyOptions
+    blocking_threshold: float
+    abs_threshold: float
+    rel_threshold: float
+    collect_connections: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ShardResult:
+    """One shard's partial analyses, ready to merge.
+
+    The per-population analyses are None when the shard lacks that
+    population (e.g. no blocked connections); the merge step skips
+    Nones and raises only when *every* shard lacked the population —
+    mirroring the serial error behaviour.
+    """
+
+    shard_id: int
+    census: PairingCensus
+    breakdown: ClassBreakdown
+    gaps: GapAnalysis | None
+    delays: LookupDelayAnalysis | None
+    contribution: ContributionAnalysis | None
+    quadrant: SignificanceQuadrant | None
+    indexed_classified: tuple[tuple[int, ClassifiedConnection], ...] | None
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineResult:
+    """The merged output of one pipeline run.
+
+    Analysis fields compare by value, so two runs over the same trace
+    and options are ``==`` regardless of worker count — the golden
+    equality the parallel tests pin. ``workers``/``shards`` are
+    execution metadata and excluded from comparison.
+    """
+
+    census: PairingCensus
+    breakdown: ClassBreakdown
+    gap_analysis: GapAnalysis
+    lookup_delays: LookupDelayAnalysis
+    contribution: ContributionAnalysis
+    quadrant: SignificanceQuadrant
+    thresholds: dict[str, float]
+    classified: tuple[ClassifiedConnection, ...] | None = None
+    workers: int = field(default=1, compare=False)
+    shards: int = field(default=1, compare=False)
+
+    @property
+    def paired(self) -> tuple[PairedConnection, ...] | None:
+        """The pairings behind ``classified`` (None unless collected)."""
+        if self.classified is None:
+            return None
+        return tuple(item.pairing for item in self.classified)
+
+
+def shard_by_household(
+    dns_records: Sequence[DnsRecord],
+    conns: Sequence[ConnRecord],
+    shards: int,
+) -> list[tuple[list[DnsRecord], list[ConnRecord], list[int]]]:
+    """Partition a trace into *shards* household-disjoint sub-traces.
+
+    Houses are assigned round-robin over the sorted house addresses, so
+    the partition is deterministic. Connections keep their global
+    chronological order (and its index) within each shard; DNS records
+    follow their originating house.
+    """
+    if shards < 1:
+        raise AnalysisError(f"shard count must be positive, got {shards}")
+    houses = sorted(
+        {record.orig_h for record in dns_records} | {conn.orig_h for conn in conns}
+    )
+    assignment = {house: index % shards for index, house in enumerate(houses)}
+    parts: list[tuple[list[DnsRecord], list[ConnRecord], list[int]]] = [
+        ([], [], []) for _ in range(shards)
+    ]
+    for record in dns_records:
+        parts[assignment[record.orig_h]][0].append(record)
+    ordered = sorted(conns, key=lambda conn: conn.ts)
+    for index, conn in enumerate(ordered):
+        dns_part, conn_part, index_part = parts[assignment[conn.orig_h]]
+        conn_part.append(conn)
+        index_part.append(index)
+    return parts
+
+
+def analyze_shard(task: ShardTask) -> ShardResult:
+    """Run pairing → classification → performance analysis on one shard.
+
+    This is byte-for-byte the serial pipeline restricted to the shard's
+    households: the same :class:`Pairer`, the same :class:`Classifier`
+    (with the globally merged thresholds injected), and the same
+    aggregate functions.
+    """
+    pairer = Pairer(
+        list(task.dns_records),
+        policy=task.options.pairing_policy,
+        seed=task.options.pairing_seed,
+    )
+    paired = pairer.pair_all(list(task.conns))
+    classifier = Classifier([], config=task.options.classifier, thresholds=task.thresholds)
+    classified = classifier.classify_all(paired)
+    indexed: tuple[tuple[int, ClassifiedConnection], ...] | None = None
+    if task.collect_connections:
+        indexed = tuple(zip(task.conn_indices, classified))
+    return ShardResult(
+        shard_id=task.shard_id,
+        census=PairingCensus.from_paired(paired),
+        breakdown=class_breakdown(classified),
+        gaps=_try_analysis(lambda: analyze_gaps(paired, blocking_threshold=task.blocking_threshold)),
+        delays=_try_analysis(lambda: lookup_delay_analysis(classified)),
+        contribution=_try_analysis(lambda: contribution_analysis(classified)),
+        quadrant=_try_analysis(
+            lambda: significance_quadrant(classified, task.abs_threshold, task.rel_threshold)
+        ),
+        indexed_classified=indexed,
+    )
+
+
+_T = TypeVar("_T")
+
+
+def _try_analysis(compute: Callable[[], _T]) -> _T | None:
+    """Run one aggregate, mapping empty-population errors to None."""
+    try:
+        return compute()
+    except AnalysisError:
+        return None
+
+
+def _merge_present(
+    parts: Sequence[_T | None], merge: Callable[[list[_T]], _T], empty_message: str
+) -> _T:
+    """Merge the non-None partials, raising like the serial path if none."""
+    present = [part for part in parts if part is not None]
+    if not present:
+        raise AnalysisError(empty_message)
+    return merge(present)
+
+
+#: Shard tasks shared with fork-started workers via copy-on-write memory
+#: (set only for the duration of a pool run; never mutated by workers).
+_FORK_TASKS: list[ShardTask] | None = None
+
+
+def _analyze_shard_by_index(index: int) -> ShardResult:
+    """Fork-mode worker entry: look the task up in inherited memory."""
+    assert _FORK_TASKS is not None
+    return analyze_shard(_FORK_TASKS[index])
+
+
+def _disable_worker_gc() -> None:
+    """Pool initializer: workers are short-lived, cyclic GC only costs.
+
+    With GC left on, every collection in a forked child walks the
+    inherited heap (the whole trace), un-sharing its copy-on-write pages
+    — measurably slower than the analysis itself on large traces.
+    """
+    gc.disable()
+
+
+def _run_tasks(tasks: list[ShardTask], workers: int) -> list[ShardResult]:
+    """Execute shard tasks over a process pool (fork-aware).
+
+    Under ``fork`` the tasks are reached through inherited memory
+    (:data:`_FORK_TASKS`) instead of being pickled, and the parent heap
+    is frozen out of GC for the pool's lifetime so the children's
+    copy-on-write pages stay shared. Other start methods fall back to
+    pickling the tasks.
+    """
+    global _FORK_TASKS
+    start_methods = multiprocessing.get_all_start_methods()
+    if "fork" in start_methods:
+        context = multiprocessing.get_context("fork")
+        _FORK_TASKS = tasks
+        gc.freeze()
+        try:
+            with context.Pool(processes=workers, initializer=_disable_worker_gc) as pool:
+                return pool.map(_analyze_shard_by_index, range(len(tasks)))
+        finally:
+            gc.unfreeze()
+            _FORK_TASKS = None
+    with multiprocessing.get_context().Pool(
+        processes=workers, initializer=_disable_worker_gc
+    ) as pool:
+        return pool.map(analyze_shard, tasks)
+
+
+def _merge_results(
+    results: list[ShardResult],
+    thresholds: dict[str, float],
+    total_conns: int,
+    collect_connections: bool,
+    workers: int,
+) -> PipelineResult:
+    """Merge per-shard partials into the serial path's exact objects."""
+    classified: tuple[ClassifiedConnection, ...] | None = None
+    if collect_connections:
+        slots: list[ClassifiedConnection | None] = [None] * total_conns
+        for result in results:
+            assert result.indexed_classified is not None
+            for index, item in result.indexed_classified:
+                slots[index] = item
+        if any(item is None for item in slots):
+            raise AnalysisError("shard results did not cover every connection")
+        classified = tuple(item for item in slots if item is not None)
+    return PipelineResult(
+        census=PairingCensus.merge([result.census for result in results]),
+        breakdown=ClassBreakdown.merge([result.breakdown for result in results]),
+        gap_analysis=_merge_present(
+            [result.gaps for result in results],
+            GapAnalysis.merge,
+            "no paired connections: cannot analyse gaps",
+        ),
+        lookup_delays=_merge_present(
+            [result.delays for result in results],
+            LookupDelayAnalysis.merge,
+            "no blocked connections: cannot analyse lookup delays",
+        ),
+        contribution=_merge_present(
+            [result.contribution for result in results],
+            ContributionAnalysis.merge,
+            "no blocked connections: cannot analyse contribution",
+        ),
+        quadrant=SignificanceQuadrant.merge(
+            [result.quadrant for result in results if result.quadrant is not None]
+        ),
+        thresholds=thresholds,
+        classified=classified,
+        workers=workers,
+        shards=len(results),
+    )
+
+
+def _serial_pipeline(
+    trace: Trace,
+    options: StudyOptions,
+    blocking_threshold: float,
+    abs_threshold: float,
+    rel_threshold: float,
+    collect_connections: bool,
+) -> PipelineResult:
+    """The reference single-process pipeline (no sharding, no pool)."""
+    pairer = Pairer(
+        trace.dns, policy=options.pairing_policy, seed=options.pairing_seed
+    )
+    paired = pairer.pair_all(trace.conns)
+    classifier = Classifier(trace.dns, config=options.classifier)
+    classified = classifier.classify_all(paired)
+    return PipelineResult(
+        census=PairingCensus.from_paired(paired),
+        breakdown=class_breakdown(classified),
+        gap_analysis=analyze_gaps(paired, blocking_threshold=blocking_threshold),
+        lookup_delays=lookup_delay_analysis(classified),
+        contribution=contribution_analysis(classified),
+        quadrant=significance_quadrant(classified, abs_threshold, rel_threshold),
+        thresholds=classifier.thresholds,
+        classified=tuple(classified) if collect_connections else None,
+        workers=1,
+        shards=1,
+    )
+
+
+def run_pipeline(
+    trace: Trace,
+    options: StudyOptions | None = None,
+    workers: int = 1,
+    shards: int | None = None,
+    blocking_threshold: float = DEFAULT_BLOCKING_THRESHOLD,
+    abs_threshold: float = ABS_INSIGNIFICANT,
+    rel_threshold: float = REL_INSIGNIFICANT,
+    collect_connections: bool = False,
+) -> PipelineResult:
+    """Run the §4–§6 analysis pipeline, optionally over a worker pool.
+
+    ``workers=1`` runs the plain serial pipeline in-process. With
+    ``workers>1`` the trace is sharded by household
+    (``shards`` defaults to ``workers * DEFAULT_SHARDS_PER_WORKER``,
+    capped at the number of houses) and analysed on a multiprocessing
+    pool; the merged result is byte-identical to ``workers=1``. Set
+    ``collect_connections`` to also return every classified connection
+    in serial (chronological) order.
+    """
+    options = options if options is not None else StudyOptions()
+    if not trace.conns:
+        raise AnalysisError("the trace has no connections to analyse")
+    if workers < 1:
+        raise AnalysisError(f"worker count must be positive, got {workers}")
+    if workers == 1:
+        return _serial_pipeline(
+            trace, options, blocking_threshold, abs_threshold, rel_threshold,
+            collect_connections,
+        )
+    houses = {conn.orig_h for conn in trace.conns} | {record.orig_h for record in trace.dns}
+    shard_count = shards if shards is not None else workers * DEFAULT_SHARDS_PER_WORKER
+    shard_count = max(1, min(shard_count, len(houses)))
+    parts = shard_by_household(trace.dns, trace.conns, shard_count)
+    # Phase one: whole-trace SC/R thresholds from merged per-shard stats.
+    resolver_stats = merge_resolver_stats(
+        [collect_resolver_stats(dns_part) for dns_part, _, _ in parts]
+    )
+    thresholds = thresholds_from_stats(resolver_stats, options.classifier.threshold_policy)
+    # Phase two: fan the per-shard analyses out over the pool.
+    tasks = [
+        ShardTask(
+            shard_id=shard_id,
+            dns_records=tuple(dns_part),
+            conns=tuple(conn_part),
+            conn_indices=tuple(index_part),
+            thresholds=thresholds,
+            options=options,
+            blocking_threshold=blocking_threshold,
+            abs_threshold=abs_threshold,
+            rel_threshold=rel_threshold,
+            collect_connections=collect_connections,
+        )
+        for shard_id, (dns_part, conn_part, index_part) in enumerate(parts)
+    ]
+    results = _run_tasks(tasks, workers)
+    return _merge_results(
+        results, thresholds, len(trace.conns), collect_connections, workers
+    )
+
+
+def parallel_study(
+    trace: Trace,
+    options: StudyOptions | None = None,
+    workers: int = 1,
+) -> ContextStudy:
+    """A :class:`ContextStudy` whose hot stages ran on a worker pool.
+
+    Pairing and classification — the pipeline's dominant cost — are
+    computed in parallel and installed into the study's caches; every
+    analysis method (including the §5/§7/§8 ones that are not sharded)
+    then sees exactly the objects the serial study would compute.
+    """
+    study = ContextStudy(trace, options)
+    if workers > 1:
+        result = run_pipeline(
+            trace, options=study.options, workers=workers, collect_connections=True
+        )
+        assert result.classified is not None
+        classified = list(result.classified)
+        # Pre-populate the cached_property slots with the merged stages.
+        study.__dict__["classified"] = classified
+        study.__dict__["paired"] = [item.pairing for item in classified]
+        study.__dict__["classifier"] = Classifier(
+            [], config=study.options.classifier, thresholds=result.thresholds
+        )
+    return study

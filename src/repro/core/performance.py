@@ -14,6 +14,7 @@ have their mapping on hand). This module computes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.classify import BLOCKED_CLASSES, ClassifiedConnection, ConnClass
 from repro.core.stats import Cdf, fraction_above, percentile
@@ -43,6 +44,25 @@ class LookupDelayAnalysis:
         """(delay seconds, cumulative probability) pairs for plotting."""
         return self.cdf.series(points)
 
+    @classmethod
+    def merge(cls, parts: Sequence["LookupDelayAnalysis"]) -> "LookupDelayAnalysis":
+        """Combine per-shard delay analyses into the whole-trace analysis.
+
+        The delay sample is the merged CDF's support, so the percentiles
+        and tail fraction are recomputed over the pooled sample — the
+        result equals :func:`lookup_delay_analysis` over all shards'
+        connections at once.
+        """
+        if not parts:
+            raise AnalysisError("no blocked connections: cannot analyse lookup delays")
+        cdf = Cdf.merge([part.cdf for part in parts])
+        return cls(
+            cdf=cdf,
+            median=percentile(cdf.xs, 50),
+            p75=percentile(cdf.xs, 75),
+            over_100ms_fraction=fraction_above(cdf.xs, 0.100),
+        )
+
 
 def lookup_delay_analysis(classified: list[ClassifiedConnection]) -> LookupDelayAnalysis:
     """Distribution of DNS lookup delays for SC∪R connections."""
@@ -64,14 +84,20 @@ def contribution_percent(item: ClassifiedConnection) -> float | None:
 
     Total time ``T`` is lookup duration ``D`` plus transfer duration
     ``A`` (§6). Returns None for unblocked connections.
+
+    Degenerate totals: a zero-duration lookup contributes 0% no matter
+    how short the transfer (0/0 is a free lookup, not "DNS is 100% of
+    the transaction"); conversely a positive lookup ahead of a
+    zero-length transfer is the whole transaction, 100%. Both follow
+    from attributing ``100·D/(D+A)`` with the convention 0/0 = 0.
     """
     if item.conn_class not in BLOCKED_CLASSES:
         return None
     duration = item.lookup_duration
     assert duration is not None
+    if duration <= 0:
+        return 0.0
     total = duration + item.conn.duration
-    if total <= 0:
-        return 100.0
     return 100.0 * duration / total
 
 
@@ -92,6 +118,29 @@ class ContributionAnalysis:
         if cdf is None:
             raise AnalysisError(f"no contribution series for {which!r}")
         return cdf.series(points)
+
+    @classmethod
+    def merge(cls, parts: Sequence["ContributionAnalysis"]) -> "ContributionAnalysis":
+        """Combine per-shard contribution analyses into one.
+
+        Per-class CDFs merge (absent classes stay None when no shard saw
+        them) and the tail fractions are recomputed over the pooled
+        samples, matching :func:`contribution_analysis` over the union.
+        """
+        if not parts:
+            raise AnalysisError("no blocked connections: cannot analyse contribution")
+        all_cdf = Cdf.merge([part.all_cdf for part in parts])
+        sc_parts = [part.sc_cdf for part in parts if part.sc_cdf is not None]
+        r_parts = [part.r_cdf for part in parts if part.r_cdf is not None]
+        r_cdf = Cdf.merge(r_parts) if r_parts else None
+        return cls(
+            all_cdf=all_cdf,
+            sc_cdf=Cdf.merge(sc_parts) if sc_parts else None,
+            r_cdf=r_cdf,
+            over_1pct_all=fraction_above(all_cdf.xs, REL_INSIGNIFICANT),
+            over_10pct_all=fraction_above(all_cdf.xs, 10.0),
+            over_1pct_r=fraction_above(r_cdf.xs, REL_INSIGNIFICANT) if r_cdf else 0.0,
+        )
 
 
 def contribution_analysis(classified: list[ClassifiedConnection]) -> ContributionAnalysis:
@@ -125,7 +174,9 @@ class SignificanceQuadrant:
 
     Fractions are of SC∪R connections; ``significant_of_all`` rescales
     the both-criteria cell to the full connection population (the
-    paper's 3.6%).
+    paper's 3.6%). The ``*_count`` integers are the raw cell counts the
+    fractions derive from; :meth:`merge` sums them across shards and
+    recomputes the fractions exactly.
     """
 
     insignificant_both: float
@@ -135,6 +186,10 @@ class SignificanceQuadrant:
     significant_of_all: float
     blocked_conns: int
     total_conns: int
+    insignificant_both_count: int = 0
+    relative_only_count: int = 0
+    absolute_only_count: int = 0
+    significant_both_count: int = 0
 
     def as_rows(self) -> list[tuple[str, float]]:
         """(quadrant label, fraction of paired connections) table rows."""
@@ -144,6 +199,28 @@ class SignificanceQuadrant:
             (">20ms only (<=1%)", self.absolute_only),
             (">20ms and >1%", self.significant_both),
         ]
+
+    @classmethod
+    def merge(cls, parts: Sequence["SignificanceQuadrant"]) -> "SignificanceQuadrant":
+        """Combine per-shard quadrants (computed with equal thresholds).
+
+        Cell counts and population sizes sum; every fraction is then
+        recomputed from the sums, so the merged quadrant equals
+        :func:`significance_quadrant` over all shards' connections.
+        """
+        if not parts:
+            raise AnalysisError("no blocked connections: cannot compute quadrant")
+        cells = {
+            "ii": sum(part.insignificant_both_count for part in parts),
+            "rel": sum(part.relative_only_count for part in parts),
+            "abs": sum(part.absolute_only_count for part in parts),
+            "sig": sum(part.significant_both_count for part in parts),
+        }
+        blocked = sum(part.blocked_conns for part in parts)
+        total = sum(part.total_conns for part in parts)
+        if not blocked:
+            raise AnalysisError("no blocked connections: cannot compute quadrant")
+        return _quadrant_from_cells(cells, blocked, total)
 
 
 def significance_quadrant(
@@ -170,13 +247,23 @@ def significance_quadrant(
             cells["rel"] += 1
         else:
             cells["ii"] += 1
-    count = len(blocked)
+    return _quadrant_from_cells(cells, len(blocked), len(classified))
+
+
+def _quadrant_from_cells(
+    cells: dict[str, int], blocked_conns: int, total_conns: int
+) -> SignificanceQuadrant:
+    """Build a quadrant from raw cell counts and population sizes."""
     return SignificanceQuadrant(
-        insignificant_both=cells["ii"] / count,
-        relative_only=cells["rel"] / count,
-        absolute_only=cells["abs"] / count,
-        significant_both=cells["sig"] / count,
-        significant_of_all=cells["sig"] / len(classified),
-        blocked_conns=count,
-        total_conns=len(classified),
+        insignificant_both=cells["ii"] / blocked_conns,
+        relative_only=cells["rel"] / blocked_conns,
+        absolute_only=cells["abs"] / blocked_conns,
+        significant_both=cells["sig"] / blocked_conns,
+        significant_of_all=cells["sig"] / total_conns,
+        blocked_conns=blocked_conns,
+        total_conns=total_conns,
+        insignificant_both_count=cells["ii"],
+        relative_only_count=cells["rel"],
+        absolute_only_count=cells["abs"],
+        significant_both_count=cells["sig"],
     )

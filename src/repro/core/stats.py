@@ -8,6 +8,7 @@ analysis module stays readable.
 from __future__ import annotations
 
 import bisect
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -69,6 +70,20 @@ class Cdf:
             raise AnalysisError("cannot build a CDF from no samples")
         return cls(xs)
 
+    @classmethod
+    def merge(cls, cdfs: Sequence["Cdf"]) -> "Cdf":
+        """Combine per-shard CDFs into the CDF of the pooled samples.
+
+        The result is identical to :meth:`from_values` over the
+        concatenated samples, independent of how the samples were split
+        across *cdfs* — the merge contract the parallel pipeline relies
+        on. Each input is already sorted, so the merge is a linear-time
+        k-way merge rather than a fresh sort.
+        """
+        if not cdfs:
+            raise AnalysisError("cannot merge an empty collection of CDFs")
+        return cls(tuple(heapq.merge(*(cdf.xs for cdf in cdfs))))
+
     def __len__(self) -> int:
         return len(self.xs)
 
@@ -90,6 +105,14 @@ class Cdf:
         """The 0.5 quantile of the samples."""
         return self.quantile(0.5)
 
+    def summarize(self) -> dict[str, float]:
+        """The :func:`summarize` digest of this CDF's samples.
+
+        Together with :meth:`merge` this makes summaries mergeable:
+        merge the per-shard CDFs, then summarise the merged CDF.
+        """
+        return summarize(self.xs)
+
     def series(self, points: int = 200) -> list[tuple[float, float]]:
         """(value, cumulative probability) pairs for plotting/export."""
         if points < 2:
@@ -109,36 +132,79 @@ class Cdf:
         return deduped
 
 
-def find_knee(values: Sequence[float], log_x: bool = True) -> float:
+@dataclass(frozen=True, slots=True)
+class KneeResult:
+    """A located CDF knee plus the sample accounting behind it.
+
+    ``excluded_samples`` counts the zero/negative samples that cannot be
+    placed on a log axis; they still contribute cumulative mass to the
+    knee computation (see :func:`find_knee_detailed`).
+    """
+
+    knee: float
+    excluded_samples: int
+    total_samples: int
+
+    @property
+    def excluded_fraction(self) -> float:
+        """Share of samples that could not be placed on the log axis."""
+        if not self.total_samples:
+            return 0.0
+        return self.excluded_samples / self.total_samples
+
+
+def find_knee_detailed(values: Sequence[float], log_x: bool = True) -> KneeResult:
     """Locate the knee of a CDF using the Kneedle chord-distance method.
 
     Used to find the blocked/unblocked boundary of the paper's Figure 1
     (the ~20 ms knee in the DNS-completion-to-connection-start gap
     distribution). Gaps spanning many orders of magnitude are analysed
     on a log axis.
+
+    Zero/negative samples cannot be placed on a log axis, but silently
+    dropping them would shift the knee whenever clamped zero gaps are
+    common: cumulative fractions are therefore always computed relative
+    to the **full** sample count, with the excluded mass anchoring the
+    left edge of the curve, and the number of excluded samples is
+    reported in the result.
     """
-    if len(values) < 10:
-        raise AnalysisError(f"need at least 10 samples to find a knee, got {len(values)}")
+    total = len(values)
+    if total < 10:
+        raise AnalysisError(f"need at least 10 samples to find a knee, got {total}")
     xs = np.sort(np.asarray(values, dtype=float))
-    positive = xs[xs > 0]
+    excluded = 0
     if log_x:
+        positive = xs[xs > 0]
         if len(positive) < 10:
             raise AnalysisError("too few positive samples for a log-axis knee")
+        excluded = total - len(positive)
         xs = np.log10(positive)
-    ys = np.arange(1, len(xs) + 1) / len(xs)
+    # Cumulative fraction of the FULL sample at each plotted point; on a
+    # log axis the first plotted point already carries the excluded mass.
+    ys = np.arange(excluded + 1, total + 1) / total
     x_span = xs[-1] - xs[0]
     if x_span <= 0:
         raise AnalysisError("degenerate sample range; no knee exists")
     x_norm = (xs - xs[0]) / x_span
-    y_norm = (ys - ys[0]) / (ys[-1] - ys[0])
-    distance = y_norm - x_norm
+    distance = ys - x_norm
     knee_index = int(np.argmax(distance))
     knee_x = xs[knee_index]
-    return float(10 ** knee_x) if log_x else float(knee_x)
+    knee = float(10 ** knee_x) if log_x else float(knee_x)
+    return KneeResult(knee=knee, excluded_samples=excluded, total_samples=total)
+
+
+def find_knee(values: Sequence[float], log_x: bool = True) -> float:
+    """The knee location alone (see :func:`find_knee_detailed`)."""
+    return find_knee_detailed(values, log_x=log_x).knee
 
 
 def summarize(values: Sequence[float]) -> dict[str, float]:
-    """A compact numeric summary (min/median/mean/p75/p90/p99/max)."""
+    """A compact numeric summary (min/median/mean/p75/p90/p99/max).
+
+    Every field is invariant to the order of *values* (the mean uses an
+    exactly-rounded sum), so summarising a merged sample gives the same
+    floats regardless of how the sample was sharded.
+    """
     if not values:
         raise AnalysisError("cannot summarise an empty sequence")
     array = np.asarray(values, dtype=float)
@@ -146,7 +212,7 @@ def summarize(values: Sequence[float]) -> dict[str, float]:
         "count": float(len(array)),
         "min": float(array.min()),
         "median": float(np.percentile(array, 50)),
-        "mean": float(array.mean()),
+        "mean": math.fsum(array) / len(array),
         "p75": float(np.percentile(array, 75)),
         "p90": float(np.percentile(array, 90)),
         "p99": float(np.percentile(array, 99)),

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.pairing import (
     Pairer,
+    PairingCensus,
     PairingPolicy,
     ambiguity_fraction,
     pair_trace,
@@ -173,3 +174,113 @@ def test_pairing_invariants(dns_times, conn_times):
         if item.paired:
             assert item.dns.completed_at <= item.conn.ts
             assert item.gap is not None and item.gap >= 0.0
+
+
+class TestExpiredCandidateAccounting:
+    def _expired_only(self):
+        # Three candidates for the address, all expired by conn time.
+        records = [
+            dns("D1", 0.0, "1.2.3.4", ttl=10.0),
+            dns("D2", 5.0, "1.2.3.4", ttl=10.0),
+            dns("D3", 9.0, "1.2.3.4", ttl=10.0),
+        ]
+        return pair_trace(records, [conn("C1", 100.0, "1.2.3.4")])
+
+    def test_expired_pairing_reports_zero_viable_candidates(self):
+        # Regression: the pre-fix code reported candidates=3 here,
+        # conflating expired candidates with viable ones.
+        item = self._expired_only()[0]
+        assert item.expired_pairing
+        assert item.candidates == 0
+        assert item.expired_candidates == 3
+        assert item.dns.uid == "D3"
+
+    def test_expired_only_counts_as_unambiguous(self):
+        assert ambiguity_fraction(self._expired_only()) == pytest.approx(1.0)
+
+    def test_mixed_candidates_split_by_expiry(self):
+        records = [
+            dns("D1", 0.0, "1.2.3.4", ttl=10.0),  # expired at conn time
+            dns("D2", 95.0, "1.2.3.4", ttl=300.0),
+            dns("D3", 98.0, "1.2.3.4", ttl=300.0),
+        ]
+        item = pair_trace(records, [conn("C1", 100.0, "1.2.3.4")])[0]
+        assert not item.expired_pairing
+        assert item.candidates == 2
+        assert item.expired_candidates == 1
+
+
+class TestPairingCensus:
+    def _paired(self):
+        records = [
+            dns("D1", 0.0, "1.2.3.4", ttl=10.0),
+            dns("D2", 1.0, "5.6.7.8", ttl=10000.0),
+            dns("D3", 2.0, "5.6.7.8", ttl=10000.0),
+        ]
+        conns = [
+            conn("C1", 100.0, "1.2.3.4"),   # expired fallback
+            conn("C2", 100.0, "5.6.7.8"),   # two viable candidates
+            conn("C3", 100.0, "9.9.9.9"),   # unpaired
+        ]
+        return pair_trace(records, conns)
+
+    def test_from_paired_counts(self):
+        census = PairingCensus.from_paired(self._paired())
+        assert census.conns == 3
+        assert census.paired == 2
+        assert census.unique_viable == 1
+        assert census.expired_pairings == 1
+        assert census.expired_candidates == 1
+        assert census.ambiguity_fraction == pytest.approx(0.5)
+        assert census.expired_pairing_fraction == pytest.approx(0.5)
+
+    def test_merge_equals_pooled(self):
+        paired = self._paired()
+        pooled = PairingCensus.from_paired(paired)
+        merged = PairingCensus.merge(
+            [PairingCensus.from_paired(paired[:1]), PairingCensus.from_paired(paired[1:])]
+        )
+        assert merged == pooled
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            PairingCensus.merge([])
+
+    def test_empty_census_fractions(self):
+        census = PairingCensus.from_paired([])
+        assert census.ambiguity_fraction == 0.0
+        assert census.expired_pairing_fraction == 0.0
+
+
+class TestPerHouseRandomStreams:
+    def test_seeded_pairing_is_house_local(self):
+        # A house's random pairings must not depend on which other
+        # houses share the trace (the shard-invariance contract).
+        records = [
+            dns("D1", 0.0, "1.2.3.4", ttl=10000.0),
+            dns("D2", 1.0, "1.2.3.4", ttl=10000.0),
+            dns("D3", 2.0, "1.2.3.4", ttl=10000.0),
+        ]
+        other = [
+            dns(f"E{i}", float(i) / 10.0, "5.6.7.8", ttl=10000.0, house=OTHER_HOUSE)
+            for i in range(5)
+        ]
+        conns = [conn(f"C{i}", 10.0 + i, "1.2.3.4") for i in range(6)]
+        noise = [conn(f"N{i}", 10.5 + i, "5.6.7.8", house=OTHER_HOUSE) for i in range(6)]
+        alone = pair_trace(records, conns, policy=PairingPolicy.RANDOM_NON_EXPIRED, seed=3)
+        mixed = pair_trace(
+            records + other,
+            conns + noise,
+            policy=PairingPolicy.RANDOM_NON_EXPIRED,
+            seed=3,
+        )
+        chosen_alone = [item.dns.uid for item in alone]
+        chosen_mixed = [item.dns.uid for item in mixed if item.conn.orig_h == HOUSE]
+        assert chosen_alone == chosen_mixed
+
+    def test_same_seed_reproduces(self):
+        records = [dns(f"D{i}", float(i), "1.2.3.4", ttl=10000.0) for i in range(4)]
+        conns = [conn(f"C{i}", 10.0 + i, "1.2.3.4") for i in range(8)]
+        first = pair_trace(records, conns, policy=PairingPolicy.RANDOM_NON_EXPIRED, seed=9)
+        second = pair_trace(records, conns, policy=PairingPolicy.RANDOM_NON_EXPIRED, seed=9)
+        assert [item.dns.uid for item in first] == [item.dns.uid for item in second]

@@ -1,0 +1,126 @@
+"""The sharded parallel pipeline must reproduce the serial path exactly."""
+
+import pytest
+
+from repro.core.classify import ClassifierConfig
+from repro.core.context import ContextStudy, StudyOptions
+from repro.core.pairing import PairingPolicy
+from repro.core.parallel import (
+    DEFAULT_SHARDS_PER_WORKER,
+    parallel_study,
+    run_pipeline,
+    shard_by_household,
+)
+from repro.errors import AnalysisError
+from repro.monitor.capture import Trace
+from repro.workload.generate import generate_trace
+from repro.workload.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def trace() -> Trace:
+    return generate_trace(ScenarioConfig(seed=11, houses=8, duration=2 * 3600.0))
+
+
+@pytest.fixture(scope="module")
+def serial(trace):
+    return run_pipeline(trace, workers=1, collect_connections=True)
+
+
+def test_sharding_partitions_households(trace):
+    parts = shard_by_household(trace.dns, trace.conns, 3)
+    assert len(parts) == 3
+    houses_per_shard = [
+        {r.orig_h for r in dns} | {c.orig_h for c in conns}
+        for dns, conns, _ in parts
+    ]
+    for i, left in enumerate(houses_per_shard):
+        for right in houses_per_shard[i + 1 :]:
+            assert not (left & right)
+    assert sum(len(conns) for _, conns, _ in parts) == len(trace.conns)
+    assert sum(len(dns) for dns, _, _ in parts) == len(trace.dns)
+    all_indices = sorted(i for _, _, idx in parts for i in idx)
+    assert all_indices == list(range(len(trace.conns)))
+
+
+def test_sharding_rejects_nonpositive_count(trace):
+    with pytest.raises(AnalysisError):
+        shard_by_household(trace.dns, trace.conns, 0)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_equals_serial(trace, serial, workers):
+    parallel = run_pipeline(trace, workers=workers, collect_connections=True)
+    assert parallel == serial
+    assert parallel.classified == serial.classified
+    assert parallel.thresholds == serial.thresholds
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_equals_serial_random_policy(trace, workers):
+    options = StudyOptions(
+        pairing_policy=PairingPolicy.RANDOM_NON_EXPIRED, pairing_seed=7
+    )
+    serial = run_pipeline(trace, options, workers=1, collect_connections=True)
+    parallel = run_pipeline(trace, options, workers=workers, collect_connections=True)
+    assert parallel == serial
+    assert parallel.classified == serial.classified
+
+
+def test_shard_count_override(trace, serial):
+    parallel = run_pipeline(trace, workers=2, shards=5, collect_connections=True)
+    assert parallel.shards == 5
+    assert parallel == serial
+
+
+def test_more_shards_than_houses_clamps(trace, serial):
+    parallel = run_pipeline(trace, workers=4, shards=100)
+    assert parallel.shards == 8  # the scenario has 8 houses
+    assert parallel.census == serial.census
+    assert parallel.breakdown == serial.breakdown
+
+
+def test_default_shard_count(trace):
+    parallel = run_pipeline(trace, workers=2)
+    assert parallel.shards == min(8, 2 * DEFAULT_SHARDS_PER_WORKER)
+
+
+def test_pipeline_matches_context_study(trace, serial):
+    study = ContextStudy(trace)
+    assert serial.breakdown == study.breakdown
+    assert serial.census == study.pairing_census()
+    assert serial.gap_analysis == study.gap_analysis()
+    assert serial.lookup_delays == study.lookup_delays()
+    assert serial.contribution == study.contribution()
+    assert serial.quadrant == study.significance_quadrant()
+    assert serial.classified == tuple(study.classified)
+    assert serial.paired == tuple(study.paired)
+
+
+def test_parallel_study_matches_serial_study(trace):
+    options = StudyOptions(classifier=ClassifierConfig())
+    reference = ContextStudy(trace, options)
+    study = parallel_study(trace, options, workers=4)
+    assert study.classified == reference.classified
+    assert study.paired == reference.paired
+    assert study.classifier.thresholds == reference.classifier.thresholds
+    assert study.breakdown == reference.breakdown
+    # Downstream (non-sharded) analyses run off the injected caches.
+    assert study.ttl_violations() == reference.ttl_violations()
+    assert study.hit_rates() == reference.hit_rates()
+
+
+def test_run_pipeline_rejects_bad_workers(trace):
+    with pytest.raises(AnalysisError):
+        run_pipeline(trace, workers=0)
+
+
+def test_run_pipeline_rejects_empty_trace():
+    with pytest.raises(AnalysisError):
+        run_pipeline(Trace(dns=[], conns=[]), workers=2)
+
+
+def test_collect_connections_off_by_default(trace):
+    result = run_pipeline(trace, workers=2)
+    assert result.classified is None
+    assert result.paired is None

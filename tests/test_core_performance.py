@@ -210,3 +210,28 @@ class TestPrefetchStats:
     def test_requires_dns_records(self):
         with pytest.raises(AnalysisError):
             prefetch_stats([], [], [])
+
+
+class TestDegenerateContribution:
+    def test_zero_duration_lookup_contributes_nothing(self):
+        # Regression: 0 ms lookup + 0 s transfer used to report 100%.
+        classified = classify(
+            [dns("D1", 0.0, "1.2.3.4", rtt=0.0)],
+            [conn("C1", 0.0, "1.2.3.4", duration=0.0)],
+        )
+        assert classified[0].conn_class in (ConnClass.SHARED_CACHE, ConnClass.RESOLUTION)
+        assert contribution_percent(classified[0]) == 0.0
+
+    def test_zero_duration_lookup_with_transfer(self):
+        classified = classify(
+            [dns("D1", 0.0, "1.2.3.4", rtt=0.0)],
+            [conn("C1", 0.0, "1.2.3.4", duration=2.0)],
+        )
+        assert contribution_percent(classified[0]) == 0.0
+
+    def test_positive_lookup_zero_transfer_is_whole_transaction(self):
+        classified = classify(
+            [dns("D1", 0.0, "1.2.3.4", rtt=0.010)],
+            [conn("C1", 0.011, "1.2.3.4", duration=0.0)],
+        )
+        assert contribution_percent(classified[0]) == pytest.approx(100.0)

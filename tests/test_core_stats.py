@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.core.stats import (
     Cdf,
     find_knee,
+    find_knee_detailed,
     fraction,
     fraction_above,
     fraction_below,
@@ -124,3 +125,74 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(AnalysisError):
             summarize([])
+
+
+class TestKneeDetailed:
+    def test_zero_gaps_anchor_cumulative_mass(self):
+        # 900 zero gaps cannot sit on the log axis, but their cumulative
+        # mass must still anchor the knee: 90% of samples precede the
+        # first positive value, so the knee is at the first positive.
+        values = [0.0] * 900 + [0.001 * (10 ** (i / 33)) for i in range(100)]
+        result = find_knee_detailed(values, log_x=True)
+        assert result.excluded_samples == 900
+        assert result.total_samples == 1000
+        assert result.excluded_fraction == pytest.approx(0.9)
+        assert result.knee == pytest.approx(0.001)
+
+    def test_exclusions_do_not_shift_bimodal_knee(self):
+        # Adding clamped-to-zero gaps must not move the knee away from
+        # the bimodal boundary (the pre-fix code renormalised fractions
+        # over survivors only, distorting exactly this case).
+        low = [0.002 * (1 + 0.1 * (i % 10)) for i in range(500)]
+        high = [10.0 * (1 + 0.1 * (i % 10)) for i in range(500)]
+        clean = find_knee_detailed(low + high)
+        noisy = find_knee_detailed([0.0] * 200 + low + high)
+        assert clean.excluded_samples == 0
+        assert noisy.excluded_samples == 200
+        assert noisy.knee == pytest.approx(clean.knee)
+        assert 0.002 < noisy.knee < 10.0
+
+    def test_linear_axis_excludes_nothing(self):
+        values = [0.0] * 50 + [float(i) for i in range(50)]
+        result = find_knee_detailed(values, log_x=False)
+        assert result.excluded_samples == 0
+        assert result.total_samples == 100
+
+    def test_find_knee_wrapper_agrees(self):
+        values = [0.0] * 100 + [0.002 * (1 + 0.1 * (i % 10)) for i in range(200)] + [
+            10.0 * (1 + 0.1 * (i % 10)) for i in range(200)
+        ]
+        assert find_knee(values) == find_knee_detailed(values).knee
+
+    def test_all_excluded_rejected(self):
+        with pytest.raises(AnalysisError):
+            find_knee_detailed([0.0] * 100, log_x=True)
+
+
+class TestCdfMerge:
+    def test_merge_equals_pooled(self):
+        left = Cdf.from_values([3.0, 1.0, 2.0])
+        right = Cdf.from_values([2.5, 0.5])
+        merged = Cdf.merge([left, right])
+        assert merged == Cdf.from_values([3.0, 1.0, 2.0, 2.5, 0.5])
+
+    def test_merge_single(self):
+        cdf = Cdf.from_values([1.0, 2.0])
+        assert Cdf.merge([cdf]) == cdf
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            Cdf.merge([])
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40)
+    def test_merge_is_multiset_union(self, groups):
+        merged = Cdf.merge([Cdf.from_values(group) for group in groups])
+        pooled = Cdf.from_values([value for group in groups for value in group])
+        assert merged == pooled
