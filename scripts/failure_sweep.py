@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Sweep injected SERVFAIL rates and report how Table 2 shifts.
+
+Generates the default scenario at several per-query SERVFAIL
+probabilities (0%, 0.5%, 2% unless overridden), runs the full analysis
+on each trace, and prints a markdown table of the observed per-resolver
+failure rate and the Table 2 class shares, plus the blocked fraction.
+The sweep quantifies the robustness claim: failed transactions flow
+through pairing and classification as first-class records without
+perturbing the fault-free classes beyond the traffic they remove.
+
+Usage:
+    PYTHONPATH=src python scripts/failure_sweep.py [--houses N]
+        [--hours H] [--seed S] [--rates R,R,...] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.classify import ConnClass  # noqa: E402
+from repro.core.context import ContextStudy  # noqa: E402
+from repro.simulation.faults import FaultConfig  # noqa: E402
+from repro.workload.generate import generate_trace  # noqa: E402
+from repro.workload.scenario import ScenarioConfig  # noqa: E402
+
+CLASS_ORDER = ("N", "LC", "P", "SC", "R")
+
+
+def run_one(seed: int, houses: int, hours: float, servfail_rate: float) -> dict:
+    """Generate and analyse one scenario at the given SERVFAIL rate."""
+    config = ScenarioConfig(
+        seed=seed,
+        houses=houses,
+        duration=hours * 3600.0,
+        faults=FaultConfig(servfail_probability=servfail_rate),
+    )
+    trace = generate_trace(config)
+    study = ContextStudy(trace)
+    breakdown = study.breakdown
+    total = breakdown.total
+    shares = {
+        label: 100.0 * breakdown.counts.get(ConnClass(label), 0) / total
+        for label in CLASS_ORDER
+    }
+    failure_stats = study.failure_stats()
+    queries = sum(stat.queries for stat in failure_stats.values())
+    failures = sum(stat.failures for stat in failure_stats.values())
+    return {
+        "servfail_rate": servfail_rate,
+        "lookups": len(trace.dns),
+        "conns": len(trace.conns),
+        "observed_failure_pct": 100.0 * failures / queries if queries else 0.0,
+        "class_shares_pct": shares,
+        "blocked_pct": 100.0 * breakdown.blocked_fraction(),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--houses", type=int, default=20)
+    parser.add_argument("--hours", type=float, default=12.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rates", default="0,0.005,0.02", help="comma-separated SERVFAIL probabilities")
+    parser.add_argument("--out", default=os.path.join(os.path.dirname(__file__), "..", "SWEEP_failures.json"))
+    args = parser.parse_args()
+
+    rates = [float(rate) for rate in args.rates.split(",")]
+    rows = []
+    for rate in rates:
+        print(f"running servfail rate {100 * rate:.1f}%...", flush=True)
+        rows.append(run_one(args.seed, args.houses, args.hours, rate))
+
+    header = "| SERVFAIL rate | observed failed | " + " | ".join(CLASS_ORDER) + " | blocked |"
+    rule = "|---" * (len(CLASS_ORDER) + 3) + "|"
+    print()
+    print(header)
+    print(rule)
+    for row in rows:
+        shares = row["class_shares_pct"]
+        cells = " | ".join(f"{shares[label]:.1f}" for label in CLASS_ORDER)
+        print(
+            f"| {100 * row['servfail_rate']:.1f}% | {row['observed_failure_pct']:.2f}% | "
+            f"{cells} | {row['blocked_pct']:.1f}% |"
+        )
+
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump({"houses": args.houses, "hours": args.hours, "seed": args.seed, "rows": rows}, stream, indent=2)
+        stream.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,15 +29,44 @@ import sys
 
 from repro.core.context import ContextStudy
 from repro.core.parallel import parallel_study
+from repro.errors import (
+    AnalysisError,
+    DnsError,
+    LogFormatError,
+    PcapError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
 from repro.monitor.logs import save_conn_log, save_dns_log
 from repro.report.tables import render_table1, render_table2, render_table3
+from repro.simulation.faults import FaultConfig
 from repro.workload.generate import generate_trace
 from repro.workload.scenario import ScenarioConfig
+
+# sysexits.h-style codes: data errors, usage errors, missing inputs,
+# and internal software faults map to distinct, scriptable exit codes.
+EXIT_USAGE = 64
+EXIT_DATA = 65
+EXIT_NOINPUT = 66
+EXIT_SOFTWARE = 70
+
+
+def _faults_from_args(args: argparse.Namespace) -> FaultConfig:
+    return FaultConfig(
+        timeout_probability=args.timeout_rate,
+        servfail_probability=args.servfail_rate,
+        nxdomain_probability=args.nxdomain_rate,
+        outage_rate_per_hour=args.outage_rate,
+    )
 
 
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig(
-        seed=args.seed, houses=args.houses, duration=args.hours * 3600.0
+        seed=args.seed,
+        houses=args.houses,
+        duration=args.hours * 3600.0,
+        faults=_faults_from_args(args),
     )
 
 
@@ -55,6 +84,30 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--houses", type=int, default=20, help="number of houses (default 20)")
     parser.add_argument("--hours", type=float, default=12.0, help="simulated hours (default 12)")
     parser.add_argument("--seed", type=int, default=1, help="random seed (default 1)")
+    parser.add_argument(
+        "--servfail-rate",
+        type=float,
+        default=0.0,
+        help="per-query SERVFAIL probability for fault injection (default 0)",
+    )
+    parser.add_argument(
+        "--timeout-rate",
+        type=float,
+        default=0.0,
+        help="per-query timeout probability for fault injection (default 0)",
+    )
+    parser.add_argument(
+        "--nxdomain-rate",
+        type=float,
+        default=0.0,
+        help="per-query spurious-NXDOMAIN probability for fault injection (default 0)",
+    )
+    parser.add_argument(
+        "--outage-rate",
+        type=float,
+        default=0.0,
+        help="resolver outage windows per hour per platform (default 0)",
+    )
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -78,11 +131,31 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_failure_stats(study: ContextStudy) -> None:
+    stats = study.failure_stats()
+    failed = {
+        resolver: stat for resolver, stat in stats.items() if stat.failures or stat.nxdomains
+    }
+    if not failed:
+        return
+    print()
+    print("Resolver failure rates:")
+    for resolver in sorted(failed):
+        stat = failed[resolver]
+        print(
+            f"  {resolver}: {stat.queries} queries, "
+            f"{stat.servfails} SERVFAIL, {stat.timeouts} timeout, "
+            f"{stat.nxdomains} NXDOMAIN "
+            f"({100 * stat.failure_rate:.2f}% failed)"
+        )
+
+
 def _print_report(study: ContextStudy) -> None:
     print(study.population().summary())
     print()
     print("Table 1 — resolver platform usage:")
     print(render_table1(study.resolver_usage()))
+    _print_failure_stats(study)
     print()
     print("Table 2 — DNS information origin by connection:")
     print(render_table2(study.breakdown))
@@ -118,7 +191,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.pcap:
         study = ContextStudy.from_pcap(args.pcap, local_networks=tuple(args.local_net))
     elif args.dns and args.conn:
-        study = ContextStudy.from_logs(args.dns, args.conn)
+        study = ContextStudy.from_logs(args.dns, args.conn, strict=not args.lenient)
+        for report in study.ingest_reports:
+            if not report.ok:
+                print(f"ingest: {report.summary()}", file=sys.stderr)
+                for line in report.quarantined[:10]:
+                    print(f"  line {line.line_number}: {line.reason}", file=sys.stderr)
+                if len(report.quarantined) > 10:
+                    remaining = len(report.quarantined) - 10
+                    print(f"  ... and {remaining} more", file=sys.stderr)
     else:
         print("analyze requires either --pcap or both --dns and --conn", file=sys.stderr)
         return 2
@@ -147,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-dns",
         description="Putting DNS in Context (IMC 2020) — reproduction toolkit",
     )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="show full tracebacks instead of clean error messages",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic trace")
@@ -170,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=["10."],
         help="local network prefix for pcap ingestion (repeatable)",
     )
+    analyze.add_argument(
+        "--lenient",
+        action="store_true",
+        help="quarantine malformed log lines (reported on stderr) instead of aborting",
+    )
     _add_workers_argument(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
@@ -188,10 +279,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _exit_code_for(error: ReproError) -> int:
+    """Map a library error to its sysexits.h-style exit code."""
+    if isinstance(error, (LogFormatError, AnalysisError, PcapError)):
+        return EXIT_DATA
+    if isinstance(error, WorkloadError):
+        return EXIT_USAGE
+    if isinstance(error, (DnsError, SimulationError)):
+        return EXIT_SOFTWARE
+    return EXIT_SOFTWARE
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        if args.debug:
+            raise
+        print(f"repro-dns: error: {error}", file=sys.stderr)
+        return _exit_code_for(error)
+    except OSError as error:
+        if args.debug:
+            raise
+        print(f"repro-dns: error: {error}", file=sys.stderr)
+        return EXIT_NOINPUT
 
 
 if __name__ == "__main__":

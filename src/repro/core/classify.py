@@ -74,34 +74,49 @@ class ThresholdPolicy:
 class ResolverDurationStats:
     """Per-resolver lookup-duration aggregate (count + fastest lookup).
 
-    These two numbers are all threshold derivation needs, and both merge
+    These numbers are all threshold derivation needs, and all merge
     exactly (sum / min), so per-shard collections combine into the
     whole-trace statistics — the basis of the parallel pipeline's
-    two-phase threshold computation.
+    two-phase threshold computation. ``lookups`` counts *answered*
+    transactions only: failed ones (timeout / SERVFAIL) carry the
+    client's give-up time, not the resolver's RTT, so letting them into
+    the minimum (or the min-lookups gate) would corrupt the SC/R
+    thresholds. They are tallied in ``failed_lookups`` instead.
     """
 
     lookups: int
     min_rtt_s: float
+    failed_lookups: int = 0
 
     def merged_with(self, other: "ResolverDurationStats") -> "ResolverDurationStats":
         """The aggregate over both samples."""
         return ResolverDurationStats(
             lookups=self.lookups + other.lookups,
             min_rtt_s=min(self.min_rtt_s, other.min_rtt_s),
+            failed_lookups=self.failed_lookups + other.failed_lookups,
         )
 
 
 def collect_resolver_stats(dns_records: list[DnsRecord]) -> dict[str, ResolverDurationStats]:
     """Per-resolver-address duration aggregates for *dns_records*."""
     counts: dict[str, int] = defaultdict(int)
+    failed: dict[str, int] = defaultdict(int)
     minima: dict[str, float] = {}
     for record in dns_records:
+        if record.failed:
+            failed[record.resp_h] += 1
+            counts.setdefault(record.resp_h, 0)
+            continue
         counts[record.resp_h] += 1
         current = minima.get(record.resp_h)
         if current is None or record.rtt < current:
             minima[record.resp_h] = record.rtt
     return {
-        resolver: ResolverDurationStats(lookups=count, min_rtt_s=minima[resolver])
+        resolver: ResolverDurationStats(
+            lookups=count,
+            min_rtt_s=minima.get(resolver, math.inf),
+            failed_lookups=failed.get(resolver, 0),
+        )
         for resolver, count in counts.items()
     }
 
@@ -126,7 +141,9 @@ def thresholds_from_stats(
     policy = policy if policy is not None else ThresholdPolicy()
     thresholds: dict[str, float] = {}
     for resolver, resolver_stats in stats.items():
-        if resolver_stats.lookups < policy.min_lookups:
+        if resolver_stats.lookups < policy.min_lookups or not math.isfinite(
+            resolver_stats.min_rtt_s
+        ):
             thresholds[resolver] = policy.default_threshold
         else:
             thresholds[resolver] = policy.derive(resolver_stats.min_rtt_s)
@@ -139,6 +156,80 @@ def resolver_thresholds(
 ) -> dict[str, float]:
     """Per-resolver-address SC/R thresholds from lookup durations."""
     return thresholds_from_stats(collect_resolver_stats(dns_records), policy)
+
+
+@dataclass(frozen=True, slots=True)
+class ResolverFailureStats:
+    """Per-resolver transaction-outcome tally.
+
+    Plain counters, so per-shard tallies merge by addition into exactly
+    the whole-trace tally. ``nxdomains`` is reported alongside the
+    failures but does not count toward :attr:`failure_rate` — a negative
+    answer is a successful transaction.
+    """
+
+    queries: int = 0
+    servfails: int = 0
+    timeouts: int = 0
+    nxdomains: int = 0
+
+    @property
+    def failures(self) -> int:
+        """Transactions that produced no usable response."""
+        return self.servfails + self.timeouts
+
+    @property
+    def failure_rate(self) -> float:
+        """Failed share of all transactions (0 when none were seen)."""
+        if not self.queries:
+            return 0.0
+        return self.failures / self.queries
+
+    def merged_with(self, other: "ResolverFailureStats") -> "ResolverFailureStats":
+        """The tally over both samples."""
+        return ResolverFailureStats(
+            queries=self.queries + other.queries,
+            servfails=self.servfails + other.servfails,
+            timeouts=self.timeouts + other.timeouts,
+            nxdomains=self.nxdomains + other.nxdomains,
+        )
+
+
+def collect_failure_stats(dns_records: list[DnsRecord]) -> dict[str, ResolverFailureStats]:
+    """Per-resolver-address outcome tallies for *dns_records*."""
+    queries: dict[str, int] = defaultdict(int)
+    servfails: dict[str, int] = defaultdict(int)
+    timeouts: dict[str, int] = defaultdict(int)
+    nxdomains: dict[str, int] = defaultdict(int)
+    for record in dns_records:
+        queries[record.resp_h] += 1
+        if record.is_servfail:
+            servfails[record.resp_h] += 1
+        elif record.is_timeout:
+            timeouts[record.resp_h] += 1
+        elif record.rcode == "NXDOMAIN":
+            nxdomains[record.resp_h] += 1
+    return {
+        resolver: ResolverFailureStats(
+            queries=count,
+            servfails=servfails.get(resolver, 0),
+            timeouts=timeouts.get(resolver, 0),
+            nxdomains=nxdomains.get(resolver, 0),
+        )
+        for resolver, count in queries.items()
+    }
+
+
+def merge_failure_stats(
+    parts: list[dict[str, ResolverFailureStats]],
+) -> dict[str, ResolverFailureStats]:
+    """Combine per-shard outcome tallies into whole-trace tallies."""
+    merged: dict[str, ResolverFailureStats] = {}
+    for part in parts:
+        for resolver, stats in part.items():
+            existing = merged.get(resolver)
+            merged[resolver] = stats if existing is None else existing.merged_with(stats)
+    return merged
 
 
 @dataclass(frozen=True, slots=True)

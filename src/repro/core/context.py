@@ -29,7 +29,9 @@ from repro.core.classify import (
     ClassifiedConnection,
     Classifier,
     ClassifierConfig,
+    ResolverFailureStats,
     class_breakdown,
+    collect_failure_stats,
 )
 from repro.core.improvements import (
     RefreshComparison,
@@ -75,6 +77,7 @@ from repro.monitor.capture import Trace
 if TYPE_CHECKING:
     from repro.core.population import PopulationStats
     from repro.core.stats import Cdf
+    from repro.monitor.logs import IngestReport
     from repro.monitor.records import ConnRecord, DnsRecord
     from repro.workload.scenario import ScenarioConfig
 
@@ -89,26 +92,32 @@ def _looks_like_json(path: str) -> bool:
     return False
 
 
-def _load_any_dns(path: str) -> "list[DnsRecord]":
+def _load_any_dns(path: str, strict: bool = True) -> "tuple[list[DnsRecord], IngestReport | None]":
     if _looks_like_json(path):
         from repro.monitor.json_logs import read_dns_json
 
         with open(path, "r", encoding="utf-8") as stream:
-            return read_dns_json(stream)
-    from repro.monitor.logs import load_dns_log
+            return read_dns_json(stream), None
+    from repro.monitor.logs import load_dns_log, read_dns_log_lenient
 
-    return load_dns_log(path)
+    if strict:
+        return load_dns_log(path), None
+    with open(path, "r", encoding="utf-8") as stream:
+        return read_dns_log_lenient(stream)
 
 
-def _load_any_conn(path: str) -> "list[ConnRecord]":
+def _load_any_conn(path: str, strict: bool = True) -> "tuple[list[ConnRecord], IngestReport | None]":
     if _looks_like_json(path):
         from repro.monitor.json_logs import read_conn_json
 
         with open(path, "r", encoding="utf-8") as stream:
-            return read_conn_json(stream)
-    from repro.monitor.logs import load_conn_log
+            return read_conn_json(stream), None
+    from repro.monitor.logs import load_conn_log, read_conn_log_lenient
 
-    return load_conn_log(path)
+    if strict:
+        return load_conn_log(path), None
+    with open(path, "r", encoding="utf-8") as stream:
+        return read_conn_log_lenient(stream)
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +137,8 @@ class ContextStudy:
             raise AnalysisError("the trace has no connections to analyse")
         self.trace = trace
         self.options = options if options is not None else StudyOptions()
+        # Populated by from_logs(strict=False); empty otherwise.
+        self.ingest_reports: tuple[IngestReport, ...] = ()
 
     # -- constructors -------------------------------------------------------
 
@@ -140,18 +151,34 @@ class ContextStudy:
 
     @classmethod
     def from_logs(
-        cls, dns_path: str, conn_path: str, options: StudyOptions | None = None
+        cls,
+        dns_path: str,
+        conn_path: str,
+        options: StudyOptions | None = None,
+        strict: bool = True,
     ) -> "ContextStudy":
         """Analyse previously saved dns.log / conn.log files.
 
         Both Zeek formats are accepted — TSV (``#fields`` headers) and
         JSON-streaming (one object per line) — detected per file.
+
+        With ``strict=False``, malformed TSV lines are quarantined
+        instead of aborting the ingest; the resulting
+        :class:`~repro.monitor.logs.IngestReport` objects are kept on
+        ``study.ingest_reports`` so the caller can surface what was
+        dropped. JSON-format files always use the strict path.
         """
-        trace = Trace(dns=_load_any_dns(dns_path), conns=_load_any_conn(conn_path))
+        dns_records, dns_report = _load_any_dns(dns_path, strict=strict)
+        conn_records, conn_report = _load_any_conn(conn_path, strict=strict)
+        trace = Trace(dns=dns_records, conns=conn_records)
         trace.sort()
         if trace.conns:
             trace.duration = trace.conns[-1].ts - trace.conns[0].ts
-        return cls(trace, options)
+        study = cls(trace, options)
+        study.ingest_reports = tuple(
+            report for report in (dns_report, conn_report) if report is not None
+        )
+        return study
 
     @classmethod
     def from_pcap(
@@ -221,6 +248,16 @@ class ContextStudy:
     def local_only_houses(self) -> float:
         """§3: share of houses that only use the ISP resolvers (paper: ~16%)."""
         return local_only_house_fraction(self.trace.dns, self.options.classifier)
+
+    def failure_stats(self) -> dict[str, ResolverFailureStats]:
+        """Per-resolver transaction outcomes (timeouts, SERVFAILs, NXDOMAINs).
+
+        Failed transactions are first-class in the record stream but can
+        never pair; this surfaces their rates per resolver address so a
+        faulty platform is visible instead of silently shrinking the
+        paired population.
+        """
+        return collect_failure_stats(self.trace.dns)
 
     # -- §5 -------------------------------------------------------------------
 

@@ -84,7 +84,13 @@ class DnsIndex:
     def __init__(self, dns_records: list[DnsRecord]) -> None:
         self._by_house_address: dict[tuple[str, str], list[_Candidate]] = defaultdict(list)
         self.records = sorted(dns_records, key=lambda record: record.completed_at)
+        self.failed_records = sum(1 for record in self.records if record.failed)
         for record in self.records:
+            if record.failed:
+                # A timed-out or SERVFAIL transaction delivered no
+                # mapping: it must never become a pairing candidate,
+                # even if a malformed log line carries stray answers.
+                continue
             for address in record.addresses():
                 self._by_house_address[(record.orig_h, address)].append(
                     _Candidate(
@@ -273,9 +279,16 @@ def ambiguity_fraction(paired: list[PairedConnection]) -> float:
 
 
 def unused_lookup_fraction(dns_records: list[DnsRecord], paired: list[PairedConnection]) -> float:
-    """Fraction of DNS transactions never paired with any connection (§5.2)."""
-    if not dns_records:
+    """Fraction of DNS transactions never paired with any connection (§5.2).
+
+    Failed transactions are excluded from both numerator and denominator:
+    they *cannot* pair by construction, so counting them would inflate
+    the unused-lookup statistic with a population the paper's §5.2
+    question (answers fetched but never used) is not about.
+    """
+    answered = [record for record in dns_records if not record.failed]
+    if not answered:
         return 0.0
     used = {p.dns.uid for p in paired if p.dns is not None}
-    unused = sum(1 for record in dns_records if record.uid not in used)
-    return unused / len(dns_records)
+    unused = sum(1 for record in answered if record.uid not in used)
+    return unused / len(answered)

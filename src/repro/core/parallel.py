@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import gc
 import multiprocessing
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
@@ -47,8 +48,11 @@ from repro.core.classify import (
     ClassBreakdown,
     ClassifiedConnection,
     Classifier,
+    ResolverFailureStats,
     class_breakdown,
+    collect_failure_stats,
     collect_resolver_stats,
+    merge_failure_stats,
     merge_resolver_stats,
     thresholds_from_stats,
 )
@@ -112,6 +116,7 @@ class ShardResult:
     contribution: ContributionAnalysis | None
     quadrant: SignificanceQuadrant | None
     indexed_classified: tuple[tuple[int, ClassifiedConnection], ...] | None
+    failure_stats: dict[str, ResolverFailureStats] = field(default_factory=dict)
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,7 +126,10 @@ class PipelineResult:
     Analysis fields compare by value, so two runs over the same trace
     and options are ``==`` regardless of worker count — the golden
     equality the parallel tests pin. ``workers``/``shards`` are
-    execution metadata and excluded from comparison.
+    execution metadata and excluded from comparison, as is
+    ``recovered_shards`` — which shard needed a serial retry is
+    provenance about the *run*, not the analysis: a recovered run's
+    statistics still compare equal to an undisturbed one.
     """
 
     census: PairingCensus
@@ -131,9 +139,16 @@ class PipelineResult:
     contribution: ContributionAnalysis
     quadrant: SignificanceQuadrant
     thresholds: dict[str, float]
+    failure_stats: dict[str, ResolverFailureStats] = field(default_factory=dict)
     classified: tuple[ClassifiedConnection, ...] | None = None
     workers: int = field(default=1, compare=False)
     shards: int = field(default=1, compare=False)
+    recovered_shards: tuple[int, ...] = field(default=(), compare=False)
+
+    @property
+    def partial_recovery(self) -> bool:
+        """Did any worker shard crash and get retried serially?"""
+        return bool(self.recovered_shards)
 
     @property
     def paired(self) -> tuple[PairedConnection, ...] | None:
@@ -204,6 +219,7 @@ def analyze_shard(task: ShardTask) -> ShardResult:
             lambda: significance_quadrant(classified, task.abs_threshold, task.rel_threshold)
         ),
         indexed_classified=indexed,
+        failure_stats=collect_failure_stats(list(task.dns_records)),
     )
 
 
@@ -233,10 +249,44 @@ def _merge_present(
 _FORK_TASKS: list[ShardTask] | None = None
 
 
+class ShardCrashError(RuntimeError):
+    """A deliberately injected worker-shard crash (testing only)."""
+
+
+#: Shard ids whose *pool* execution raises, exercising the serial-retry
+#: recovery path. Set via monkeypatch in tests; the serial retry calls
+#: :func:`analyze_shard` directly and therefore bypasses this hook.
+_CRASH_SHARDS_FOR_TESTING: frozenset[int] = frozenset()
+
+#: Exception types treated as a worker failure worth a serial retry.
+#: Anything else (e.g. :class:`AnalysisError` from bad inputs) would
+#: fail identically in the parent and is allowed to propagate.
+_WORKER_FAILURES = (
+    OSError,
+    RuntimeError,
+    MemoryError,
+    multiprocessing.ProcessError,
+    pickle.PickleError,
+)
+
+
+def _maybe_crash(shard_id: int) -> None:
+    if shard_id in _CRASH_SHARDS_FOR_TESTING:
+        raise ShardCrashError(f"injected crash for shard {shard_id}")
+
+
 def _analyze_shard_by_index(index: int) -> ShardResult:
     """Fork-mode worker entry: look the task up in inherited memory."""
     assert _FORK_TASKS is not None
-    return analyze_shard(_FORK_TASKS[index])
+    task = _FORK_TASKS[index]
+    _maybe_crash(task.shard_id)
+    return analyze_shard(task)
+
+
+def _analyze_shard_task(task: ShardTask) -> ShardResult:
+    """Pickling-mode worker entry (non-fork start methods)."""
+    _maybe_crash(task.shard_id)
+    return analyze_shard(task)
 
 
 def _disable_worker_gc() -> None:
@@ -249,14 +299,40 @@ def _disable_worker_gc() -> None:
     gc.disable()
 
 
-def _run_tasks(tasks: list[ShardTask], workers: int) -> list[ShardResult]:
+def _collect_with_recovery(
+    pending: "list[multiprocessing.pool.AsyncResult]",
+    tasks: list[ShardTask],
+) -> tuple[list[ShardResult], tuple[int, ...]]:
+    """Gather per-shard results, retrying crashed shards serially.
+
+    A shard whose worker raised is re-run in the parent with
+    :func:`analyze_shard` — the exact code path a ``workers=1`` run
+    takes — so the merged output stays byte-identical to the serial
+    pipeline; the retried shard ids are reported as provenance.
+    """
+    results: list[ShardResult] = []
+    recovered: list[int] = []
+    for index, handle in enumerate(pending):
+        try:
+            results.append(handle.get())
+        except _WORKER_FAILURES:
+            results.append(analyze_shard(tasks[index]))
+            recovered.append(tasks[index].shard_id)
+    return results, tuple(recovered)
+
+
+def _run_tasks(
+    tasks: list[ShardTask], workers: int
+) -> tuple[list[ShardResult], tuple[int, ...]]:
     """Execute shard tasks over a process pool (fork-aware).
 
     Under ``fork`` the tasks are reached through inherited memory
     (:data:`_FORK_TASKS`) instead of being pickled, and the parent heap
     is frozen out of GC for the pool's lifetime so the children's
     copy-on-write pages stay shared. Other start methods fall back to
-    pickling the tasks.
+    pickling the tasks. Either way, a shard whose worker dies is
+    recovered by a serial retry in the parent; the returned tuple lists
+    the recovered shard ids.
     """
     global _FORK_TASKS
     start_methods = multiprocessing.get_all_start_methods()
@@ -266,14 +342,19 @@ def _run_tasks(tasks: list[ShardTask], workers: int) -> list[ShardResult]:
         gc.freeze()
         try:
             with context.Pool(processes=workers, initializer=_disable_worker_gc) as pool:
-                return pool.map(_analyze_shard_by_index, range(len(tasks)))
+                pending = [
+                    pool.apply_async(_analyze_shard_by_index, (index,))
+                    for index in range(len(tasks))
+                ]
+                return _collect_with_recovery(pending, tasks)
         finally:
             gc.unfreeze()
             _FORK_TASKS = None
     with multiprocessing.get_context().Pool(
         processes=workers, initializer=_disable_worker_gc
     ) as pool:
-        return pool.map(analyze_shard, tasks)
+        pending = [pool.apply_async(_analyze_shard_task, (task,)) for task in tasks]
+        return _collect_with_recovery(pending, tasks)
 
 
 def _merge_results(
@@ -282,6 +363,7 @@ def _merge_results(
     total_conns: int,
     collect_connections: bool,
     workers: int,
+    recovered_shards: tuple[int, ...] = (),
 ) -> PipelineResult:
     """Merge per-shard partials into the serial path's exact objects."""
     classified: tuple[ClassifiedConnection, ...] | None = None
@@ -316,9 +398,11 @@ def _merge_results(
             [result.quadrant for result in results if result.quadrant is not None]
         ),
         thresholds=thresholds,
+        failure_stats=merge_failure_stats([result.failure_stats for result in results]),
         classified=classified,
         workers=workers,
         shards=len(results),
+        recovered_shards=recovered_shards,
     )
 
 
@@ -345,6 +429,7 @@ def _serial_pipeline(
         contribution=contribution_analysis(classified),
         quadrant=significance_quadrant(classified, abs_threshold, rel_threshold),
         thresholds=classifier.thresholds,
+        failure_stats=collect_failure_stats(trace.dns),
         classified=tuple(classified) if collect_connections else None,
         workers=1,
         shards=1,
@@ -406,9 +491,9 @@ def run_pipeline(
         )
         for shard_id, (dns_part, conn_part, index_part) in enumerate(parts)
     ]
-    results = _run_tasks(tasks, workers)
+    results, recovered = _run_tasks(tasks, workers)
     return _merge_results(
-        results, thresholds, len(trace.conns), collect_connections, workers
+        results, thresholds, len(trace.conns), collect_connections, workers, recovered
     )
 
 

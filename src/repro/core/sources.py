@@ -142,7 +142,10 @@ def prefetch_stats(
     p_items = [item for item in classified if item.conn_class == ConnClass.PREFETCHED]
     lc_items = [item for item in classified if item.conn_class == ConnClass.LOCAL_CACHE]
     p_lookup_uids = {item.dns.uid for item in p_items if item.dns is not None}
-    unused_count = round(unused * len(dns_records))
+    # ``unused`` is a fraction of *answered* lookups; failed transactions
+    # delivered nothing to use, so they are not speculative candidates.
+    answered = sum(1 for record in dns_records if not record.failed)
+    unused_count = round(unused * answered)
     speculative = len(p_lookup_uids) + unused_count
     used_fraction = len(p_lookup_uids) / speculative if speculative else 0.0
     p_lags = [item.gap for item in p_items if item.gap is not None]

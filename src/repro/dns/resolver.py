@@ -18,6 +18,7 @@ TTL violations §5.2 measures.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 from dataclasses import dataclass
@@ -27,6 +28,7 @@ from repro.dns.name import DomainName
 from repro.dns.rr import ResourceRecord, RRType
 from repro.dns.zone import DnsHierarchy
 from repro.errors import NameError_, ResolutionError, ZoneError
+from repro.simulation.faults import FaultKind, FaultPlan, RetryPolicy
 from repro.simulation.latency import (
     LatencyModel,
     authoritative_latency,
@@ -74,7 +76,14 @@ class ResolverProfile:
 
 @dataclass(frozen=True, slots=True)
 class ResolutionOutcome:
-    """What one query to a recursive resolver produced."""
+    """What one query to a recursive resolver produced.
+
+    ``timed_out`` marks a query that never got a response (the monitor
+    logs Zeek's ``-`` rcode); ``servfail`` an explicit error response;
+    ``truncated`` a UDP answer that forced a TCP retry (visible only as
+    extra latency). NXDOMAIN remains a *successful* transaction carrying
+    a negative answer.
+    """
 
     qname: DomainName
     qtype: RRType
@@ -83,10 +92,29 @@ class ResolutionOutcome:
     cache_hit: bool
     auth_queries: int
     nxdomain: bool = False
+    timed_out: bool = False
+    servfail: bool = False
+    truncated: bool = False
 
     def addresses(self) -> tuple[str, ...]:
         """IP addresses among the answer records."""
         return tuple(rr.address for rr in self.records if rr.is_address())
+
+    @property
+    def failed(self) -> bool:
+        """Did the transaction fail outright (no usable response)?"""
+        return self.timed_out or self.servfail
+
+    @property
+    def rcode_name(self) -> str:
+        """The rcode string a Zeek-style monitor would log for this outcome."""
+        if self.timed_out:
+            return "-"
+        if self.servfail:
+            return "SERVFAIL"
+        if self.nxdomain:
+            return "NXDOMAIN"
+        return "NOERROR"
 
 
 class RecursiveResolver:
@@ -97,11 +125,13 @@ class RecursiveResolver:
         profile: ResolverProfile,
         hierarchy: DnsHierarchy,
         rng: random.Random | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.profile = profile
         self.hierarchy = hierarchy
         self.cache = DnsCache(capacity=profile.cache_capacity)
         self._rng = rng if rng is not None else random.Random(0)
+        self._faults = faults
         # Per-name demand estimates for background-population warming:
         # key -> [query count, first seen, last known TTL].
         self._demand: dict[CacheKey, list[float]] = {}
@@ -110,6 +140,10 @@ class RecursiveResolver:
         self.queries_served = 0
         self.authoritative_queries = 0
         self.background_hits = 0
+        self.fault_timeouts = 0
+        self.fault_servfails = 0
+        self.fault_nxdomains = 0
+        self.fault_truncations = 0
 
     @property
     def platform(self) -> str:
@@ -135,6 +169,85 @@ class RecursiveResolver:
         """
         rng = rng if rng is not None else self._rng
         name = qname if isinstance(qname, DomainName) else DomainName(qname)
+        if self._faults is not None:
+            decision = self._faults.decide(self.platform, name.folded(), now)
+            if decision.kind is not FaultKind.NONE:
+                return self._faulted_resolve(decision.kind, name, qtype, now, rng)
+        return self._resolve_clean(name, qtype, now, rng)
+
+    def _faulted_resolve(
+        self,
+        kind: FaultKind,
+        name: DomainName,
+        qtype: RRType,
+        now: float,
+        rng: random.Random,
+    ) -> ResolutionOutcome:
+        """Produce the outcome the fault plan dictated for this query.
+
+        Timeouts are answer-less and free of duration — the *client's*
+        retry policy decides how long it waits. Injected SERVFAIL and
+        NXDOMAIN cost one client round trip; neither touches the cache or
+        demand bookkeeping (the platform never did the work). Truncation
+        resolves normally, then pays one extra round trip plus the TCP
+        fallback penalty.
+        """
+        if kind is FaultKind.TIMEOUT:
+            self.fault_timeouts += 1
+            return ResolutionOutcome(
+                qname=name,
+                qtype=qtype,
+                records=(),
+                duration_s=0.0,
+                cache_hit=False,
+                auth_queries=0,
+                timed_out=True,
+            )
+        if kind is FaultKind.SERVFAIL:
+            self.fault_servfails += 1
+            self.queries_served += 1
+            duration = self.profile.client_latency_model.sample(rng) + _PROCESSING_DELAY
+            return ResolutionOutcome(
+                qname=name,
+                qtype=qtype,
+                records=(),
+                duration_s=duration,
+                cache_hit=False,
+                auth_queries=0,
+                servfail=True,
+            )
+        if kind is FaultKind.NXDOMAIN:
+            self.fault_nxdomains += 1
+            self.queries_served += 1
+            duration = self.profile.client_latency_model.sample(rng) + _PROCESSING_DELAY
+            return ResolutionOutcome(
+                qname=name,
+                qtype=qtype,
+                records=(),
+                duration_s=duration,
+                cache_hit=False,
+                auth_queries=0,
+                nxdomain=True,
+            )
+        assert kind is FaultKind.TRUNCATION and self._faults is not None
+        self.fault_truncations += 1
+        outcome = self._resolve_clean(name, qtype, now, rng)
+        penalty = (
+            self.profile.client_latency_model.sample(rng)
+            + self._faults.config.tcp_fallback_penalty_s
+        )
+        return dataclasses.replace(
+            outcome, duration_s=outcome.duration_s + penalty, truncated=True
+        )
+
+    def _resolve_clean(
+        self,
+        name: DomainName,
+        qtype: RRType,
+        now: float,
+        rng: random.Random,
+    ) -> ResolutionOutcome:
+        """The fault-free resolution path (cache, negative cache, chase)."""
         self.queries_served += 1
         duration = self.profile.client_latency_model.sample(rng) + _PROCESSING_DELAY
 
@@ -352,6 +465,7 @@ class StubResolver:
         upstreams: list[tuple[RecursiveResolver, float]],
         cache: DnsCache | None = None,
         rng: random.Random | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if not upstreams:
             raise ResolutionError("a stub resolver needs at least one upstream")
@@ -362,6 +476,7 @@ class StubResolver:
         self._total_weight = total_weight
         self.cache = cache if cache is not None else DnsCache()
         self._rng = rng if rng is not None else random.Random(0)
+        self._retry = retry if retry is not None else RetryPolicy()
 
     def pick_upstream(self, rng: random.Random | None = None) -> RecursiveResolver:
         """Choose an upstream resolver proportionally to its weight."""
@@ -403,18 +518,72 @@ class StubResolver:
                 )
         resolver = self.pick_upstream(rng)
         outcome = resolver.resolve(name, now, qtype, rng)
+        waited_s = 0.0
+        if outcome.timed_out:
+            outcome, resolver, waited_s = self._retry_after_timeout(
+                name, qtype, now, rng, resolver
+            )
         if outcome.records:
-            self.cache.put(key, outcome.records, now + outcome.duration_s)
+            self.cache.put(key, outcome.records, now + waited_s + outcome.duration_s)
         return StubLookup(
             qname=name,
             qtype=qtype,
             records=outcome.records,
-            duration_s=outcome.duration_s,
+            duration_s=waited_s + outcome.duration_s,
             network_transaction=True,
             resolver_address=resolver.address,
             resolver_platform=resolver.platform,
             outcome=outcome,
         )
+
+    def _retry_after_timeout(
+        self,
+        name: DomainName,
+        qtype: RRType,
+        now: float,
+        rng: random.Random,
+        primary: RecursiveResolver,
+    ) -> tuple[ResolutionOutcome, RecursiveResolver, float]:
+        """Run the bounded retransmit/failover schedule after a timeout.
+
+        The original query to *primary* has already timed out. Each
+        further attempt is issued after waiting out the previous
+        attempt's timeout; after exhausting the per-upstream schedule the
+        stub fails over to the next configured upstream (at most
+        ``max_failovers`` of them). Returns the final outcome, the
+        upstream that produced it, and the total time spent waiting on
+        dead attempts. When every attempt times out, the outcome is the
+        last timed-out one and the wait equals the whole retry budget.
+        """
+        policy = self._retry
+        timeouts = policy.schedule()
+        chain: list[RecursiveResolver] = [primary]
+        for upstream, _ in self._upstreams:
+            if len(chain) > policy.max_failovers:
+                break
+            if upstream is not primary:
+                chain.append(upstream)
+        waited_s = timeouts[0]
+        last = ResolutionOutcome(
+            qname=name,
+            qtype=qtype,
+            records=(),
+            duration_s=0.0,
+            cache_hit=False,
+            auth_queries=0,
+            timed_out=True,
+        )
+        resolver = primary
+        for upstream_index, upstream in enumerate(chain):
+            for attempt, timeout_s in enumerate(timeouts):
+                if upstream_index == 0 and attempt == 0:
+                    continue  # the original query, already timed out
+                outcome = upstream.resolve(name, now + waited_s, qtype, rng)
+                if not outcome.timed_out:
+                    return outcome, upstream, waited_s
+                last, resolver = outcome, upstream
+                waited_s += timeout_s
+        return last, resolver, waited_s
 
 
 def build_platform_profiles() -> dict[str, ResolverProfile]:

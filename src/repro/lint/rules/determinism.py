@@ -1,10 +1,13 @@
-"""DET001/DET002: simulation determinism.
+"""DET001/DET002/DET003: simulation determinism.
 
 The whole experiment rests on one contract: a master seed fully
 determines the trace (``repro.simulation.random.RandomStreams``) and
-events happen in simulated time only. Both rules track import aliases
+events happen in simulated time only. The rules track import aliases
 so ``import random as r`` or ``from time import time as wall`` cannot
-slip past them.
+slip past them. DET003 closes the remaining hole: constructing a
+generator *without* a seed (``random.Random()``/``SystemRandom``)
+inside a simulated component, which makes fault probabilities and any
+other draws irreproducible.
 """
 
 from __future__ import annotations
@@ -209,4 +212,48 @@ class WallClockRule(Rule):
                     node,
                     f"{module}.{function}() reads the wall clock inside a simulated "
                     "component; derive timestamps from simulated time",
+                )
+
+
+@register_rule
+class UnseededGeneratorRule(Rule):
+    """DET003: simulated components never construct unseeded generators.
+
+    ``random.Random()`` with no arguments seeds from the OS, so any
+    probability driven by it — fault injection above all — changes from
+    run to run. Every generator in a simulated package must be seeded
+    from the master seed (``derive_seed``); ``SystemRandom`` can never
+    be, so it is banned outright.
+    """
+
+    rule_id = "DET003"
+    title = "no unseeded generators in simulated components"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*_SIMULATED_PACKAGES):
+            return
+        aliases = _collect_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, aliases)
+            if target is None:
+                continue
+            module, function = target
+            if module != "random":
+                continue
+            if function == "SystemRandom":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.SystemRandom draws from the OS entropy pool and can never "
+                    "be reproduced; derive a seeded random.Random via derive_seed",
+                )
+            elif function == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.Random() with no seed makes every probability (fault "
+                    "injection included) irreproducible; seed it via derive_seed",
                 )

@@ -72,6 +72,32 @@ class ExceptionDisciplineRule(Rule):
                 yield from self._check_handler(ctx, node)
             elif isinstance(node, ast.Raise):
                 yield from self._check_raise(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_suppress(ctx, node)
+
+    def _check_suppress(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        """``contextlib.suppress(Exception)`` is a broad except in disguise."""
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "suppress":
+            return
+        broad = [
+            arg_name
+            for arg in node.args
+            for arg_name in _type_names(arg)
+            if arg_name in _BROAD_TYPES
+        ]
+        if broad:
+            yield self.finding(
+                ctx,
+                node,
+                f"contextlib.suppress({broad[0]}) silently swallows failures exactly "
+                "like 'except Exception: pass'; suppress the concrete failure types",
+            )
 
     def _check_handler(self, ctx: FileContext, node: ast.ExceptHandler) -> Iterator[Finding]:
         if node.type is None:

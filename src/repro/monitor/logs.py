@@ -9,10 +9,59 @@ field order and ignore unknown fields, so logs written by other tools
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import IO, Iterable, Iterator
 
 from repro.errors import LogFormatError
 from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, Proto
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedLine:
+    """One malformed log line set aside by a lenient read."""
+
+    line_number: int
+    reason: str
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class IngestReport:
+    """What a lenient log read parsed and what it quarantined.
+
+    Real capture infrastructure produces the occasional truncated or
+    corrupt line (disk-full, rotation races, mid-write crashes); the
+    paper's conservative stance is to analyse what is unambiguous and
+    account for the rest, not to abort. ``quarantined`` preserves line
+    numbers and reasons so the discarded population can be audited.
+    """
+
+    path_label: str
+    parsed: int
+    quarantined: tuple[QuarantinedLine, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every line parsed cleanly."""
+        return not self.quarantined
+
+    @property
+    def quarantine_fraction(self) -> float:
+        """Share of data lines that had to be quarantined."""
+        total = self.parsed + len(self.quarantined)
+        if not total:
+            return 0.0
+        return len(self.quarantined) / total
+
+    def summary(self) -> str:
+        """A one-line human-readable digest."""
+        if self.ok:
+            return f"{self.path_label}: {self.parsed} records, no quarantined lines"
+        return (
+            f"{self.path_label}: {self.parsed} records, "
+            f"{len(self.quarantined)} quarantined lines "
+            f"({100.0 * self.quarantine_fraction:.2f}%)"
+        )
 
 _UNSET = "-"
 _SEPARATOR = "\t"
@@ -155,75 +204,80 @@ def _parse_vector(text: str) -> list[str]:
     return text.split(_VECTOR_SEPARATOR)
 
 
-def read_dns_log(stream: IO[str]) -> list[DnsRecord]:
-    """Parse a dns.log written by :func:`write_dns_log` (or Zeek-like)."""
-    numbered = ((number, line) for number, line in enumerate(stream, start=1))
-    pending: list[tuple[int, str]] = []
-    index_by_name: dict[str, int] | None = None
-    records: list[DnsRecord] = []
-    for number, line in numbered:
-        line = line.rstrip("\n")
-        if not line:
-            continue
-        if line.startswith("#"):
-            if line.startswith("#fields"):
-                parts = line.split(_SEPARATOR)
-                index_by_name = {name: index for index, name in enumerate(parts[1:])}
-            continue
-        if index_by_name is None:
-            raise LogFormatError(f"line {number}: data before #fields header")
-        columns = line.split(_SEPARATOR)
-        try:
-            answers_text = _field(columns, index_by_name, "answers", number)
-            ttls_text = _field(columns, index_by_name, "TTLs", number)
-            types_text = (
-                _field(columns, index_by_name, "answer_types", number)
-                if "answer_types" in index_by_name
-                else _UNSET
-            )
-            answer_data = _parse_vector(answers_text)
-            ttl_data = _parse_vector(ttls_text)
-            type_data = _parse_vector(types_text)
-            if ttl_data and len(ttl_data) != len(answer_data):
-                raise LogFormatError(
-                    f"line {number}: {len(answer_data)} answers but {len(ttl_data)} TTLs"
-                )
-            answers = tuple(
-                DnsAnswer(
-                    data=data,
-                    ttl=float(ttl_data[i]) if ttl_data else 0.0,
-                    rtype=type_data[i] if i < len(type_data) else "A",
-                )
-                for i, data in enumerate(answer_data)
-            )
-            rtt_text = _field(columns, index_by_name, "rtt", number)
-            records.append(
-                DnsRecord(
-                    ts=float(_field(columns, index_by_name, "ts", number)),
-                    uid=_field(columns, index_by_name, "uid", number),
-                    orig_h=_field(columns, index_by_name, "id.orig_h", number),
-                    orig_p=int(_field(columns, index_by_name, "id.orig_p", number)),
-                    resp_h=_field(columns, index_by_name, "id.resp_h", number),
-                    resp_p=int(_field(columns, index_by_name, "id.resp_p", number)),
-                    proto=Proto.parse(_field(columns, index_by_name, "proto", number)),
-                    query=_field(columns, index_by_name, "query", number),
-                    qtype=_field(columns, index_by_name, "qtype_name", number),
-                    rcode=_field(columns, index_by_name, "rcode_name", number),
-                    rtt=0.0 if rtt_text == _UNSET else float(rtt_text),
-                    answers=answers,
-                )
-            )
-        except (ValueError, LogFormatError) as exc:
-            if isinstance(exc, LogFormatError):
-                raise
-            raise LogFormatError(f"line {number}: {exc}") from exc
-    return records
+def _dns_from_columns(
+    columns: list[str], index_by_name: dict[str, int], number: int
+) -> DnsRecord:
+    """Build one :class:`DnsRecord` from a split data line."""
+    answers_text = _field(columns, index_by_name, "answers", number)
+    ttls_text = _field(columns, index_by_name, "TTLs", number)
+    types_text = (
+        _field(columns, index_by_name, "answer_types", number)
+        if "answer_types" in index_by_name
+        else _UNSET
+    )
+    answer_data = _parse_vector(answers_text)
+    ttl_data = _parse_vector(ttls_text)
+    type_data = _parse_vector(types_text)
+    if ttl_data and len(ttl_data) != len(answer_data):
+        raise LogFormatError(
+            f"line {number}: {len(answer_data)} answers but {len(ttl_data)} TTLs"
+        )
+    answers = tuple(
+        DnsAnswer(
+            data=data,
+            ttl=float(ttl_data[i]) if ttl_data else 0.0,
+            rtype=type_data[i] if i < len(type_data) else "A",
+        )
+        for i, data in enumerate(answer_data)
+    )
+    rtt_text = _field(columns, index_by_name, "rtt", number)
+    return DnsRecord(
+        ts=float(_field(columns, index_by_name, "ts", number)),
+        uid=_field(columns, index_by_name, "uid", number),
+        orig_h=_field(columns, index_by_name, "id.orig_h", number),
+        orig_p=int(_field(columns, index_by_name, "id.orig_p", number)),
+        resp_h=_field(columns, index_by_name, "id.resp_h", number),
+        resp_p=int(_field(columns, index_by_name, "id.resp_p", number)),
+        proto=Proto.parse(_field(columns, index_by_name, "proto", number)),
+        query=_field(columns, index_by_name, "query", number),
+        qtype=_field(columns, index_by_name, "qtype_name", number),
+        rcode=_field(columns, index_by_name, "rcode_name", number),
+        rtt=0.0 if rtt_text == _UNSET else float(rtt_text),
+        answers=answers,
+    )
 
 
-def read_conn_log(stream: IO[str]) -> list[ConnRecord]:
-    """Parse a conn.log written by :func:`write_conn_log` (or Zeek-like)."""
+def _conn_from_columns(
+    columns: list[str], index_by_name: dict[str, int], number: int
+) -> ConnRecord:
+    """Build one :class:`ConnRecord` from a split data line."""
+    duration_text = _field(columns, index_by_name, "duration", number)
+    return ConnRecord(
+        ts=float(_field(columns, index_by_name, "ts", number)),
+        uid=_field(columns, index_by_name, "uid", number),
+        orig_h=_field(columns, index_by_name, "id.orig_h", number),
+        orig_p=int(_field(columns, index_by_name, "id.orig_p", number)),
+        resp_h=_field(columns, index_by_name, "id.resp_h", number),
+        resp_p=int(_field(columns, index_by_name, "id.resp_p", number)),
+        proto=Proto.parse(_field(columns, index_by_name, "proto", number)),
+        service=_field(columns, index_by_name, "service", number),
+        duration=0.0 if duration_text == _UNSET else float(duration_text),
+        orig_bytes=int(_field(columns, index_by_name, "orig_bytes", number)),
+        resp_bytes=int(_field(columns, index_by_name, "resp_bytes", number)),
+        conn_state=_field(columns, index_by_name, "conn_state", number),
+    )
+
+
+def _read_log(stream: IO[str], parse, strict: bool) -> tuple[list, list[QuarantinedLine]]:
+    """The shared reader loop behind both log formats.
+
+    ``strict`` re-raises on the first malformed line (the historical
+    behaviour); otherwise each offending line is quarantined with its
+    line number and reason, and reading continues.
+    """
     index_by_name: dict[str, int] | None = None
-    records: list[ConnRecord] = []
+    records: list = []
+    quarantined: list[QuarantinedLine] = []
     for number, line in enumerate(stream, start=1):
         line = line.rstrip("\n")
         if not line:
@@ -234,31 +288,56 @@ def read_conn_log(stream: IO[str]) -> list[ConnRecord]:
                 index_by_name = {name: index for index, name in enumerate(parts[1:])}
             continue
         if index_by_name is None:
-            raise LogFormatError(f"line {number}: data before #fields header")
+            if strict:
+                raise LogFormatError(f"line {number}: data before #fields header")
+            quarantined.append(
+                QuarantinedLine(number, "data before #fields header", line)
+            )
+            continue
         columns = line.split(_SEPARATOR)
         try:
-            duration_text = _field(columns, index_by_name, "duration", number)
-            records.append(
-                ConnRecord(
-                    ts=float(_field(columns, index_by_name, "ts", number)),
-                    uid=_field(columns, index_by_name, "uid", number),
-                    orig_h=_field(columns, index_by_name, "id.orig_h", number),
-                    orig_p=int(_field(columns, index_by_name, "id.orig_p", number)),
-                    resp_h=_field(columns, index_by_name, "id.resp_h", number),
-                    resp_p=int(_field(columns, index_by_name, "id.resp_p", number)),
-                    proto=Proto.parse(_field(columns, index_by_name, "proto", number)),
-                    service=_field(columns, index_by_name, "service", number),
-                    duration=0.0 if duration_text == _UNSET else float(duration_text),
-                    orig_bytes=int(_field(columns, index_by_name, "orig_bytes", number)),
-                    resp_bytes=int(_field(columns, index_by_name, "resp_bytes", number)),
-                    conn_state=_field(columns, index_by_name, "conn_state", number),
-                )
-            )
+            records.append(parse(columns, index_by_name, number))
         except (ValueError, LogFormatError) as exc:
-            if isinstance(exc, LogFormatError):
-                raise
-            raise LogFormatError(f"line {number}: {exc}") from exc
+            if strict:
+                if isinstance(exc, LogFormatError):
+                    raise
+                raise LogFormatError(f"line {number}: {exc}") from exc
+            quarantined.append(QuarantinedLine(number, str(exc), line))
+    return records, quarantined
+
+
+def read_dns_log(stream: IO[str], strict: bool = True) -> list[DnsRecord]:
+    """Parse a dns.log written by :func:`write_dns_log` (or Zeek-like).
+
+    With ``strict=False`` malformed lines are silently skipped; use
+    :func:`read_dns_log_lenient` to also get the quarantine report.
+    """
+    records, _ = _read_log(stream, _dns_from_columns, strict)
     return records
+
+
+def read_conn_log(stream: IO[str], strict: bool = True) -> list[ConnRecord]:
+    """Parse a conn.log written by :func:`write_conn_log` (or Zeek-like).
+
+    With ``strict=False`` malformed lines are silently skipped; use
+    :func:`read_conn_log_lenient` to also get the quarantine report.
+    """
+    records, _ = _read_log(stream, _conn_from_columns, strict)
+    return records
+
+
+def read_dns_log_lenient(stream: IO[str]) -> tuple[list[DnsRecord], IngestReport]:
+    """Parse a dns.log, quarantining malformed lines instead of raising."""
+    records, quarantined = _read_log(stream, _dns_from_columns, strict=False)
+    report = IngestReport(path_label="dns", parsed=len(records), quarantined=tuple(quarantined))
+    return records, report
+
+
+def read_conn_log_lenient(stream: IO[str]) -> tuple[list[ConnRecord], IngestReport]:
+    """Parse a conn.log, quarantining malformed lines instead of raising."""
+    records, quarantined = _read_log(stream, _conn_from_columns, strict=False)
+    report = IngestReport(path_label="conn", parsed=len(records), quarantined=tuple(quarantined))
+    return records, report
 
 
 def save_dns_log(path: str, records: Iterable[DnsRecord]) -> int:

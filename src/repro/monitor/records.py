@@ -51,6 +51,17 @@ class DnsAnswer:
         return self.rtype in ("A", "AAAA")
 
 
+#: The rcode string Zeek logs for a query that never got a response
+#: (the ``rcode_name`` column holds the unset marker).
+TIMEOUT_RCODE = "-"
+
+#: rcodes that mean the transaction failed outright: no response at all,
+#: or an error response carrying no usable answer. NXDOMAIN is *not*
+#: here — it is an authoritative negative answer, a successful
+#: transaction about a nonexistent name.
+FAILURE_RCODES = frozenset({TIMEOUT_RCODE, "SERVFAIL", "REFUSED"})
+
+
 @dataclass(frozen=True, slots=True)
 class DnsRecord:
     """A Bro-style DNS transaction summary.
@@ -81,6 +92,26 @@ class DnsRecord:
     def completed_at(self) -> float:
         """Time the response was observed (lookup completion)."""
         return self.ts + self.rtt
+
+    @property
+    def is_timeout(self) -> bool:
+        """True when the query got no response at all (Zeek logs '-')."""
+        return self.rcode == TIMEOUT_RCODE
+
+    @property
+    def is_servfail(self) -> bool:
+        """True when the resolver answered SERVFAIL."""
+        return self.rcode == "SERVFAIL"
+
+    @property
+    def failed(self) -> bool:
+        """Did this transaction fail to produce a usable answer?
+
+        Failed transactions never seed address→name mappings, so pairing
+        must not treat them as candidates; NXDOMAIN does not count — it
+        is a definitive (negative) answer.
+        """
+        return self.rcode in FAILURE_RCODES
 
     def addresses(self) -> tuple[str, ...]:
         """IP addresses in the answer section."""

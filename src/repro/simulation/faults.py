@@ -1,0 +1,254 @@
+"""Deterministic fault injection for the simulated resolution path.
+
+The paper's Zeek data is messy by nature: lookups time out, resolvers
+return SERVFAIL, and the heavy tail of lookup durations comes largely
+from retransmissions and authoritative chasing (§3–§4). This module
+makes those failure modes first-class — and *reproducible*:
+
+* :class:`FaultConfig` — scenario-level fault knobs (per-query
+  SERVFAIL/NXDOMAIN/timeout/truncation probabilities, resolver outage
+  windows, and the client's retry policy).
+* :class:`FaultPlan` — a seeded, stateless schedule of faults. Every
+  decision is derived from ``(seed, platform, qname, time)`` via
+  :func:`repro.simulation.random.derive_seed`, so it does not depend on
+  the order queries are issued in — the same discipline that keeps the
+  parallel analysis pipeline shard-invariant.
+* :class:`RetryPolicy` — the client side: a *bounded* UDP retransmit
+  schedule with exponential backoff and failover to the device's other
+  configured resolvers. Lookup-duration tails come from this explicit
+  schedule, and transactions can genuinely fail once it is exhausted.
+
+With the default (all-zero) :class:`FaultConfig` the simulation is
+byte-identical to a fault-free run: no decision consumes a draw from
+any model stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.simulation.random import derive_seed, poisson_arrivals
+
+
+class FaultKind(enum.Enum):
+    """What, if anything, goes wrong with one query."""
+
+    NONE = "none"
+    TIMEOUT = "timeout"
+    SERVFAIL = "servfail"
+    NXDOMAIN = "nxdomain"
+    TRUNCATION = "truncation"
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """A stub resolver's bounded retransmit/backoff/failover schedule.
+
+    Attempt ``i`` waits ``initial_timeout_s * backoff_factor**i`` before
+    declaring the query lost; after ``1 + max_retries`` attempts the
+    client fails over to the next configured upstream (at most
+    ``max_failovers`` of them), repeating the same schedule there. The
+    total give-up budget is therefore bounded and explicit — unlike an
+    unbounded retransmit loop.
+    """
+
+    initial_timeout_s: float = 1.0
+    max_retries: int = 2
+    backoff_factor: float = 2.0
+    max_failovers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.initial_timeout_s <= 0:
+            raise SimulationError(
+                f"initial_timeout_s must be positive, got {self.initial_timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise SimulationError(f"max_retries cannot be negative, got {self.max_retries}")
+        if self.backoff_factor < 1.0:
+            raise SimulationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_failovers < 0:
+            raise SimulationError(f"max_failovers cannot be negative, got {self.max_failovers}")
+
+    def schedule(self) -> tuple[float, ...]:
+        """Per-attempt timeouts in seconds for one upstream."""
+        return tuple(
+            self.initial_timeout_s * self.backoff_factor**attempt
+            for attempt in range(1 + self.max_retries)
+        )
+
+    @property
+    def budget_s(self) -> float:
+        """Worst-case wait against a single unresponsive upstream."""
+        return sum(self.schedule())
+
+
+@dataclass(frozen=True, slots=True)
+class FaultConfig:
+    """Scenario-level fault model (all probabilities default to zero).
+
+    The four per-query probabilities are mutually exclusive bands of a
+    single uniform draw, so they must sum to at most 1. Outages are
+    platform-wide unresponsiveness windows arriving as a Poisson process
+    of ``outage_rate_per_hour`` with mean length ``outage_duration_s``.
+    """
+
+    timeout_probability: float = 0.0
+    servfail_probability: float = 0.0
+    nxdomain_probability: float = 0.0
+    truncation_probability: float = 0.0
+    tcp_fallback_penalty_s: float = 0.05
+    outage_rate_per_hour: float = 0.0
+    outage_duration_s: float = 120.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("timeout_probability", self.timeout_probability),
+            ("servfail_probability", self.servfail_probability),
+            ("nxdomain_probability", self.nxdomain_probability),
+            ("truncation_probability", self.truncation_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{label} must be in [0, 1], got {value}")
+        total = (
+            self.timeout_probability
+            + self.servfail_probability
+            + self.nxdomain_probability
+            + self.truncation_probability
+        )
+        if total > 1.0:
+            raise SimulationError(f"fault probabilities sum to {total}, must be <= 1")
+        if self.tcp_fallback_penalty_s < 0:
+            raise SimulationError(
+                f"tcp_fallback_penalty_s cannot be negative, got {self.tcp_fallback_penalty_s}"
+            )
+        if self.outage_rate_per_hour < 0:
+            raise SimulationError(
+                f"outage_rate_per_hour cannot be negative, got {self.outage_rate_per_hour}"
+            )
+        if self.outage_duration_s <= 0:
+            raise SimulationError(
+                f"outage_duration_s must be positive, got {self.outage_duration_s}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Can this configuration ever produce a fault?"""
+        return (
+            self.timeout_probability > 0
+            or self.servfail_probability > 0
+            or self.nxdomain_probability > 0
+            or self.truncation_probability > 0
+            or self.outage_rate_per_hour > 0
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDecision:
+    """The plan's verdict for one query to one platform."""
+
+    kind: FaultKind
+    during_outage: bool = False
+
+    @property
+    def is_timeout(self) -> bool:
+        """Does the query go unanswered?"""
+        return self.kind is FaultKind.TIMEOUT
+
+
+_NO_FAULT = FaultDecision(kind=FaultKind.NONE)
+_OUTAGE_TIMEOUT = FaultDecision(kind=FaultKind.TIMEOUT, during_outage=True)
+
+
+class FaultPlan:
+    """A seeded, order-invariant schedule of resolver faults.
+
+    Outage windows are drawn once per platform at construction; per-query
+    decisions are pure functions of ``(seed, platform, qname, now)`` —
+    issuing the same query at the same simulated time always yields the
+    same fault, no matter how many other queries ran in between. The
+    plan never touches the simulation's model streams.
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        seed: int,
+        platforms: tuple[str, ...] = (),
+        horizon_s: float = 0.0,
+    ) -> None:
+        if horizon_s < 0:
+            raise SimulationError(f"horizon_s cannot be negative, got {horizon_s}")
+        self.config = config
+        self._seed = seed
+        self._outages: dict[str, list[tuple[float, float]]] = {}
+        self._outage_starts: dict[str, list[float]] = {}
+        for platform in platforms:
+            windows = self._draw_outages(platform, horizon_s)
+            self._outages[platform] = windows
+            self._outage_starts[platform] = [start for start, _ in windows]
+
+    def _draw_outages(self, platform: str, horizon_s: float) -> list[tuple[float, float]]:
+        if self.config.outage_rate_per_hour <= 0 or horizon_s <= 0:
+            return []
+        rng = random.Random(derive_seed(self._seed, "outage", platform))
+        rate_per_second = self.config.outage_rate_per_hour / 3600.0
+        windows: list[tuple[float, float]] = []
+        for start in poisson_arrivals(rng, rate_per_second, 0.0, horizon_s):
+            length = rng.expovariate(1.0 / self.config.outage_duration_s)
+            windows.append((start, min(start + length, horizon_s)))
+        return windows
+
+    def outages_for(self, platform: str) -> tuple[tuple[float, float], ...]:
+        """The (start, end) outage windows scheduled for *platform*."""
+        return tuple(self._outages.get(platform, ()))
+
+    def in_outage(self, platform: str, now: float) -> bool:
+        """Is *platform* inside one of its outage windows at *now*?"""
+        starts = self._outage_starts.get(platform)
+        if not starts:
+            return False
+        index = bisect.bisect_right(starts, now) - 1
+        if index < 0:
+            return False
+        start, end = self._outages[platform][index]
+        return start <= now < end
+
+    def decide(self, platform: str, qname: str, now: float) -> FaultDecision:
+        """The fault (if any) afflicting one query.
+
+        One uniform draw from a query-keyed derived stream is split into
+        cumulative probability bands, so enabling one fault class never
+        perturbs the draws of another.
+        """
+        if self.in_outage(platform, now):
+            return _OUTAGE_TIMEOUT
+        config = self.config
+        total = (
+            config.timeout_probability
+            + config.servfail_probability
+            + config.nxdomain_probability
+            + config.truncation_probability
+        )
+        if total <= 0:
+            return _NO_FAULT
+        rng = random.Random(derive_seed(self._seed, "query", platform, qname, f"{now:.6f}"))
+        draw = rng.random()
+        if draw < config.timeout_probability:
+            return FaultDecision(kind=FaultKind.TIMEOUT)
+        draw -= config.timeout_probability
+        if draw < config.servfail_probability:
+            return FaultDecision(kind=FaultKind.SERVFAIL)
+        draw -= config.servfail_probability
+        if draw < config.nxdomain_probability:
+            return FaultDecision(kind=FaultKind.NXDOMAIN)
+        draw -= config.nxdomain_probability
+        if draw < config.truncation_probability:
+            return FaultDecision(kind=FaultKind.TRUNCATION)
+        return _NO_FAULT

@@ -35,6 +35,10 @@ class LatencyModel:
         ``retransmit_penalty`` seconds.
     retransmit_penalty:
         Extra delay per retransmission event (UDP timeout).
+    max_retransmits:
+        Hard cap on retransmission events per sample. A real stub gives
+        up after a handful of retries, so the tail is bounded at
+        ``max_retransmits * retransmit_penalty`` above the jittered RTT.
     """
 
     base_rtt_s: float
@@ -42,6 +46,7 @@ class LatencyModel:
     jitter_sigma: float = 0.8
     loss_probability: float = 0.0
     retransmit_penalty: float = 0.8
+    max_retransmits: int = 6
 
     def __post_init__(self) -> None:
         if self.base_rtt_s < 0:
@@ -50,14 +55,28 @@ class LatencyModel:
             raise SimulationError("jitter_median must be non-negative")
         if not 0.0 <= self.loss_probability < 1.0:
             raise SimulationError("loss_probability must be in [0, 1)")
+        if self.max_retransmits < 0:
+            raise SimulationError(f"max_retransmits cannot be negative, got {self.max_retransmits}")
 
     def sample(self, rng: random.Random) -> float:
-        """One RTT sample in seconds."""
+        """One RTT sample in seconds.
+
+        The draw sequence matches the historical unbounded loop exactly
+        unless the cap is hit (probability ``loss_probability ** max_retransmits``,
+        negligible at calibrated loss rates), so committed calibrations
+        keep their numbers.
+        """
         rtt = self.base_rtt_s
         if self.jitter_median > 0:
             rtt += rng.lognormvariate(math.log(self.jitter_median), self.jitter_sigma)
-        while self.loss_probability and rng.random() < self.loss_probability:
+        retransmits = 0
+        while (
+            self.loss_probability
+            and retransmits < self.max_retransmits
+            and rng.random() < self.loss_probability
+        ):
             rtt += self.retransmit_penalty
+            retransmits += 1
         return rtt
 
     def scaled(self, factor: float) -> "LatencyModel":
@@ -70,6 +89,7 @@ class LatencyModel:
             jitter_sigma=self.jitter_sigma,
             loss_probability=self.loss_probability,
             retransmit_penalty=self.retransmit_penalty,
+            max_retransmits=self.max_retransmits,
         )
 
 

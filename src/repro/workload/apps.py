@@ -142,10 +142,34 @@ class WebBrowsingModel:
         end: float,
         pages_left: int,
         click_depth: int = 0,
+        retried: bool = False,
     ) -> None:
         config = self.config
         rng = device.rng
         resolution = device.resolve(site.primary.hostname, when)
+        if resolution.failed and resolution.hard_failure and not retried:
+            # The lookup timed out or SERVFAILed with nothing cached to
+            # fall back on: the user (or browser) reloads the page once a
+            # few seconds later. A definitive NXDOMAIN is never retried.
+            retry_at = resolution.completed_at + rng.uniform(1.0, 4.0)
+            if retry_at < end:
+                engine.schedule_at(
+                    retry_at,
+                    _bind(
+                        lambda when2: self._visit_page(
+                            device,
+                            engine,
+                            site,
+                            when2,
+                            end,
+                            pages_left=pages_left,
+                            click_depth=click_depth,
+                            retried=True,
+                        ),
+                        retry_at,
+                    ),
+                )
+            return
         if not resolution.failed:
             primary_conns = rng.randint(config.primary_conns_min, config.primary_conns_max)
             device.open_connections(site.primary, resolution, count=primary_conns, parallel=True)

@@ -35,7 +35,13 @@ _CONN_SETUP_SIGMA = 0.8
 
 @dataclass(frozen=True, slots=True)
 class Resolution:
-    """Outcome of a device-level name resolution."""
+    """Outcome of a device-level name resolution.
+
+    ``hard_failure`` distinguishes a lookup that failed at the transport
+    level (timeout after the full retry budget, or SERVFAIL) from a
+    definitive NXDOMAIN: applications may retry or fall back to a cached
+    address after the former, never after the latter.
+    """
 
     hostname: str
     addresses: tuple[str, ...]
@@ -45,6 +51,7 @@ class Resolution:
     used_expired_record: bool
     resolver_platform: str | None
     wire_visible: bool
+    hard_failure: bool = False
 
     @property
     def failed(self) -> bool:
@@ -87,10 +94,19 @@ class Device:
 
     def resolve(self, hostname: str, now: float) -> Resolution:
         """Resolve *hostname* at *now*, recording any wire transaction."""
+        # Peek before the lookup: a cache probe that finds the entry
+        # expired evicts it, so the last known addresses must be captured
+        # now to be available for the connect-by-cached-address fallback.
+        stale_addresses = self._cached_addresses(hostname)
         lookup = self.stub.lookup(hostname, now, rng=self.rng)
         self.lookups_performed += 1
         if lookup.network_transaction:
-            return self._record_wire_lookup(hostname, now, lookup)
+            resolution = self._record_wire_lookup(hostname, now, lookup)
+            if resolution.hard_failure:
+                stale = self._stale_fallback(resolution, stale_addresses)
+                if stale is not None:
+                    return stale
+            return resolution
         cache_result = lookup.cache_result
         assert cache_result is not None
         truth = TruthClass.PREFETCHED if cache_result.first_use else TruthClass.LOCAL_CACHE
@@ -142,7 +158,7 @@ class Device:
                 query=hostname,
                 rtt=lookup.duration_s,
                 answers=answers,
-                rcode="NXDOMAIN" if outcome.nxdomain else "NOERROR",
+                rcode=outcome.rcode_name,
             )
             record_uid = record.uid
         return Resolution(
@@ -154,6 +170,41 @@ class Device:
             used_expired_record=False,
             resolver_platform=lookup.resolver_platform,
             wire_visible=not self.encrypted_dns,
+            hard_failure=outcome.failed,
+        )
+
+    def _cached_addresses(self, hostname: str) -> tuple[str, ...]:
+        """Addresses currently held (possibly expired) in the local cache."""
+        from repro.dns.cache import cache_key
+
+        entry = self.stub.cache.peek(cache_key(hostname))
+        if entry is None:
+            return ()
+        return tuple(rr.address for rr in entry.records if rr.is_address())
+
+    def _stale_fallback(
+        self, resolution: Resolution, addresses: tuple[str, ...]
+    ) -> Resolution | None:
+        """Connect-by-cached-address after a hard lookup failure.
+
+        Real stacks (and many applications) keep using the last known
+        address when a refresh lookup times out or SERVFAILs. The wire
+        already shows the failed transaction; the connections that follow
+        ride the expired local-cache entry (ground truth LC, with the
+        expired-record marker §5.2 measures).
+        """
+        if not addresses:
+            return None
+        return Resolution(
+            hostname=resolution.hostname,
+            addresses=addresses,
+            completed_at=resolution.completed_at,
+            truth_class=TruthClass.LOCAL_CACHE,
+            dns_uid=resolution.dns_uid,
+            used_expired_record=True,
+            resolver_platform=resolution.resolver_platform,
+            wire_visible=resolution.wire_visible,
+            hard_failure=True,
         )
 
     def prefetch(self, hostname: str, now: float) -> Resolution | None:

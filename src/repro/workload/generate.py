@@ -16,7 +16,8 @@ from dataclasses import replace
 from repro.dns.resolver import RecursiveResolver, build_platform_profiles
 from repro.monitor.capture import MonitorCapture, Trace
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.random import RandomStreams
+from repro.simulation.faults import FaultPlan
+from repro.simulation.random import RandomStreams, derive_seed
 from repro.workload.apps import (
     ApiPollingModel,
     ConnectivityCheckModel,
@@ -47,6 +48,7 @@ class TrafficGenerator:
             video_host_count=config.universe.video_host_count,
             zipf_exponent=config.universe.zipf_exponent,
         )
+        self.fault_plan = self._build_fault_plan()
         self.resolvers = self._build_resolvers()
         self.capture = MonitorCapture()
         builder = HouseholdBuilder(
@@ -55,9 +57,27 @@ class TrafficGenerator:
             universe=self.universe,
             capture=self.capture,
             rng=self.streams.stream("houses"),
+            retry=config.faults.retry,
         )
         self.houses: list[House] = builder.build(config.houses)
         self.engine = SimulationEngine()
+
+    def _build_fault_plan(self) -> FaultPlan | None:
+        """The scenario's fault plan, or None when faults are disabled.
+
+        The plan gets its own derived seed namespace so enabling faults
+        never perturbs the workload's model streams, and a fault-free
+        config builds no plan at all — resolvers take the legacy path.
+        """
+        config = self.config
+        if not config.faults.enabled:
+            return None
+        return FaultPlan(
+            config.faults,
+            seed=derive_seed(config.seed, "faults"),
+            platforms=tuple(sorted(build_platform_profiles())),
+            horizon_s=config.warmup + config.duration,
+        )
 
     def _build_resolvers(self) -> dict[str, RecursiveResolver]:
         resolvers = {}
@@ -66,6 +86,7 @@ class TrafficGenerator:
                 profile,
                 self.universe.hierarchy,
                 rng=self.streams.stream("resolver", name),
+                faults=self.fault_plan,
             )
         return resolvers
 

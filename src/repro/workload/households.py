@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.dns.cache import CacheKey, DnsCache
 from repro.dns.resolver import RecursiveResolver, StubResolver
 from repro.errors import WorkloadError
+from repro.simulation.faults import RetryPolicy
 from repro.monitor.capture import MonitorCapture
 from repro.workload.devices import Device
 from repro.workload.namespace import NameUniverse
@@ -123,6 +124,7 @@ class HouseholdBuilder:
         universe: NameUniverse,
         capture: MonitorCapture,
         rng: random.Random,
+        retry: RetryPolicy | None = None,
     ):
         missing = {"local", "google", "opendns", "cloudflare"} - set(resolvers)
         if missing:
@@ -132,6 +134,7 @@ class HouseholdBuilder:
         self.universe = universe
         self.capture = capture
         self.rng = rng
+        self.retry = retry if retry is not None else RetryPolicy()
 
     # -- stub cache policies ----------------------------------------------
 
@@ -155,7 +158,7 @@ class HouseholdBuilder:
         rng: random.Random,
     ) -> StubResolver:
         cache = DnsCache(capacity=4096, overstay=self._overstay_policy(rng))
-        return StubResolver(upstreams=upstreams, cache=cache, rng=rng)
+        return StubResolver(upstreams=upstreams, cache=cache, rng=rng, retry=self.retry)
 
     # -- house construction -------------------------------------------------
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import WorkloadError
+from repro.simulation.faults import FaultConfig
 from repro.workload.apps import BrowsingConfig
 from repro.workload.households import HouseholdMixConfig
 
@@ -55,6 +56,9 @@ class ScenarioConfig:
     mix: HouseholdMixConfig = field(default_factory=HouseholdMixConfig)
     browsing: BrowsingConfig = field(default_factory=BrowsingConfig)
     rates: AppRates = field(default_factory=AppRates)
+    # All-zero by default: the fault plan is never consulted and traces
+    # are byte-identical to pre-fault-model builds.
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.houses <= 0:

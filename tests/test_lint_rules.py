@@ -239,6 +239,74 @@ class TestEXC001ExceptionDiscipline:
         """
         assert lint(source, rules=["EXC001"]) == []
 
+    def test_broad_contextlib_suppress_flagged(self):
+        source = """
+            import contextlib
+            with contextlib.suppress(Exception):
+                work()
+        """
+        findings = lint(source, rules=["EXC001"])
+        assert rule_ids(findings) == ["EXC001"]
+        assert "suppress" in findings[0].message
+
+    def test_broad_suppress_from_import_flagged(self):
+        source = """
+            from contextlib import suppress
+            with suppress(BaseException):
+                work()
+        """
+        findings = lint(source, rules=["EXC001"])
+        assert rule_ids(findings) == ["EXC001"]
+
+    def test_concrete_suppress_allowed(self):
+        source = """
+            import contextlib
+            with contextlib.suppress(FileNotFoundError, KeyError):
+                work()
+        """
+        assert lint(source, rules=["EXC001"]) == []
+
+
+class TestDET003UnseededGenerators:
+    def test_unseeded_random_flagged_in_simulated_package(self):
+        source = """
+            import random
+            rng = random.Random()
+        """
+        findings = lint(source, module="repro.simulation.faults", rules=["DET003"])
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_system_random_flagged_even_outside_faults(self):
+        source = """
+            import random
+            rng = random.SystemRandom()
+        """
+        findings = lint(source, module="repro.core.pairing", rules=["DET003"])
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_seeded_random_allowed(self):
+        source = """
+            import random
+            from repro.simulation.random import derive_seed
+            rng = random.Random(derive_seed(1, "faults"))
+        """
+        assert lint(source, module="repro.simulation.faults", rules=["DET003"]) == []
+
+    def test_from_import_unseeded_flagged(self):
+        source = """
+            from random import Random
+            rng = Random()
+        """
+        findings = lint(source, module="repro.workload.generate", rules=["DET003"])
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_unseeded_allowed_outside_simulated_packages(self):
+        source = """
+            import random
+            rng = random.Random()
+        """
+        assert lint(source, module="repro.report.tables", rules=["DET003"]) == []
+
 
 class TestDOC001PublicDocs:
     def test_missing_docstring_and_annotation_flagged(self):
