@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Benchmark the analysis pipeline: serial vs sharded multiprocessing.
+"""Benchmark generation and the analysis pipeline, serial vs parallel.
 
-Generates a seeded week-long synthetic scenario once, runs the full
-pairing → classification → performance pipeline serially and with a
-worker pool, verifies the outputs are identical, and writes the wall
-times to ``BENCH_pipeline.json`` next to the repository root.
+Generates a seeded week-long synthetic scenario once (timing generation
+separately and checking its trace digest against the pre-optimization
+baseline), runs the full pairing → classification → performance
+pipeline serially and with a worker pool, verifies the outputs are
+identical, and benchmarks a multi-seed generation sweep through
+:func:`repro.core.parallel.run_scenarios`. Writes ``BENCH_pipeline.json``
+(pipeline timings, as before) and ``BENCH_generate.json`` (generation
+before/after plus the sweep fan-out) next to the repository root.
 
 Usage:
     PYTHONPATH=src python scripts/bench.py [--houses N] [--hours H]
         [--seed S] [--workers W] [--repeats R] [--out PATH]
+        [--generate-out PATH] [--sweep-seeds N] [--sweep-houses N]
+        [--sweep-hours H]
 
 Wall-clock timing lives here (not in ``repro.core``) on purpose: the
 library proper never reads the clock, which is what lets repro-lint
@@ -26,9 +32,28 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core.parallel import run_pipeline  # noqa: E402
+from repro.core.parallel import run_pipeline, run_scenarios  # noqa: E402
+from repro.monitor.capture import trace_digest  # noqa: E402
 from repro.workload.generate import generate_trace  # noqa: E402
 from repro.workload.scenario import ScenarioConfig  # noqa: E402
+
+#: Committed pre-optimization generation wall time for the default
+#: 8-house x 168 h seed-1 scenario (from ``BENCH_pipeline.json`` at the
+#: baseline commit) — the "before" the acceptance speedup is against.
+BASELINE_GENERATE_WALL_S = 64.076
+
+#: Trace digest of the default scenario at the pre-optimization
+#: baseline. Generation must still produce exactly these bytes.
+BASELINE_TRACE_DIGEST = "4b8ff4a29a3c1d3b2fa0093a68db89c906f01c6628c38fb9c24166b85737ed52"
+
+
+def _sweep_digest(config: ScenarioConfig) -> str:
+    """Generate one sweep scenario and return only its digest.
+
+    The digest (not the trace) crosses the process boundary, so the
+    sweep benchmark measures generation fan-out, not pickling.
+    """
+    return trace_digest(generate_trace(config))
 
 
 def _time_pipeline(trace, workers: int, repeats: int):
@@ -50,6 +75,10 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pipeline.json"))
+    parser.add_argument("--generate-out", default=os.path.join(os.path.dirname(__file__), "..", "BENCH_generate.json"))
+    parser.add_argument("--sweep-seeds", type=int, default=4, help="seed count for the multi-scenario sweep benchmark (0 disables)")
+    parser.add_argument("--sweep-houses", type=int, default=4)
+    parser.add_argument("--sweep-hours", type=float, default=12.0)
     args = parser.parse_args()
 
     config = ScenarioConfig(seed=args.seed, houses=args.houses, duration=args.hours * 3600.0)
@@ -59,6 +88,14 @@ def main() -> int:
     generate_s = time.perf_counter() - start
     print(f"  {len(trace.conns)} connections, {len(trace.dns)} lookups in {generate_s:.1f}s")
 
+    digest = trace_digest(trace)
+    default_scenario = (args.houses, args.hours, args.seed) == (8, 168.0, 1)
+    generate_identical = digest == BASELINE_TRACE_DIGEST if default_scenario else None
+    generate_speedup = BASELINE_GENERATE_WALL_S / generate_s if default_scenario else None
+    if default_scenario:
+        print(f"  digest matches pre-optimization baseline: {generate_identical}")
+        print(f"  generation speedup vs {BASELINE_GENERATE_WALL_S:.1f}s baseline: {generate_speedup:.2f}x")
+
     serial_s, serial = _time_pipeline(trace, workers=1, repeats=args.repeats)
     print(f"serial:      {serial_s:.3f}s (best of {args.repeats})")
     parallel_s, parallel = _time_pipeline(trace, workers=args.workers, repeats=args.repeats)
@@ -67,6 +104,42 @@ def main() -> int:
     identical = serial == parallel
     speedup = serial_s / parallel_s if parallel_s else float("inf")
     print(f"identical outputs: {identical}; speedup: {speedup:.2f}x")
+
+    sweep = None
+    if args.sweep_seeds > 0:
+        sweep_configs = [
+            ScenarioConfig(
+                seed=seed, houses=args.sweep_houses, duration=args.sweep_hours * 3600.0
+            )
+            for seed in range(1, args.sweep_seeds + 1)
+        ]
+        print(
+            f"sweep: {args.sweep_seeds} x ({args.sweep_houses} houses x "
+            f"{args.sweep_hours:.0f}h), serial vs {args.workers} workers...",
+            flush=True,
+        )
+        start = time.perf_counter()
+        sweep_serial = run_scenarios(sweep_configs, _sweep_digest, workers=1)
+        sweep_serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        sweep_parallel = run_scenarios(sweep_configs, _sweep_digest, workers=args.workers)
+        sweep_parallel_s = time.perf_counter() - start
+        sweep_identical = sweep_serial == sweep_parallel
+        sweep_speedup = sweep_serial_s / sweep_parallel_s if sweep_parallel_s else float("inf")
+        print(
+            f"  serial {sweep_serial_s:.3f}s, parallel {sweep_parallel_s:.3f}s "
+            f"({sweep_speedup:.2f}x), identical digests: {sweep_identical}"
+        )
+        sweep = {
+            "seeds": args.sweep_seeds,
+            "houses": args.sweep_houses,
+            "hours": args.sweep_hours,
+            "workers": args.workers,
+            "serial_wall_s": round(sweep_serial_s, 3),
+            "parallel_wall_s": round(sweep_parallel_s, 3),
+            "speedup": round(sweep_speedup, 3),
+            "outputs_identical": sweep_identical,
+        }
 
     payload = {
         "scenario": {
@@ -94,7 +167,26 @@ def main() -> int:
         json.dump(payload, stream, indent=2, sort_keys=True)
         stream.write("\n")
     print(f"wrote {out_path}")
-    return 0 if identical else 1
+
+    generate_payload = {
+        "scenario": payload["scenario"],
+        "host": payload["host"],
+        "generate_wall_s": round(generate_s, 3),
+        "baseline_generate_wall_s": BASELINE_GENERATE_WALL_S if default_scenario else None,
+        "generate_speedup": round(generate_speedup, 3) if generate_speedup else None,
+        "trace_digest": digest,
+        "baseline_trace_digest": BASELINE_TRACE_DIGEST if default_scenario else None,
+        "outputs_identical": generate_identical,
+        "sweep": sweep,
+    }
+    generate_out_path = os.path.abspath(args.generate_out)
+    with open(generate_out_path, "w", encoding="utf-8") as stream:
+        json.dump(generate_payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {generate_out_path}")
+
+    ok = identical and generate_identical is not False and (sweep is None or sweep["outputs_identical"])
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
 """Calibration report: run a scenario and compare every paper target.
 
-Usage: python scripts/calibrate.py [houses] [duration_hours] [seed]
+Usage: python scripts/calibrate.py [houses] [duration_hours] [seeds] [workers]
+
+``seeds`` may be comma-separated (e.g. ``1,2,3``); with ``workers > 1``
+the per-seed scenarios are generated on a process pool via
+:func:`repro.core.parallel.run_scenarios` and reported in seed order —
+each report is byte-identical to a serial single-seed run.
 """
 
 from __future__ import annotations
@@ -11,6 +16,8 @@ import time
 
 from repro.core.classify import ConnClass
 from repro.core.context import ContextStudy
+from repro.core.parallel import run_scenarios
+from repro.workload.generate import generate_trace
 from repro.workload.scenario import ScenarioConfig
 
 
@@ -25,12 +32,24 @@ def row(label: str, measured: str, target: str) -> None:
 def main() -> None:
     houses = int(sys.argv[1]) if len(sys.argv) > 1 else 30
     hours = float(sys.argv[2]) if len(sys.argv) > 2 else 24.0
-    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 1
-    config = ScenarioConfig(seed=seed, houses=houses, duration=hours * 3600.0)
+    seeds = [int(part) for part in sys.argv[3].split(",")] if len(sys.argv) > 3 else [1]
+    workers = int(sys.argv[4]) if len(sys.argv) > 4 else 1
+    configs = [
+        ScenarioConfig(seed=seed, houses=houses, duration=hours * 3600.0) for seed in seeds
+    ]
     t0 = time.time()
-    study = ContextStudy.from_scenario(config)
+    traces = run_scenarios(configs, generate_trace, workers=workers)
+    generated_s = time.time() - t0
+    for seed, trace in zip(seeds, traces):
+        if len(seeds) > 1:
+            print(f"\n===== seed {seed} =====")
+        report(ContextStudy(trace), generated_s if len(seeds) == 1 else None)
+
+
+def report(study: ContextStudy, generated_s: float | None) -> None:
     trace = study.trace
-    print(f"{trace.summary()}  [generated in {time.time() - t0:.1f}s]")
+    suffix = f"  [generated in {generated_s:.1f}s]" if generated_s is not None else ""
+    print(f"{trace.summary()}{suffix}")
     t0 = time.time()
 
     print("\nTable 2 (classification):")

@@ -11,7 +11,13 @@ perturbing the fault-free classes beyond the traffic they remove.
 
 Usage:
     PYTHONPATH=src python scripts/failure_sweep.py [--houses N]
-        [--hours H] [--seed S] [--rates R,R,...] [--out PATH]
+        [--hours H] [--seed S] [--rates R,R,...] [--workers W]
+        [--out PATH]
+
+With ``--workers N`` the per-rate scenarios run on a process pool via
+:func:`repro.core.parallel.run_scenarios`; each scenario is a pure
+function of its config, so the sweep output is byte-identical to the
+serial loop.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core.classify import ConnClass  # noqa: E402
 from repro.core.context import ContextStudy  # noqa: E402
+from repro.core.parallel import run_scenarios  # noqa: E402
 from repro.simulation.faults import FaultConfig  # noqa: E402
 from repro.workload.generate import generate_trace  # noqa: E402
 from repro.workload.scenario import ScenarioConfig  # noqa: E402
@@ -32,8 +39,13 @@ from repro.workload.scenario import ScenarioConfig  # noqa: E402
 CLASS_ORDER = ("N", "LC", "P", "SC", "R")
 
 
-def run_one(seed: int, houses: int, hours: float, servfail_rate: float) -> dict:
-    """Generate and analyse one scenario at the given SERVFAIL rate."""
+def run_one(params: tuple[int, int, float, float]) -> dict:
+    """Generate and analyse one ``(seed, houses, hours, rate)`` scenario.
+
+    Takes the whole parameter tuple as one argument so it can serve as
+    the :func:`run_scenarios` task callable unchanged.
+    """
+    seed, houses, hours, servfail_rate = params
     config = ScenarioConfig(
         seed=seed,
         houses=houses,
@@ -67,14 +79,18 @@ def main() -> int:
     parser.add_argument("--hours", type=float, default=12.0)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--rates", default="0,0.005,0.02", help="comma-separated SERVFAIL probabilities")
+    parser.add_argument("--workers", type=int, default=1, help="process-pool size for the per-rate scenarios")
     parser.add_argument("--out", default=os.path.join(os.path.dirname(__file__), "..", "SWEEP_failures.json"))
     args = parser.parse_args()
 
     rates = [float(rate) for rate in args.rates.split(",")]
-    rows = []
     for rate in rates:
         print(f"running servfail rate {100 * rate:.1f}%...", flush=True)
-        rows.append(run_one(args.seed, args.houses, args.hours, rate))
+    rows = run_scenarios(
+        [(args.seed, args.houses, args.hours, rate) for rate in rates],
+        run_one,
+        workers=args.workers,
+    )
 
     header = "| SERVFAIL rate | observed failed | " + " | ".join(CLASS_ORDER) + " | blocked |"
     rule = "|---" * (len(CLASS_ORDER) + 3) + "|"

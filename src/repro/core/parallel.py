@@ -357,6 +357,93 @@ def _run_tasks(
         return _collect_with_recovery(pending, tasks)
 
 
+#: Scenario fan-out state shared with fork-started workers via
+#: copy-on-write memory: ``(task callable, config list)``. Set only for
+#: the duration of a pool run; never mutated by workers.
+_SCENARIO_FANOUT: tuple[Callable, list] | None = None
+
+
+def _run_scenario_by_index(index: int):
+    """Fork-mode worker entry: look task and config up in inherited memory."""
+    assert _SCENARIO_FANOUT is not None
+    task, configs = _SCENARIO_FANOUT
+    return task(configs[index])
+
+
+def _run_scenario_call(task: Callable, config):
+    """Pickling-mode worker entry (non-fork start methods)."""
+    return task(config)
+
+
+def _collect_scenarios(
+    pending: "list[multiprocessing.pool.AsyncResult]",
+    configs: list,
+    task: Callable,
+) -> list:
+    """Gather per-scenario results in config order, retrying crashes serially.
+
+    Mirrors :func:`_collect_with_recovery`: a scenario whose worker died
+    is re-run in the parent with the same callable — the exact code path
+    a ``workers=1`` run takes — so recovery cannot change the results.
+    """
+    results = []
+    for index, handle in enumerate(pending):
+        try:
+            results.append(handle.get())
+        except _WORKER_FAILURES:
+            results.append(task(configs[index]))
+    return results
+
+
+def run_scenarios(configs: Sequence, task: Callable, workers: int = 1) -> list:
+    """Map *task* over *configs* on a process pool, results in config order.
+
+    The multi-scenario analogue of :func:`run_pipeline`'s sharding:
+    sweeps and calibration runs execute many independent scenarios, and
+    each scenario's generation is a pure function of its config (every
+    random draw comes from streams derived from ``config.seed``; the
+    library never reads the wall clock), so fanning the scenarios out
+    over processes is trivially byte-identical to the serial loop —
+    ``run_scenarios(configs, task, workers=n) == [task(c) for c in
+    configs]`` for every ``n``.
+
+    ``task`` receives one element of *configs* and must return a
+    picklable value; keep returns small (summaries, digests) — a full
+    week-scale :class:`~repro.monitor.capture.Trace` round-trips through
+    pickle and erodes the speedup. Under ``fork`` the configs and the
+    callable are inherited through copy-on-write memory (closures work);
+    other start methods pickle both, so there ``task`` must be a
+    module-level callable. A scenario whose worker dies is recovered by
+    a serial retry in the parent.
+    """
+    configs = list(configs)
+    if workers < 1:
+        raise AnalysisError(f"worker count must be positive, got {workers}")
+    if workers == 1 or len(configs) <= 1:
+        return [task(config) for config in configs]
+    global _SCENARIO_FANOUT
+    processes = min(workers, len(configs))
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+        _SCENARIO_FANOUT = (task, configs)
+        gc.freeze()
+        try:
+            with context.Pool(processes=processes, initializer=_disable_worker_gc) as pool:
+                pending = [
+                    pool.apply_async(_run_scenario_by_index, (index,))
+                    for index in range(len(configs))
+                ]
+                return _collect_scenarios(pending, configs, task)
+        finally:
+            gc.unfreeze()
+            _SCENARIO_FANOUT = None
+    with multiprocessing.get_context().Pool(
+        processes=processes, initializer=_disable_worker_gc
+    ) as pool:
+        pending = [pool.apply_async(_run_scenario_call, (task, config)) for config in configs]
+        return _collect_scenarios(pending, configs, task)
+
+
 def _merge_results(
     results: list[ShardResult],
     thresholds: dict[str, float],

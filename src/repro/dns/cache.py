@@ -26,10 +26,23 @@ from repro.errors import DnsError
 CacheKey = tuple[str, int]
 
 
+#: Memo for string-keyed lookups: the hot paths resolve the same bounded
+#: hostname universe repeatedly, so each (text, qtype) pair is parsed,
+#: validated, and folded exactly once per process.
+_KEY_CACHE: dict[tuple[str, int], CacheKey] = {}
+
+
 def cache_key(qname: DomainName | str, qtype: RRType | int = RRType.A) -> CacheKey:
     """Canonical cache key for a name/type pair."""
-    name = qname if isinstance(qname, DomainName) else DomainName(qname)
-    return (name.folded(), int(qtype))
+    qtype_value = int(qtype)
+    if isinstance(qname, str):
+        memo = (qname, qtype_value)
+        key = _KEY_CACHE.get(memo)
+        if key is None:
+            key = (DomainName.intern(qname).folded(), qtype_value)
+            _KEY_CACHE[memo] = key
+        return key
+    return (qname.folded(), qtype_value)
 
 
 @dataclass(slots=True)
@@ -42,6 +55,11 @@ class CacheEntry:
     ttl: float
     uses: int = 0
     last_used: float | None = None
+    #: Memo for :meth:`aged_records`: ``(remaining, records)`` of the
+    #: last call. The aged RRset depends only on the whole-second
+    #: remaining TTL, so bursts of probes within the same second (a
+    #: browser's parallel fetches) reuse one materialized tuple.
+    aged_cache: "tuple[int, tuple[ResourceRecord, ...]] | None" = None
 
     @property
     def expires_at(self) -> float:
@@ -59,7 +77,21 @@ class CacheEntry:
     def aged_records(self, now: float) -> tuple[ResourceRecord, ...]:
         """Records with TTLs decremented by the entry's age, floored at 0."""
         remaining = max(0, int(self.remaining_ttl(now)))
-        return tuple(rr.with_ttl(min(rr.ttl, remaining)) for rr in self.records)
+        cached = self.aged_cache
+        if cached is not None and cached[0] == remaining:
+            return cached[1]
+        records = self.records
+        if len(records) == 1:
+            # Singleton RRset: reuse the stored tuple outright while the
+            # record's own TTL is the binding one.
+            rr = records[0]
+            aged = records if rr.ttl <= remaining else (rr.with_ttl(remaining),)
+        else:
+            aged = tuple(
+                rr if rr.ttl <= remaining else rr.with_ttl(remaining) for rr in records
+            )
+        self.aged_cache = (remaining, aged)
+        return aged
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,7 +106,11 @@ class CacheLookup:
 
     def addresses(self) -> tuple[str, ...]:
         """IP addresses among the returned records."""
-        return tuple(rr.address for rr in self.records if rr.is_address())
+        return tuple([rr.address for rr in self.records if rr.is_address()])
+
+
+#: Shared miss result: frozen, so every miss can return the same object.
+_MISS = CacheLookup(hit=False)
 
 
 @dataclass(slots=True)
@@ -168,14 +204,22 @@ class DnsCache:
         """
         if not records:
             raise DnsError("refusing to cache an empty RRset")
-        effective_ttl = float(ttl) if ttl is not None else float(min(rr.ttl for rr in records))
+        if ttl is not None:
+            effective_ttl = float(ttl)
+        elif len(records) == 1:
+            # Most RRsets in the simulated universe hold one record;
+            # skip the generator the min() path would allocate.
+            effective_ttl = float(records[0].ttl)
+        else:
+            effective_ttl = float(min(rr.ttl for rr in records))
         effective_ttl = max(self._min_ttl_s, effective_ttl)
         if self._max_ttl_s is not None:
             effective_ttl = min(self._max_ttl_s, effective_ttl)
-        entry = CacheEntry(key=key, records=records, stored_at=now, ttl=effective_ttl)
-        if key in self._entries:
-            del self._entries[key]
-        self._entries[key] = entry
+        entry = CacheEntry(key, records, now, effective_ttl)
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        entries[key] = entry
         self._overstays[key] = self._overstay_for(key)
         self.stats.insertions += 1
         if self._capacity is not None:
@@ -186,32 +230,70 @@ class DnsCache:
         return entry
 
     def get(self, key: CacheKey, now: float) -> CacheLookup:
-        """Probe the cache at time *now*, updating usage accounting."""
-        entry = self._entries.get(key)
+        """Probe the cache at time *now*, updating usage accounting.
+
+        The expiry arithmetic is inlined (rather than going through
+        :meth:`CacheEntry.is_expired` / :attr:`CacheEntry.expires_at`)
+        because this is the single hottest call in trace generation.
+        """
+        entries = self._entries
+        stats = self.stats
+        entry = entries.get(key)
         if entry is None:
-            self.stats.misses += 1
-            return CacheLookup(hit=False)
-        expired = entry.is_expired(now)
-        if expired and now >= entry.expires_at + self._overstays.get(key, 0.0):
+            stats.misses += 1
+            return _MISS
+        expires_at = entry.stored_at + entry.ttl
+        expired = now >= expires_at
+        if expired and now >= expires_at + self._overstays.get(key, 0.0):
             # Beyond the tolerated overstay: treat as a miss and drop it.
-            del self._entries[key]
+            del entries[key]
             self._overstays.pop(key, None)
-            self.stats.misses += 1
-            return CacheLookup(hit=False)
+            stats.misses += 1
+            return _MISS
         first_use = entry.uses == 0
         entry.uses += 1
         entry.last_used = now
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
+        entries.move_to_end(key)
+        stats.hits += 1
         if expired:
-            self.stats.expired_hits += 1
+            stats.expired_hits += 1
         return CacheLookup(
-            hit=True,
-            records=entry.aged_records(now) if not expired else entry.records,
-            expired=expired,
-            first_use=first_use,
-            entry_age=now - entry.stored_at,
+            True,
+            entry.aged_records(now) if not expired else entry.records,
+            expired,
+            first_use,
+            now - entry.stored_at,
         )
+
+    def probe(self, key: CacheKey, now: float) -> tuple[bool, bool]:
+        """Probe the cache at *now*, returning only ``(hit, expired)``.
+
+        Behaviourally identical to :meth:`get` — same stats counters,
+        LRU movement, usage accounting, and overstay eviction — but
+        skips materializing the aged RRset and the :class:`CacheLookup`.
+        For callers that only need freshness (the resolver's delegation
+        checks probe once per zone hop per resolution).
+        """
+        entries = self._entries
+        stats = self.stats
+        entry = entries.get(key)
+        if entry is None:
+            stats.misses += 1
+            return (False, False)
+        expires_at = entry.stored_at + entry.ttl
+        expired = now >= expires_at
+        if expired and now >= expires_at + self._overstays.get(key, 0.0):
+            del entries[key]
+            self._overstays.pop(key, None)
+            stats.misses += 1
+            return (False, False)
+        entry.uses += 1
+        entry.last_used = now
+        entries.move_to_end(key)
+        stats.hits += 1
+        if expired:
+            stats.expired_hits += 1
+        return (True, expired)
 
     def peek(self, key: CacheKey) -> CacheEntry | None:
         """Return the entry for *key* without touching usage accounting."""

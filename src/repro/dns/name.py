@@ -45,7 +45,7 @@ class DomainName:
     The root name is spelled ``DomainName(".")`` or :data:`ROOT`.
     """
 
-    __slots__ = ("_labels", "_folded")
+    __slots__ = ("_labels", "_folded", "_folded_str", "_hash")
 
     def __init__(self, text: str | "DomainName"):
         if isinstance(text, DomainName):
@@ -79,6 +79,24 @@ class DomainName:
         name._folded = tuple(label.lower() for label in label_tuple)
         name._check_wire_length()
         return name
+
+    @classmethod
+    def intern(cls, text: "str | DomainName") -> "DomainName":
+        """A shared, parse-once instance for *text*.
+
+        Hot paths resolve the same bounded universe of hostnames over and
+        over; interning turns each repeat parse (label split, validation,
+        wire-length check) into one dict probe. Interned instances are
+        immutable like any other :class:`DomainName`, so sharing them is
+        observationally identical to constructing fresh ones.
+        """
+        if isinstance(text, DomainName):
+            return text
+        cached = _INTERNED.get(text)
+        if cached is None:
+            cached = cls(text)
+            _INTERNED[text] = cached
+        return cached
 
     def _check_wire_length(self) -> None:
         if self.wire_length() > MAX_NAME_WIRE_LENGTH:
@@ -124,7 +142,11 @@ class DomainName:
         return self._folded[::-1] < other._folded[::-1]
 
     def __hash__(self) -> int:
-        return hash(self._folded)
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(self._folded)
+            return self._hash
 
     def __len__(self) -> int:
         return len(self._labels)
@@ -173,9 +195,15 @@ class DomainName:
 
     def folded(self) -> str:
         """Case-folded dotted representation, suitable as a cache key."""
-        if not self._folded:
-            return "."
-        return ".".join(self._folded)
+        try:
+            return self._folded_str
+        except AttributeError:
+            self._folded_str = ".".join(self._folded) if self._folded else "."
+            return self._folded_str
 
+
+#: Parse-once cache behind :meth:`DomainName.intern`; bounded by the
+#: number of distinct hostname strings the process ever resolves.
+_INTERNED: dict[str, DomainName] = {}
 
 ROOT = DomainName(".")

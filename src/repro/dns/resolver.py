@@ -24,8 +24,9 @@ import random
 from dataclasses import dataclass
 
 from repro.dns.cache import CacheKey, CacheLookup, DnsCache, cache_key
+from repro.dns.message import Question, Rcode
 from repro.dns.name import DomainName
-from repro.dns.rr import ResourceRecord, RRType
+from repro.dns.rr import NameRecordData, ResourceRecord, RRType
 from repro.dns.zone import DnsHierarchy
 from repro.errors import NameError_, ResolutionError, ZoneError
 from repro.simulation.faults import FaultKind, FaultPlan, RetryPolicy
@@ -135,6 +136,11 @@ class RecursiveResolver:
         # Per-name demand estimates for background-population warming:
         # key -> [query count, first seen, last known TTL].
         self._demand: dict[CacheKey, list[float]] = {}
+        # Memoized delegation cache keys (origin folded -> key) and
+        # question objects (both immutable): resolution revisits the same
+        # bounded set of zones and names for the whole scenario.
+        self._delegation_keys: dict[str, CacheKey] = {}
+        self._questions: dict[tuple[str, int], Question] = {}
         # RFC 2308 negative cache: key -> (expires at, was NXDOMAIN).
         self._negative: dict[CacheKey, tuple[float, bool]] = {}
         self.queries_served = 0
@@ -168,7 +174,7 @@ class RecursiveResolver:
         one client<->resolver round trip plus any authoritative chasing.
         """
         rng = rng if rng is not None else self._rng
-        name = qname if isinstance(qname, DomainName) else DomainName(qname)
+        name = qname if isinstance(qname, DomainName) else DomainName.intern(qname)
         if self._faults is not None:
             decision = self._faults.decide(self.platform, name.folded(), now)
             if decision.kind is not FaultKind.NONE:
@@ -249,7 +255,8 @@ class RecursiveResolver:
     ) -> ResolutionOutcome:
         """The fault-free resolution path (cache, negative cache, chase)."""
         self.queries_served += 1
-        duration = self.profile.client_latency_model.sample(rng) + _PROCESSING_DELAY
+        profile = self.profile
+        duration = profile.client_latency_model.sample(rng) + _PROCESSING_DELAY
 
         key = cache_key(name, qtype)
         demand = self._demand.get(key)
@@ -262,7 +269,7 @@ class RecursiveResolver:
         visible = (
             cached is not None
             and not cached.is_expired(now)
-            and rng.random() < self.profile.cache_effectiveness
+            and rng.random() < profile.cache_effectiveness
         )
         if visible:
             lookup = self.cache.get(key, now)
@@ -279,7 +286,7 @@ class RecursiveResolver:
         negative = self._negative.get(key)
         if negative is not None:
             expires_at, was_nxdomain = negative
-            if now < expires_at and rng.random() < self.profile.cache_effectiveness:
+            if now < expires_at and rng.random() < profile.cache_effectiveness:
                 # RFC 2308 negative caching: the non-answer is itself
                 # cached, so repeat misses are fast.
                 return ResolutionOutcome(
@@ -318,7 +325,7 @@ class RecursiveResolver:
         else:
             self._negative[key] = (now + _NEGATIVE_TTL, nxdomain)
         for _ in range(auth_queries):
-            duration += self.profile.auth_latency_model.sample(rng)
+            duration += profile.auth_latency_model.sample(rng)
         return ResolutionOutcome(
             qname=name,
             qtype=qtype,
@@ -351,7 +358,12 @@ class RecursiveResolver:
         return rng.random() < p_warm * self.profile.cache_effectiveness
 
     def _delegation_key(self, origin: DomainName) -> CacheKey:
-        return (_NS_CACHE_PREFIX + origin.folded(), int(RRType.NS))
+        folded = origin.folded()
+        key = self._delegation_keys.get(folded)
+        if key is None:
+            key = (_NS_CACHE_PREFIX + folded, int(RRType.NS))
+            self._delegation_keys[folded] = key
+        return key
 
     def _resolve_authoritatively(
         self,
@@ -376,15 +388,17 @@ class RecursiveResolver:
             zone = server.zone_for(name)
             if zone is None:
                 continue
-            lookup = self.cache.get(self._delegation_key(zone.origin), now)
-            if lookup.hit and not lookup.expired:
+            hit, expired = self.cache.probe(self._delegation_key(zone.origin), now)
+            if hit and not expired:
                 start_index = index
         auth_queries = 0
         answer_records: tuple[ResourceRecord, ...] = ()
         nxdomain = False
-        from repro.dns.message import Question, Rcode
-
-        question = Question(name, qtype)
+        question_key = (name.folded(), int(qtype))
+        question = self._questions.get(question_key)
+        if question is None:
+            question = Question(name, qtype)
+            self._questions[question_key] = question
         for server in path[start_index:]:
             auth_queries += 1
             self.authoritative_queries += 1
@@ -413,8 +427,6 @@ class RecursiveResolver:
         if not addresses and qtype in (RRType.A, RRType.AAAA):
             cname = next((rr for rr in answer_records if rr.rtype == RRType.CNAME), None)
             if cname is not None:
-                from repro.dns.rr import NameRecordData
-
                 assert isinstance(cname.rdata, NameRecordData)
                 chased, extra_queries, chased_nx = self._resolve_authoritatively(
                     cname.rdata.target, qtype, now, rng, depth + 1
@@ -449,7 +461,7 @@ class StubLookup:
 
     def addresses(self) -> tuple[str, ...]:
         """IP addresses among the returned records."""
-        return tuple(rr.address for rr in self.records if rr.is_address())
+        return tuple([rr.address for rr in self.records if rr.is_address()])
 
     @property
     def used_expired_record(self) -> bool:
@@ -503,19 +515,14 @@ class StubResolver:
         applications and prefetchers that always query).
         """
         rng = rng if rng is not None else self._rng
-        name = qname if isinstance(qname, DomainName) else DomainName(qname)
+        name = qname if isinstance(qname, DomainName) else DomainName.intern(qname)
         key = cache_key(name, qtype)
         if not bypass_cache:
             cached = self.cache.get(key, now)
             if cached.hit:
-                return StubLookup(
-                    qname=name,
-                    qtype=qtype,
-                    records=cached.records,
-                    duration_s=0.0,
-                    network_transaction=False,
-                    cache_result=cached,
-                )
+                # Positional construction (field order per StubLookup):
+                # this and the wire-path return below run once per lookup.
+                return StubLookup(name, qtype, cached.records, 0.0, False, None, None, None, cached)
         resolver = self.pick_upstream(rng)
         outcome = resolver.resolve(name, now, qtype, rng)
         waited_s = 0.0
@@ -526,14 +533,14 @@ class StubResolver:
         if outcome.records:
             self.cache.put(key, outcome.records, now + waited_s + outcome.duration_s)
         return StubLookup(
-            qname=name,
-            qtype=qtype,
-            records=outcome.records,
-            duration_s=waited_s + outcome.duration_s,
-            network_transaction=True,
-            resolver_address=resolver.address,
-            resolver_platform=resolver.platform,
-            outcome=outcome,
+            name,
+            qtype,
+            outcome.records,
+            waited_s + outcome.duration_s,
+            True,
+            resolver.address,
+            resolver.platform,
+            outcome,
         )
 
     def _retry_after_timeout(

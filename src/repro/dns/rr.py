@@ -258,7 +258,12 @@ class ResourceRecord:
             raise WireFormatError(f"TTL out of range: {self.ttl}")
 
     def with_ttl(self, ttl: int) -> "ResourceRecord":
-        """A copy of this record carrying *ttl* seconds of lifetime."""
+        """A copy of this record carrying *ttl* seconds of lifetime.
+
+        The record is frozen, so callers that can see the TTL is
+        unchanged may share ``self`` instead of calling this (the cache
+        does exactly that on its aged-RRset fast path).
+        """
         return ResourceRecord(self.name, self.rtype, self.rdata, ttl, self.rclass)
 
     def is_address(self) -> bool:

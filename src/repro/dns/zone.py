@@ -35,6 +35,13 @@ class Zone:
         self._static: dict[tuple[str, int], list[ResourceRecord]] = {}
         self._dynamic: dict[tuple[str, int], DynamicProvider] = {}
         self._delegations: dict[str, list[ResourceRecord]] = {}
+        # Query-time memos, invalidated on mutation. Resolvers ask the
+        # same bounded set of names over and over; walking a name's
+        # ancestor chain (allocating a DomainName per level) on every
+        # query dominated generation cost before these caches.
+        self._delegation_cache: dict[str, tuple[DomainName, list[ResourceRecord]] | None] = {}
+        self._names_cache: set[str] | None = None
+        self._suffix_cache: set[str] | None = None
 
     def __repr__(self) -> str:
         return f"Zone({str(self.origin)!r}, rrsets={len(self._static) + len(self._dynamic)})"
@@ -47,6 +54,8 @@ class Zone:
         if not record.name.is_subdomain_of(self.origin):
             raise ZoneError(f"{record.name} is outside zone {self.origin}")
         self._static.setdefault(self._key(record.name, record.rtype), []).append(record)
+        self._names_cache = None
+        self._suffix_cache = None
 
     def add_many(self, records: Iterable[ResourceRecord]) -> None:
         """Add several static records."""
@@ -59,6 +68,8 @@ class Zone:
         if not owner.is_subdomain_of(self.origin):
             raise ZoneError(f"{owner} is outside zone {self.origin}")
         self._dynamic[self._key(owner, rtype)] = provider
+        self._names_cache = None
+        self._suffix_cache = None
 
     def delegate(self, child_zone: DomainName | str, ns_records: Iterable[ResourceRecord]) -> None:
         """Record a delegation of *child_zone* to the given NS records."""
@@ -69,9 +80,15 @@ class Zone:
         if not records or any(rr.rtype != RRType.NS for rr in records):
             raise ZoneError("delegation requires at least one NS record")
         self._delegations[child.folded()] = records
+        self._delegation_cache.clear()
 
     def find_delegation(self, qname: DomainName) -> tuple[DomainName, list[ResourceRecord]] | None:
         """Deepest delegation covering *qname*, if any."""
+        memo = qname.folded()
+        try:
+            return self._delegation_cache[memo]
+        except KeyError:
+            pass
         best: tuple[DomainName, list[ResourceRecord]] | None = None
         probe = qname
         chain = [probe, *probe.ancestors()]
@@ -82,6 +99,7 @@ class Zone:
             if records is not None:
                 best = (candidate, records)
                 break
+        self._delegation_cache[memo] = best
         return best
 
     def lookup(self, qname: DomainName, rtype: RRType, requester: str = "") -> tuple[ResourceRecord, ...]:
@@ -95,9 +113,29 @@ class Zone:
 
     def names(self) -> set[str]:
         """Folded owner names of every static and dynamic RRset."""
-        owners = {name for name, _ in self._static}
-        owners |= {name for name, _ in self._dynamic}
-        return owners
+        if self._names_cache is None:
+            owners = {name for name, _ in self._static}
+            owners |= {name for name, _ in self._dynamic}
+            self._names_cache = owners
+        return self._names_cache
+
+    def covers_name(self, folded: str) -> bool:
+        """Does *folded* exist in the zone, as an owner or empty non-terminal?
+
+        Equivalent to scanning every owner for an exact match or a
+        ``owner.endswith("." + folded)`` ancestor relation, but answered
+        from a cached set of every owner suffix so each query costs one
+        hash probe instead of an O(zone) string scan.
+        """
+        if self._suffix_cache is None:
+            suffixes: set[str] = set()
+            for owner in self.names():
+                suffixes.add(owner)
+                while "." in owner:
+                    owner = owner.split(".", 1)[1]
+                    suffixes.add(owner)
+            self._suffix_cache = suffixes
+        return folded in self._suffix_cache
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,21 +166,29 @@ class AuthoritativeServer:
     def __init__(self, name: str, zones: Iterable[Zone] = ()):
         self.name = name
         self._zones: dict[str, Zone] = {}
+        self._zone_for_cache: dict[str, Zone | None] = {}
         for zone in zones:
             self.host(zone)
 
     def host(self, zone: Zone) -> None:
         """Serve *zone* from this server."""
         self._zones[zone.origin.folded()] = zone
+        self._zone_for_cache.clear()
 
     def zone_for(self, qname: DomainName) -> Zone | None:
         """The most specific hosted zone enclosing *qname*."""
+        memo = qname.folded()
+        try:
+            return self._zone_for_cache[memo]
+        except KeyError:
+            pass
         best: Zone | None = None
         for candidate in (qname, *qname.ancestors()):
             zone = self._zones.get(candidate.folded())
             if zone is not None:
                 best = zone
                 break
+        self._zone_for_cache[memo] = best
         return best
 
     def query(self, question: Question, requester: str = "") -> AuthoritativeAnswer:
@@ -168,10 +214,7 @@ class AuthoritativeServer:
             if target.is_subdomain_of(zone.origin):
                 chain.extend(zone.lookup(target, question.qtype, requester))
             return AuthoritativeAnswer(rcode=Rcode.NOERROR, answers=tuple(chain))
-        if question.qname.folded() in zone.names() or any(
-            owner.endswith("." + question.qname.folded()) or owner == question.qname.folded()
-            for owner in zone.names()
-        ):
+        if zone.covers_name(question.qname.folded()):
             return AuthoritativeAnswer(rcode=Rcode.NOERROR, answers=())
         return AuthoritativeAnswer(rcode=Rcode.NXDOMAIN)
 
@@ -206,6 +249,9 @@ class DnsHierarchy:
         self._tld_servers: dict[str, AuthoritativeServer] = {}
         self._leaf_zones: dict[str, Zone] = {}
         self._leaf_servers: dict[str, AuthoritativeServer] = {}
+        # qname -> resolution path memo, invalidated whenever a zone (and
+        # therefore a server) is added. Callers must not mutate the list.
+        self._path_cache: dict[str, list[AuthoritativeServer]] = {}
 
     def ensure_tld(self, tld: str) -> Zone:
         """Create (or fetch) the zone for *tld* and delegate from the root."""
@@ -217,6 +263,7 @@ class DnsHierarchy:
             self._tld_zones[folded] = zone
             self._tld_servers[folded] = server
             self.root_zone.delegate(folded, [ns_record(folded, f"ns.{folded}-registry.example")])
+            self._path_cache.clear()
         return zone
 
     def ensure_leaf_zone(self, origin: DomainName | str) -> Zone:
@@ -233,6 +280,7 @@ class DnsHierarchy:
             self._leaf_zones[folded] = zone
             self._leaf_servers[folded] = server
             tld_zone.delegate(origin_name, [ns_record(origin_name, f"ns1.{folded}")])
+            self._path_cache.clear()
         return zone
 
     def zone_origin_for(self, qname: DomainName) -> DomainName:
@@ -266,7 +314,14 @@ class DnsHierarchy:
         return server
 
     def resolution_path(self, qname: DomainName) -> list[AuthoritativeServer]:
-        """Servers a cold resolver must visit to answer *qname*: root, TLD, leaf."""
+        """Servers a cold resolver must visit to answer *qname*: root, TLD, leaf.
+
+        The returned list is a shared memo entry — treat it as read-only.
+        """
+        memo = qname.folded()
+        cached = self._path_cache.get(memo)
+        if cached is not None:
+            return cached
         leaf_origin = self.zone_origin_for(qname)
         path = [self.root_server]
         tld = DomainName.from_labels(qname.labels[-1:])
@@ -274,4 +329,5 @@ class DnsHierarchy:
             path.append(self._tld_servers[tld.folded()])
         if leaf_origin.folded() in self._leaf_servers:
             path.append(self._leaf_servers[leaf_origin.folded()])
+        self._path_cache[memo] = path
         return path

@@ -11,15 +11,11 @@ validation tests use.
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 from dataclasses import dataclass, field
+from operator import attrgetter
 
 from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, GroundTruth, Proto
-
-
-def _uid_stream(prefix: str):
-    for counter in itertools.count(1):
-        yield f"{prefix}{counter:08x}"
 
 
 @dataclass
@@ -34,8 +30,10 @@ class Trace:
 
     def sort(self) -> None:
         """Order both logs by timestamp (stable), as Zeek logs are."""
-        self.dns.sort(key=lambda record: record.ts)
-        self.conns.sort(key=lambda record: record.ts)
+        # attrgetter extracts the key in C — at week scale these lists
+        # run to hundreds of thousands of records.
+        self.dns.sort(key=attrgetter("ts"))
+        self.conns.sort(key=attrgetter("ts"))
 
     def house_addresses(self) -> set[str]:
         """Distinct originating (house) IPs across both logs."""
@@ -52,13 +50,60 @@ class Trace:
         )
 
 
+def trace_digest(trace: Trace) -> str:
+    """SHA-256 over a canonical serialization of every field of *trace*.
+
+    The digest covers both logs (in their stored order), the ground-truth
+    annotations (keyed order), and the trace metadata. Floats are
+    serialized with ``repr`` so every bit of the value participates:
+    two traces share a digest if and only if they are byte-identical.
+    The golden-hash regression tests pin these digests to prove that
+    performance work on the generator never perturbs its output.
+    """
+    hasher = hashlib.sha256()
+    update = hasher.update
+    update(f"trace|houses={trace.houses}|duration={trace.duration!r}\n".encode())
+    for record in trace.dns:
+        answers = ";".join(
+            f"{answer.data},{answer.ttl!r},{answer.rtype}" for answer in record.answers
+        )
+        update(
+            (
+                f"D|{record.ts!r}|{record.uid}|{record.orig_h}|{record.orig_p}"
+                f"|{record.resp_h}|{record.resp_p}|{record.query}|{record.qtype}"
+                f"|{record.rcode}|{record.rtt!r}|{record.proto.value}|{answers}\n"
+            ).encode()
+        )
+    for conn in trace.conns:
+        update(
+            (
+                f"C|{conn.ts!r}|{conn.uid}|{conn.orig_h}|{conn.orig_p}"
+                f"|{conn.resp_h}|{conn.resp_p}|{conn.proto.value}|{conn.duration!r}"
+                f"|{conn.orig_bytes}|{conn.resp_bytes}|{conn.service}|{conn.conn_state}\n"
+            ).encode()
+        )
+    for uid in sorted(trace.truth):
+        truth = trace.truth[uid]
+        update(
+            (
+                f"T|{uid}|{truth.truth_class.value}|{truth.hostname}"
+                f"|{truth.dns_uid}|{truth.used_expired_record}|{truth.resolver_platform}\n"
+            ).encode()
+        )
+    return hasher.hexdigest()
+
+
 class MonitorCapture:
     """Collects monitor observations during a simulation run."""
 
     def __init__(self) -> None:
         self.trace = Trace()
-        self._dns_uids = _uid_stream("D")
-        self._conn_uids = _uid_stream("C")
+        # Plain counters (formatted on use) rather than generator uid
+        # streams: next()-ing a generator is measurable at week scale.
+        self._dns_uid_count = 0
+        self._conn_uid_count = 0
+        self._append_dns = self.trace.dns.append
+        self._append_conn = self.trace.conns.append
 
     def record_dns(
         self,
@@ -73,21 +118,24 @@ class MonitorCapture:
         rcode: str = "NOERROR",
     ) -> DnsRecord:
         """Record one wire-visible DNS transaction; returns the record."""
+        self._dns_uid_count += 1
+        # Positional construction (field order per records.py): these two
+        # record factories run once per wire event, week-scale millions.
         record = DnsRecord(
-            ts=ts,
-            uid=next(self._dns_uids),
-            orig_h=orig_h,
-            orig_p=orig_p,
-            resp_h=resp_h,
-            resp_p=53,
-            proto=Proto.UDP,
-            query=query,
-            qtype=qtype,
-            rcode=rcode,
-            rtt=rtt,
-            answers=answers,
+            ts,
+            f"D{self._dns_uid_count:08x}",
+            orig_h,
+            orig_p,
+            resp_h,
+            53,
+            query,
+            qtype,
+            rcode,
+            rtt,
+            answers,
+            Proto.UDP,
         )
-        self.trace.dns.append(record)
+        self._append_dns(record)
         return record
 
     def record_conn(
@@ -109,29 +157,30 @@ class MonitorCapture:
 
         When *truth* is given it is keyed under the freshly assigned uid.
         """
+        self._conn_uid_count += 1
         record = ConnRecord(
-            ts=ts,
-            uid=next(self._conn_uids),
-            orig_h=orig_h,
-            orig_p=orig_p,
-            resp_h=resp_h,
-            resp_p=resp_p,
-            proto=proto,
-            duration=duration,
-            orig_bytes=orig_bytes,
-            resp_bytes=resp_bytes,
-            service=service,
-            conn_state=conn_state,
+            ts,
+            f"C{self._conn_uid_count:08x}",
+            orig_h,
+            orig_p,
+            resp_h,
+            resp_p,
+            proto,
+            duration,
+            orig_bytes,
+            resp_bytes,
+            service,
+            conn_state,
         )
-        self.trace.conns.append(record)
+        self._append_conn(record)
         if truth is not None:
             self.trace.truth[record.uid] = GroundTruth(
-                conn_uid=record.uid,
-                truth_class=truth.truth_class,
-                hostname=truth.hostname,
-                dns_uid=truth.dns_uid,
-                used_expired_record=truth.used_expired_record,
-                resolver_platform=truth.resolver_platform,
+                record.uid,
+                truth.truth_class,
+                truth.hostname,
+                truth.dns_uid,
+                truth.used_expired_record,
+                truth.resolver_platform,
             )
         return record
 

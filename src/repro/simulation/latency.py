@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 
@@ -47,6 +47,9 @@ class LatencyModel:
     loss_probability: float = 0.0
     retransmit_penalty: float = 0.8
     max_retransmits: int = 6
+    #: ``log(jitter_median)`` — the lognormal's mu, hoisted out of
+    #: :meth:`sample`, which runs once per simulated query.
+    _ln_jitter_median: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
         if self.base_rtt_s < 0:
@@ -57,6 +60,8 @@ class LatencyModel:
             raise SimulationError("loss_probability must be in [0, 1)")
         if self.max_retransmits < 0:
             raise SimulationError(f"max_retransmits cannot be negative, got {self.max_retransmits}")
+        if self.jitter_median > 0:
+            object.__setattr__(self, "_ln_jitter_median", math.log(self.jitter_median))
 
     def sample(self, rng: random.Random) -> float:
         """One RTT sample in seconds.
@@ -68,7 +73,7 @@ class LatencyModel:
         """
         rtt = self.base_rtt_s
         if self.jitter_median > 0:
-            rtt += rng.lognormvariate(math.log(self.jitter_median), self.jitter_sigma)
+            rtt += rng.lognormvariate(self._ln_jitter_median, self.jitter_sigma)
         retransmits = 0
         while (
             self.loss_probability

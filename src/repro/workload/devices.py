@@ -18,10 +18,12 @@ vantage point (§3).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.dns.cache import cache_key
 from repro.dns.resolver import StubLookup, StubResolver
 from repro.monitor.records import DnsAnswer, GroundTruth, Proto, TruthClass
 from repro.workload.namespace import HostProfile
@@ -31,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 _CONN_SETUP_MEDIAN = 0.004
 _CONN_SETUP_SIGMA = 0.8
+_LN_CONN_SETUP_MEDIAN = math.log(_CONN_SETUP_MEDIAN)
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,14 +98,21 @@ class Device:
     def resolve(self, hostname: str, now: float) -> Resolution:
         """Resolve *hostname* at *now*, recording any wire transaction."""
         # Peek before the lookup: a cache probe that finds the entry
-        # expired evicts it, so the last known addresses must be captured
-        # now to be available for the connect-by-cached-address fallback.
-        stale_addresses = self._cached_addresses(hostname)
+        # expired evicts it, so the entry must be captured now to be
+        # available for the connect-by-cached-address fallback. Only the
+        # (cheap) entry reference is taken here; its address tuple is
+        # materialized in the rare hard-failure case that needs it.
+        stale_entry = self.stub.cache.peek(cache_key(hostname))
         lookup = self.stub.lookup(hostname, now, rng=self.rng)
         self.lookups_performed += 1
         if lookup.network_transaction:
             resolution = self._record_wire_lookup(hostname, now, lookup)
             if resolution.hard_failure:
+                stale_addresses = (
+                    tuple(rr.address for rr in stale_entry.records if rr.is_address())
+                    if stale_entry is not None
+                    else ()
+                )
                 stale = self._stale_fallback(resolution, stale_addresses)
                 if stale is not None:
                     return stale
@@ -110,15 +120,17 @@ class Device:
         cache_result = lookup.cache_result
         assert cache_result is not None
         truth = TruthClass.PREFETCHED if cache_result.first_use else TruthClass.LOCAL_CACHE
+        # Positional construction (field order per Resolution): this and
+        # the wire-path return below run once per device resolution.
         return Resolution(
-            hostname=hostname,
-            addresses=lookup.addresses(),
-            completed_at=now,
-            truth_class=truth,
-            dns_uid=None,
-            used_expired_record=cache_result.expired,
-            resolver_platform=self._platform_for_host.get(hostname),
-            wire_visible=False,
+            hostname,
+            lookup.addresses(),
+            now,
+            truth,
+            None,
+            cache_result.expired,
+            self._platform_for_host.get(hostname),
+            False,
         )
 
     def _record_wire_lookup(self, hostname: str, now: float, lookup: StubLookup) -> Resolution:
@@ -146,37 +158,38 @@ class Device:
             record_uid = None
         else:
             answers = tuple(
-                DnsAnswer(data=rr.address, ttl=float(rr.ttl), rtype=rr.rtype.name)
-                for rr in lookup.records
-                if rr.is_address()
+                [
+                    DnsAnswer(rr.address, float(rr.ttl), rr.rtype.name)
+                    for rr in lookup.records
+                    if rr.is_address()
+                ]
             )
             record = self.house.capture.record_dns(
-                ts=now,
-                orig_h=self.house.ip,
-                orig_p=self.house.nat_port(),
-                resp_h=lookup.resolver_address or "0.0.0.0",
-                query=hostname,
-                rtt=lookup.duration_s,
-                answers=answers,
-                rcode=outcome.rcode_name,
+                now,
+                self.house.ip,
+                self.house.nat_port(),
+                lookup.resolver_address or "0.0.0.0",
+                hostname,
+                lookup.duration_s,
+                answers,
+                "A",
+                outcome.rcode_name,
             )
             record_uid = record.uid
         return Resolution(
-            hostname=hostname,
-            addresses=lookup.addresses(),
-            completed_at=now + lookup.duration_s,
-            truth_class=truth,
-            dns_uid=record_uid,
-            used_expired_record=False,
-            resolver_platform=lookup.resolver_platform,
-            wire_visible=not self.encrypted_dns,
-            hard_failure=outcome.failed,
+            hostname,
+            lookup.addresses(),
+            now + lookup.duration_s,
+            truth,
+            record_uid,
+            False,
+            lookup.resolver_platform,
+            not self.encrypted_dns,
+            outcome.failed,
         )
 
     def _cached_addresses(self, hostname: str) -> tuple[str, ...]:
         """Addresses currently held (possibly expired) in the local cache."""
-        from repro.dns.cache import cache_key
-
         entry = self.stub.cache.peek(cache_key(hostname))
         if entry is None:
             return ()
@@ -214,8 +227,6 @@ class Device:
         prefetchers skip those. A cache probe without a use must not
         disturb first-use accounting, so we peek first.
         """
-        from repro.dns.cache import cache_key
-
         entry = self.stub.cache.peek(cache_key(hostname))
         if entry is not None and not entry.is_expired(now):
             return None
@@ -252,7 +263,7 @@ class Device:
         # OS/application processing between the DNS answer landing and the
         # SYN leaving: a few milliseconds, occasionally tens (this is the
         # sub-knee mass of the paper's Figure 1).
-        setup = self.rng.lognormvariate(_ln(_CONN_SETUP_MEDIAN), _CONN_SETUP_SIGMA)
+        setup = self.rng.lognormvariate(_LN_CONN_SETUP_MEDIAN, _CONN_SETUP_SIGMA)
         start = resolution.completed_at + min(setup, 0.03)
         for index in range(count):
             if index > 0:
@@ -287,32 +298,35 @@ class Device:
         port: int,
         proto: Proto,
     ) -> float:
-        address = self.rng.choice(resolution.addresses)
-        if proto == Proto.TCP and port == 443 and self.rng.random() < self.quic_fraction:
+        rng = self.rng
+        house = self.house
+        address = rng.choice(resolution.addresses)
+        if proto == Proto.TCP and port == 443 and rng.random() < self.quic_fraction:
             proto = Proto.UDP
-        size = max(200.0, self.rng.lognormvariate(_ln(host.typical_bytes * size_scale), 0.9))
+        size = max(200.0, rng.lognormvariate(_ln(host.typical_bytes * size_scale), 0.9))
         duration = self._transfer_duration(host, resolution.resolver_platform, size)
-        request_bytes = int(self.rng.uniform(300, 1800))
+        request_bytes = int(rng.uniform(300, 1800))
         truth = GroundTruth(
-            conn_uid="",  # assigned by the capture
-            truth_class=truth_class,
-            hostname=host.hostname,
-            dns_uid=resolution.dns_uid,
-            used_expired_record=resolution.used_expired_record,
-            resolver_platform=resolution.resolver_platform,
+            "",  # conn_uid, assigned by the capture
+            truth_class,
+            host.hostname,
+            resolution.dns_uid,
+            resolution.used_expired_record,
+            resolution.resolver_platform,
         )
-        self.house.capture.record_conn(
-            ts=start,
-            orig_h=self.house.ip,
-            orig_p=self.house.nat_port(),
-            resp_h=address,
-            resp_p=port,
-            proto=proto,
-            duration=duration,
-            orig_bytes=request_bytes,
-            resp_bytes=int(size),
-            service=service if service is not None else ("ssl" if port == 443 else "http"),
-            truth=truth,
+        house.capture.record_conn(
+            start,
+            house.ip,
+            house.nat_port(),
+            address,
+            port,
+            proto,
+            duration,
+            request_bytes,
+            int(size),
+            service if service is not None else ("ssl" if port == 443 else "http"),
+            "SF",
+            truth,
         )
         self.connections_opened += 1
         return start + duration
@@ -345,8 +359,6 @@ class Device:
 
     def _mark_entry_used(self, hostname: str, now: float) -> None:
         """Record one use of the local cache entry for *hostname*."""
-        from repro.dns.cache import cache_key
-
         entry = self.stub.cache.peek(cache_key(hostname))
         if entry is not None:
             entry.uses += 1
@@ -415,7 +427,14 @@ class Device:
         self.connections_opened += 1
 
 
-def _ln(x: float) -> float:
-    import math
+#: Memo for :func:`_ln`: the arguments are host-profile byte medians
+#: (a bounded set per universe), each worth one ``log`` per process.
+_LN_CACHE: dict[float, float] = {}
 
-    return math.log(max(1e-9, x))
+
+def _ln(x: float) -> float:
+    value = _LN_CACHE.get(x)
+    if value is None:
+        value = math.log(max(1e-9, x))
+        _LN_CACHE[x] = value
+    return value

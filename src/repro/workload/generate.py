@@ -11,10 +11,11 @@ validation).
 
 from __future__ import annotations
 
-from dataclasses import replace
+import gc
 
 from repro.dns.resolver import RecursiveResolver, build_platform_profiles
 from repro.monitor.capture import MonitorCapture, Trace
+from repro.monitor.records import ConnRecord, DnsRecord
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.faults import FaultPlan
 from repro.simulation.random import RandomStreams, derive_seed
@@ -37,6 +38,9 @@ class TrafficGenerator:
 
     def __init__(self, config: ScenarioConfig):
         self.config = config
+        # Built once and shared by the fault plan and the resolvers; the
+        # profiles are frozen dataclasses, so sharing is safe.
+        self.profiles = build_platform_profiles()
         self.streams = RandomStreams(config.seed)
         self.universe = NameUniverse(
             rng=self.streams.stream("universe"),
@@ -75,13 +79,13 @@ class TrafficGenerator:
         return FaultPlan(
             config.faults,
             seed=derive_seed(config.seed, "faults"),
-            platforms=tuple(sorted(build_platform_profiles())),
+            platforms=tuple(sorted(self.profiles)),
             horizon_s=config.warmup + config.duration,
         )
 
     def _build_resolvers(self) -> dict[str, RecursiveResolver]:
         resolvers = {}
-        for name, profile in build_platform_profiles().items():
+        for name, profile in self.profiles.items():
             resolvers[name] = RecursiveResolver(
                 profile,
                 self.universe.hierarchy,
@@ -161,14 +165,49 @@ def _clip_warmup(trace: Trace, warmup: float) -> Trace:
     connections may pair with pre-window lookups — exactly as the
     paper's week-long capture pairs early connections with whatever
     lookups preceded them.
+
+    The shifted copies are built with direct positional construction
+    rather than :func:`dataclasses.replace`: ``replace`` rebuilds a
+    field-name kwargs dict per record, which at week-scale (hundreds of
+    thousands of records) is an allocation storm worth avoiding. The
+    resulting records are field-for-field identical.
     """
     clipped = Trace(duration=trace.duration - warmup, houses=trace.houses)
-    for record in trace.dns:
-        clipped.dns.append(replace(record, ts=record.ts - warmup))
-    for record in trace.conns:
-        if record.ts < warmup:
-            continue
-        clipped.conns.append(replace(record, ts=record.ts - warmup))
+    clipped.dns = [
+        DnsRecord(
+            record.ts - warmup,
+            record.uid,
+            record.orig_h,
+            record.orig_p,
+            record.resp_h,
+            record.resp_p,
+            record.query,
+            record.qtype,
+            record.rcode,
+            record.rtt,
+            record.answers,
+            record.proto,
+        )
+        for record in trace.dns
+    ]
+    clipped.conns = [
+        ConnRecord(
+            record.ts - warmup,
+            record.uid,
+            record.orig_h,
+            record.orig_p,
+            record.resp_h,
+            record.resp_p,
+            record.proto,
+            record.duration,
+            record.orig_bytes,
+            record.resp_bytes,
+            record.service,
+            record.conn_state,
+        )
+        for record in trace.conns
+        if record.ts >= warmup
+    ]
     kept_uids = {record.uid for record in clipped.conns}
     clipped.truth = {uid: truth for uid, truth in trace.truth.items() if uid in kept_uids}
     clipped.sort()
@@ -176,5 +215,17 @@ def _clip_warmup(trace: Trace, warmup: float) -> Trace:
 
 
 def generate_trace(config: ScenarioConfig) -> Trace:
-    """Generate the trace for *config* (convenience wrapper)."""
-    return TrafficGenerator(config).run()
+    """Generate the trace for *config* (convenience wrapper).
+
+    Generation allocates millions of short-lived, acyclic objects;
+    the cyclic collector only adds pauses, so it is suspended for the
+    run (and restored even on failure). Reference counting still frees
+    everything promptly.
+    """
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return TrafficGenerator(config).run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()

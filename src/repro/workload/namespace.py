@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import ipaddress
 import random
+import zlib
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.dns.zone import DnsHierarchy
@@ -135,8 +137,6 @@ class CdnEdge:
         mostly unambiguous (the paper finds a unique candidate for 82%
         of transactions) while still modelling shared CDN hosting.
         """
-        import zlib
-
         if len(self.addresses) <= 2:
             return self.addresses
         index = zlib.crc32(hostname.encode("utf-8")) % len(self.addresses)
@@ -175,6 +175,16 @@ class NameUniverse:
         self.sites = self._build_sites(site_count, zipf_exponent)
         self.connectivity_check = self._build_connectivity_check()
         self._site_weights = [site.popularity for site in self.sites]
+        # Running prefix sums of the weights, built with the same
+        # left-to-right float additions the old linear scan performed, so
+        # a bisect draw lands on exactly the site the scan would have.
+        cumulative: list[float] = []
+        acc = 0.0
+        for weight in self._site_weights:
+            acc += weight
+            cumulative.append(acc)
+        self._site_cumulative = cumulative
+        self._site_total = acc
 
     # -- construction ----------------------------------------------------
 
@@ -201,12 +211,23 @@ class NameUniverse:
             raise WorkloadError(f"{profile.hostname} has no CDN organisation")
         hostname = profile.hostname
         ttl = profile.ttl
+        # Answers are a pure function of the requester's platform (the
+        # edge mapping and the per-hostname address subset are both
+        # deterministic), so each platform's RRset is built once and the
+        # same immutable records are handed back on every later query.
+        memo: dict[str, tuple[ResourceRecord, ...]] = {}
 
         def provider(requester: str) -> tuple[ResourceRecord, ...]:
-            edge = self.cdn_edge(org, requester or "local")
-            return tuple(
-                a_record(hostname, address, ttl) for address in edge.addresses_for(hostname)
-            )
+            platform = requester if requester in RESOLVER_PLATFORMS else "local"
+            records = memo.get(platform)
+            if records is None:
+                edge = self.cdn_edge(org, platform)
+                records = tuple(
+                    a_record(hostname, address, ttl)
+                    for address in edge.addresses_for(hostname)
+                )
+                memo[platform] = records
+            return records
 
         self.hierarchy.add_dynamic_address(hostname, provider)
         self.hosts[hostname] = profile
@@ -238,9 +259,12 @@ class NameUniverse:
 
     def cdn_edge(self, org: str, platform: str) -> CdnEdge:
         """The edge cluster *platform*'s resolvers are mapped to for *org*."""
-        self._ensure_cdn_edges(org)
         key = (org, platform if platform in RESOLVER_PLATFORMS else "local")
-        return self._cdn_edges[key]
+        edge = self._cdn_edges.get(key)
+        if edge is None:
+            self._ensure_cdn_edges(org)
+            edge = self._cdn_edges[key]
+        return edge
 
     def _build_cdn_pool(self, count: int) -> list[HostProfile]:
         pool: list[HostProfile] = []
@@ -373,14 +397,11 @@ class NameUniverse:
 
     def pick_site(self, rng: random.Random) -> SiteProfile:
         """Draw a site Zipf-proportionally to its popularity."""
-        total = sum(self._site_weights)
-        target = rng.random() * total
-        acc = 0.0
-        for site, weight in zip(self.sites, self._site_weights):
-            acc += weight
-            if target < acc:
-                return site
-        return self.sites[-1]
+        target = rng.random() * self._site_total
+        index = bisect_right(self._site_cumulative, target)
+        if index >= len(self.sites):
+            return self.sites[-1]
+        return self.sites[index]
 
     def pick_link_targets(self, rng: random.Random, count: int, exclude: str) -> list[SiteProfile]:
         """Sites a page links to (prefetch candidates), excluding itself.

@@ -1,5 +1,7 @@
 """The sharded parallel pipeline must reproduce the serial path exactly."""
 
+import os
+
 import pytest
 
 from repro.core.classify import ClassifierConfig
@@ -9,12 +11,30 @@ from repro.core.parallel import (
     DEFAULT_SHARDS_PER_WORKER,
     parallel_study,
     run_pipeline,
+    run_scenarios,
     shard_by_household,
 )
 from repro.errors import AnalysisError
-from repro.monitor.capture import Trace
+from repro.monitor.capture import Trace, trace_digest
 from repro.workload.generate import generate_trace
 from repro.workload.scenario import ScenarioConfig
+
+_PARENT_PID = os.getpid()
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _fail_in_worker(value: int) -> int:
+    """Succeeds in the parent, raises in any forked worker process."""
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("injected worker failure")
+    return value + 1
+
+
+def _tiny_scenario_digest(config: ScenarioConfig) -> str:
+    return trace_digest(generate_trace(config))
 
 
 @pytest.fixture(scope="module")
@@ -124,3 +144,39 @@ def test_collect_connections_off_by_default(trace):
     result = run_pipeline(trace, workers=2)
     assert result.classified is None
     assert result.paired is None
+
+
+# -- run_scenarios: multi-scenario fan-out ----------------------------------
+
+
+def test_run_scenarios_preserves_config_order():
+    values = list(range(8))
+    assert run_scenarios(values, _square, workers=3) == [v * v for v in values]
+
+
+def test_run_scenarios_serial_path():
+    assert run_scenarios([3, 1, 2], _square, workers=1) == [9, 1, 4]
+
+
+def test_run_scenarios_empty_configs():
+    assert run_scenarios([], _square, workers=4) == []
+
+
+def test_run_scenarios_rejects_bad_workers():
+    with pytest.raises(AnalysisError, match="worker count"):
+        run_scenarios([1], _square, workers=0)
+
+
+def test_run_scenarios_recovers_crashed_workers():
+    # Every pool worker raises; the serial retry in the parent succeeds,
+    # so results still arrive complete and in order.
+    assert run_scenarios([1, 2, 3], _fail_in_worker, workers=2) == [2, 3, 4]
+
+
+def test_run_scenarios_generation_matches_serial():
+    configs = [
+        ScenarioConfig(seed=seed, houses=2, duration=1800.0) for seed in (5, 6, 7)
+    ]
+    serial_digests = [_tiny_scenario_digest(config) for config in configs]
+    parallel_digests = run_scenarios(configs, _tiny_scenario_digest, workers=3)
+    assert parallel_digests == serial_digests

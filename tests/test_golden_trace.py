@@ -1,0 +1,74 @@
+"""Golden trace-digest regression tests: generation is byte-frozen.
+
+The digests below were computed at the pre-optimization baseline commit
+(before the engine/DNS fast paths landed) over the full record streams —
+every timestamp rendered with ``repr`` so even a last-bit float change
+flips the digest. Any future change to generation that perturbs a single
+output byte for these fixed seeds fails here immediately; intentional
+behaviour changes must re-pin the digests and say so in the commit.
+
+The scenarios are deliberately tiny (a few houses, one simulated hour,
+a shrunken name universe) so all three run in well under a second.
+"""
+
+import pytest
+
+from repro.monitor.capture import trace_digest
+from repro.workload.generate import generate_trace
+from repro.workload.scenario import FaultConfig, ScenarioConfig, UniverseConfig
+
+#: Shrunken universe shared by all golden scenarios.
+_UNIVERSE = UniverseConfig(site_count=30, cdn_host_count=8, ads_host_count=5)
+
+GOLDEN = (
+    (
+        "seed42",
+        ScenarioConfig(houses=3, duration=3600.0, seed=42, universe=_UNIVERSE),
+        "ab4d7352f138e719dccc0605b29fe4039e320a118a20e640383cd817f3052e90",
+    ),
+    (
+        "seed7_warmup",
+        ScenarioConfig(
+            houses=2, duration=3600.0, warmup=600.0, seed=7, universe=_UNIVERSE
+        ),
+        "27487837474c7f45a0e8e8360c523696451bca08d1f6f6dd2c59ed742ba63dc0",
+    ),
+    (
+        "seed11_faults",
+        ScenarioConfig(
+            houses=3,
+            duration=3600.0,
+            seed=11,
+            universe=_UNIVERSE,
+            faults=FaultConfig(
+                timeout_probability=0.01,
+                servfail_probability=0.01,
+                nxdomain_probability=0.005,
+                truncation_probability=0.005,
+            ),
+        ),
+        "80767366f28096bb856f3629c88a3dafd3c06b0058c8ba3f21bf8609e2a0dfdd",
+    ),
+)
+
+
+@pytest.mark.parametrize(
+    "config,expected",
+    [(config, expected) for _, config, expected in GOLDEN],
+    ids=[name for name, _, _ in GOLDEN],
+)
+def test_generation_matches_pinned_digest(config, expected):
+    assert trace_digest(generate_trace(config)) == expected
+
+
+def test_digest_is_stable_across_runs():
+    config = GOLDEN[0][1]
+    assert trace_digest(generate_trace(config)) == trace_digest(generate_trace(config))
+
+
+def test_digest_distinguishes_seeds():
+    base = GOLDEN[0][1]
+    other = ScenarioConfig(
+        houses=base.houses, duration=base.duration, seed=base.seed + 1, universe=_UNIVERSE
+    )
+    assert trace_digest(generate_trace(base)) != trace_digest(generate_trace(other))

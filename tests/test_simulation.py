@@ -209,3 +209,97 @@ class TestDistributions:
     @settings(max_examples=30)
     def test_zipf_weights_positive(self, count, exponent):
         assert all(w > 0 for w in zipf_weights(count, exponent))
+
+
+class TestEngineCompaction:
+    """Lazy deletion must be invisible: same firing order, exact pending()."""
+
+    def test_compaction_drops_cancelled_entries(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule(float(i), lambda: None) for i in range(10)]
+        for handle in handles[:6]:
+            handle.cancel()
+        # Once cancelled entries outnumber live ones the heap compacts,
+        # so the queue physically holds only the four live events.
+        assert len(engine._queue) == 4
+        assert engine._cancelled_count == 0
+        assert engine.pending() == 4
+
+    def test_pending_matches_events_that_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handles = [
+            engine.schedule(float(i % 3), lambda i=i: fired.append(i)) for i in range(12)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        live = engine.pending()
+        assert live == 6
+        assert engine.run() == live
+        assert len(fired) == live
+        assert engine.pending() == 0
+
+    def test_cancel_after_compaction_is_noop(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append("keep"))
+        doomed = [engine.schedule(1.0, lambda: fired.append("doomed")) for _ in range(4)]
+        for handle in doomed:
+            handle.cancel()  # triggers compaction part-way through
+        assert engine.pending() == 1
+        queue_len = len(engine._queue)
+        cancelled_count = engine._cancelled_count
+        for handle in doomed:
+            handle.cancel()  # repeat cancels (some on detached entries): no-ops
+            assert handle.cancelled
+        assert engine._cancelled_count == cancelled_count
+        assert len(engine._queue) == queue_len
+        assert engine.pending() == 1
+        engine.run()
+        assert fired == ["keep"]
+
+    def test_cancel_survivor_after_compaction(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("a"))
+        survivor = engine.schedule(2.0, lambda: fired.append("b"))
+        garbage = [engine.schedule(3.0, lambda: fired.append("g")) for _ in range(6)]
+        for handle in garbage:
+            handle.cancel()  # forces at least one compaction
+        survivor.cancel()  # handle must still reach the re-heapified entry
+        engine.run()
+        assert fired == ["a"]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), st.booleans()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_insertion_order_invariant_across_compaction(self, events):
+        """Equal-timestamp events fire in insertion order, cancelled ones
+        never fire, regardless of how many compactions the cancellation
+        pattern triggers along the way."""
+        engine = SimulationEngine()
+        fired = []
+        handles = []
+        for index, (slot, _) in enumerate(events):
+            handles.append(
+                engine.schedule(float(slot), lambda index=index: fired.append(index))
+            )
+        for handle, (_, cancel) in zip(handles, events):
+            if cancel:
+                handle.cancel()
+        expected = [
+            index
+            for index, (slot, cancel) in sorted(
+                enumerate(events), key=lambda item: (item[1][0], item[0])
+            )
+            if not cancel
+        ]
+        assert engine.pending() == len(expected)
+        engine.run()
+        assert fired == expected
+        assert engine.pending() == 0
