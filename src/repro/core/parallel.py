@@ -424,6 +424,16 @@ def run_scenarios(configs: Sequence, task: Callable, workers: int = 1) -> list:
     global _SCENARIO_FANOUT
     processes = min(workers, len(configs))
     if "fork" in multiprocessing.get_all_start_methods():
+        if _SCENARIO_FANOUT is not None:
+            # The fan-out state is a process-wide single slot; a task that
+            # itself calls run_scenarios (or a second thread fanning out
+            # concurrently) would overwrite it and dispatch the wrong
+            # scenarios. Fail loudly instead of corrupting results.
+            raise AnalysisError(
+                "run_scenarios() is already fanning out in this process; "
+                "nested or concurrent multi-worker sweeps are not supported "
+                "(run the inner call with workers=1)"
+            )
         context = multiprocessing.get_context("fork")
         _SCENARIO_FANOUT = (task, configs)
         gc.freeze()

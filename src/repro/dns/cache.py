@@ -28,7 +28,11 @@ CacheKey = tuple[str, int]
 
 #: Memo for string-keyed lookups: the hot paths resolve the same bounded
 #: hostname universe repeatedly, so each (text, qtype) pair is parsed,
-#: validated, and folded exactly once per process.
+#: validated, and folded exactly once — and, like the interning cache in
+#: :mod:`repro.dns.name`, the memo resets past ``_KEY_CACHE_MAX`` so a
+#: long-lived driver crossing many scenario universes cannot grow it
+#: without bound (it memoizes a pure function; a reset only re-parses).
+_KEY_CACHE_MAX = 65536
 _KEY_CACHE: dict[tuple[str, int], CacheKey] = {}
 
 
@@ -40,6 +44,8 @@ def cache_key(qname: DomainName | str, qtype: RRType | int = RRType.A) -> CacheK
         key = _KEY_CACHE.get(memo)
         if key is None:
             key = (DomainName.intern(qname).folded(), qtype_value)
+            if len(_KEY_CACHE) >= _KEY_CACHE_MAX:
+                _KEY_CACHE.clear()
             _KEY_CACHE[memo] = key
         return key
     return (qname.folded(), qtype_value)

@@ -95,6 +95,8 @@ class DomainName:
         cached = _INTERNED.get(text)
         if cached is None:
             cached = cls(text)
+            if len(_INTERNED) >= _INTERNED_MAX:
+                _INTERNED.clear()
             _INTERNED[text] = cached
         return cached
 
@@ -202,8 +204,13 @@ class DomainName:
             return self._folded_str
 
 
-#: Parse-once cache behind :meth:`DomainName.intern`; bounded by the
-#: number of distinct hostname strings the process ever resolves.
+#: Parse-once cache behind :meth:`DomainName.intern`. One scenario's
+#: hostname universe is small (thousands of names), but a long-lived
+#: driver running many scenarios with distinct universes would grow an
+#: uncapped memo without bound, so the cache resets once it exceeds
+#: ``_INTERNED_MAX`` entries. Interning memoizes a pure constructor, so
+#: a reset only costs re-parses — it can never change behaviour.
+_INTERNED_MAX = 65536
 _INTERNED: dict[str, DomainName] = {}
 
 ROOT = DomainName(".")

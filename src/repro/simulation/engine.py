@@ -113,12 +113,20 @@ class SimulationEngine:
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify in one O(n) pass.
 
+        The queue list is mutated *in place* (slice assignment), never
+        rebound: compaction can fire from inside an event callback while
+        ``run()``/``step()`` hold a local alias to the queue, and a
+        rebind would leave them draining a stale snapshot — events
+        scheduled after compaction would silently never fire, and
+        popping already-dropped cancelled entries would drive
+        ``_cancelled_count`` negative.
+
         Cancelled entries already hold ``state == _CANCELLED`` forever
-        (their handles keep referencing the detached list), so a
+        (their handles keep referencing the detached entry), so a
         ``cancel()`` arriving after compaction remains a no-op and a
         handle's ``cancelled`` property stays truthful.
         """
-        self._queue = [entry for entry in self._queue if entry[_STATE] == _PENDING]
+        self._queue[:] = [entry for entry in self._queue if entry[_STATE] == _PENDING]
         heapq.heapify(self._queue)
         self._cancelled_count = 0
 

@@ -429,6 +429,10 @@ class Device:
 
 #: Memo for :func:`_ln`: the arguments are host-profile byte medians
 #: (a bounded set per universe), each worth one ``log`` per process.
+#: Reset past the cap so many distinct universes in one long-lived
+#: process cannot grow it without bound (pure function; a reset only
+#: costs recomputed logs).
+_LN_CACHE_MAX = 4096
 _LN_CACHE: dict[float, float] = {}
 
 
@@ -436,5 +440,7 @@ def _ln(x: float) -> float:
     value = _LN_CACHE.get(x)
     if value is None:
         value = math.log(max(1e-9, x))
+        if len(_LN_CACHE) >= _LN_CACHE_MAX:
+            _LN_CACHE.clear()
         _LN_CACHE[x] = value
     return value

@@ -167,6 +167,21 @@ def test_run_scenarios_rejects_bad_workers():
         run_scenarios([1], _square, workers=0)
 
 
+def test_run_scenarios_rejects_nested_fanout(monkeypatch):
+    # The fork fan-out state is a process-wide single slot; a nested or
+    # concurrent multi-worker call must fail loudly rather than dispatch
+    # the wrong scenarios.
+    import multiprocessing
+
+    from repro.core import parallel as parallel_mod
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    monkeypatch.setattr(parallel_mod, "_SCENARIO_FANOUT", (_square, [1]))
+    with pytest.raises(AnalysisError, match="already fanning out"):
+        run_scenarios([1, 2], _square, workers=2)
+
+
 def test_run_scenarios_recovers_crashed_workers():
     # Every pool worker raises; the serial retry in the parent succeeds,
     # so results still arrive complete and in order.

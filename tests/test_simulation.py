@@ -270,6 +270,54 @@ class TestEngineCompaction:
         engine.run()
         assert fired == ["a"]
 
+    def test_compaction_from_callback_mid_run(self):
+        """Compaction triggered *inside* an event callback must not detach
+        the queue run() is draining: events the callback schedules after
+        the compaction still fire in the same run, and the cancelled
+        accounting stays exact (regression: a _compact that rebound
+        self._queue left run() on a stale snapshot, silently dropping the
+        rescheduled event and driving _cancelled_count negative)."""
+        engine = SimulationEngine()
+        fired = []
+        doomed = [engine.schedule(5.0, lambda: fired.append("doomed")) for _ in range(8)]
+
+        def cancel_and_reschedule():
+            fired.append("first")
+            for handle in doomed:
+                handle.cancel()  # compaction triggers part-way through
+            engine.schedule(2.0, lambda: fired.append("late"))
+
+        engine.schedule(1.0, cancel_and_reschedule)
+        processed = engine.run(until=100.0)
+        assert fired == ["first", "late"]
+        assert processed == 2
+        assert engine._cancelled_count == 0
+        assert engine.pending() == 0
+
+    def test_cancel_from_callback_then_cancel_again_mid_run(self):
+        """Cancelling an already-compacted-away handle from a later
+        callback in the same run stays a no-op and never corrupts the
+        pending() bookkeeping."""
+        engine = SimulationEngine()
+        fired = []
+        doomed = [engine.schedule(9.0, lambda: fired.append("doomed")) for _ in range(6)]
+
+        def first():
+            for handle in doomed:
+                handle.cancel()  # forces at least one compaction
+
+        def second():
+            for handle in doomed:
+                handle.cancel()  # repeat cancels on detached entries
+            fired.append("second")
+
+        engine.schedule(1.0, first)
+        engine.schedule(2.0, second)
+        engine.run()
+        assert fired == ["second"]
+        assert engine._cancelled_count == 0
+        assert engine.pending() == 0
+
     @settings(max_examples=200, deadline=None)
     @given(
         events=st.lists(
