@@ -33,6 +33,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core.parallel import run_pipeline, run_scenarios  # noqa: E402
+from repro.lint import LintEngine  # noqa: E402
 from repro.monitor.capture import trace_digest  # noqa: E402
 from repro.workload.generate import generate_trace  # noqa: E402
 from repro.workload.scenario import ScenarioConfig  # noqa: E402
@@ -54,6 +55,25 @@ def _sweep_digest(config: ScenarioConfig) -> str:
     sweep benchmark measures generation fan-out, not pickling.
     """
     return trace_digest(generate_trace(config))
+
+
+def _time_lint() -> dict:
+    """Whole-program lint wall-time over ``src/repro``.
+
+    Recorded alongside the pipeline timings so the analyzer's cost
+    stays visible as the codebase grows (the tier-1 gate bounds it at
+    10 s; this is the trend line behind that bound).
+    """
+    source_tree = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+    start = time.perf_counter()
+    run = LintEngine().lint_paths([source_tree], whole_program=True)
+    wall_s = time.perf_counter() - start
+    return {
+        "files_checked": run.files_checked,
+        "findings": len(run.findings),
+        "suppressed": len(run.suppressed),
+        "whole_program_wall_s": round(wall_s, 3),
+    }
 
 
 def _time_pipeline(trace, workers: int, repeats: int):
@@ -141,6 +161,12 @@ def main() -> int:
             "outputs_identical": sweep_identical,
         }
 
+    lint = _time_lint()
+    print(
+        f"lint: {lint['files_checked']} files whole-program in "
+        f"{lint['whole_program_wall_s']:.3f}s"
+    )
+
     payload = {
         "scenario": {
             "houses": args.houses,
@@ -161,6 +187,7 @@ def main() -> int:
         "repeats": args.repeats,
         "speedup": round(speedup, 3),
         "outputs_identical": identical,
+        "lint": lint,
     }
     out_path = os.path.abspath(args.out)
     with open(out_path, "w", encoding="utf-8") as stream:

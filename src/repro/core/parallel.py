@@ -246,7 +246,7 @@ def _merge_present(
 
 #: Shard tasks shared with fork-started workers via copy-on-write memory
 #: (set only for the duration of a pool run; never mutated by workers).
-_FORK_TASKS: list[ShardTask] | None = None
+_FORK_TASKS: list[ShardTask] | None = None  # repro-lint: fork-shared(set in the parent before fork, read-only in workers, cleared in _run_tasks' finally on every exit path)
 
 
 class ShardCrashError(RuntimeError):
@@ -338,9 +338,13 @@ def _run_tasks(
     start_methods = multiprocessing.get_all_start_methods()
     if "fork" in start_methods:
         context = multiprocessing.get_context("fork")
-        _FORK_TASKS = tasks
-        gc.freeze()
+        # Assign inside the try: if gc.freeze() or Pool creation raises,
+        # the finally still restores the slot (a leaked value would make
+        # every later run_scenarios()-style guard or retry see stale
+        # state for the life of the process).
         try:
+            _FORK_TASKS = tasks
+            gc.freeze()
             with context.Pool(processes=workers, initializer=_disable_worker_gc) as pool:
                 pending = [
                     pool.apply_async(_analyze_shard_by_index, (index,))
@@ -360,7 +364,7 @@ def _run_tasks(
 #: Scenario fan-out state shared with fork-started workers via
 #: copy-on-write memory: ``(task callable, config list)``. Set only for
 #: the duration of a pool run; never mutated by workers.
-_SCENARIO_FANOUT: tuple[Callable, list] | None = None
+_SCENARIO_FANOUT: tuple[Callable, list] | None = None  # repro-lint: fork-shared(set in the parent before fork, read-only in workers, cleared in run_scenarios' finally; the not-None guard rejects nested fan-out)
 
 
 def _run_scenario_by_index(index: int):
@@ -435,9 +439,13 @@ def run_scenarios(configs: Sequence, task: Callable, workers: int = 1) -> list:
                 "(run the inner call with workers=1)"
             )
         context = multiprocessing.get_context("fork")
-        _SCENARIO_FANOUT = (task, configs)
-        gc.freeze()
+        # Assign inside the try so any failure path (gc.freeze, Pool
+        # creation) still clears the slot — a leaked fan-out would make
+        # the not-None nesting guard above reject every later sweep in
+        # this process.
         try:
+            _SCENARIO_FANOUT = (task, configs)
+            gc.freeze()
             with context.Pool(processes=processes, initializer=_disable_worker_gc) as pool:
                 pending = [
                     pool.apply_async(_run_scenario_by_index, (index,))

@@ -58,7 +58,7 @@ class CacheEntry:
     key: CacheKey
     records: tuple[ResourceRecord, ...]
     stored_at: float
-    ttl: float
+    ttl: float  # repro-lint: disable=UNIT001 RFC 1035 field name; DNS TTLs are seconds by definition and every DNS library spells it 'ttl'
     uses: int = 0
     last_used: float | None = None
     #: Memo for :meth:`aged_records`: ``(remaining, records)`` of the
@@ -201,7 +201,7 @@ class DnsCache:
         key: CacheKey,
         records: tuple[ResourceRecord, ...],
         now: float,
-        ttl: float | None = None,
+        ttl: float | None = None,  # repro-lint: disable=UNIT001 RFC 1035 parameter name; DNS TTLs are seconds by definition and every DNS library spells it 'ttl'
     ) -> CacheEntry:
         """Store *records* under *key* at time *now*.
 
@@ -310,7 +310,7 @@ class DnsCache:
         key: CacheKey,
         records: tuple[ResourceRecord, ...],
         now: float,
-        ttl: float | None = None,
+        ttl: float | None = None,  # repro-lint: disable=UNIT001 RFC 1035 parameter name; DNS TTLs are seconds by definition and every DNS library spells it 'ttl'
     ) -> CacheEntry:
         """Replace an entry in place, preserving its usage counters.
 

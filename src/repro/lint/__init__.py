@@ -26,8 +26,26 @@ Rule        Invariant
             docstrings and return annotations.
 ==========  ==========================================================
 
-Findings can be suppressed inline with ``# repro-lint: disable=RULE``
-or grandfathered (with a justification) in a committed
+Under ``--whole-program`` a second, cross-module pass builds a
+project-wide symbol table and approximate call graph
+(:mod:`repro.lint.program`) and runs the program rules:
+
+=============  =======================================================
+Rule           Invariant
+=============  =======================================================
+``SHARED001``  Module-level mutable state reachable from fork workers
+               is audited with ``# repro-lint: fork-shared(<why>)``.
+``SHARED002``  Module-level containers are bounded — something clears,
+               shrinks or rebinds them.
+``ALIAS001``   ``self.<attr>`` slots aliased or iterated by another
+               method are mutated in place, never rebound.
+``UNIT002``    No seconds↔milliseconds mixing through assignments,
+               call arguments and returns (interprocedural dataflow).
+=============  =======================================================
+
+Findings can be suppressed inline with
+``# repro-lint: disable=RULE <justification>`` (the justification is
+mandatory, like a baseline entry's) or grandfathered in a committed
 ``lint-baseline.json``. See ``repro-lint --help`` for the CLI.
 """
 
@@ -36,7 +54,17 @@ from __future__ import annotations
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.engine import FileContext, LintEngine, LintRun
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import Rule, all_rules, get_rule, register_rule
+from repro.lint.program import ProgramModel, build_program
+from repro.lint.registry import (
+    ProgramRule,
+    Rule,
+    all_program_rules,
+    all_rules,
+    get_program_rule,
+    get_rule,
+    register_program_rule,
+    register_rule,
+)
 
 # Importing the rules package registers every built-in rule.
 from repro.lint import rules as _rules  # noqa: F401  (import for side effect)
@@ -48,9 +76,15 @@ __all__ = [
     "Finding",
     "LintEngine",
     "LintRun",
+    "ProgramModel",
+    "ProgramRule",
     "Rule",
     "Severity",
+    "all_program_rules",
     "all_rules",
+    "build_program",
+    "get_program_rule",
     "get_rule",
+    "register_program_rule",
     "register_rule",
 ]

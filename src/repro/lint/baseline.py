@@ -134,6 +134,44 @@ class Baseline:
                 new.append(finding)
         return new, baselined
 
+    def prune_stale(self) -> tuple["Baseline", list[BaselineEntry]]:
+        """Split into ``(pruned baseline, stale entries)``.
+
+        An entry is stale when its ``line_text`` no longer appears in
+        its file (the grandfathered code was fixed or deleted) — such
+        entries can never match a finding again and only hide future
+        regressions that happen to produce the same key. An entry whose
+        line occurs fewer times than its ``count`` budget is shrunk to
+        the surviving occurrence count and also reported as stale.
+        """
+        root = self.root if self.root is not None else Path(".")
+        kept: list[BaselineEntry] = []
+        stale: list[BaselineEntry] = []
+        for entry in self.entries:
+            path = root / entry.path
+            try:
+                lines = path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                stale.append(entry)
+                continue
+            occurrences = sum(1 for line in lines if line.strip() == entry.line_text)
+            if occurrences == 0:
+                stale.append(entry)
+            elif occurrences < entry.count:
+                stale.append(entry)
+                kept.append(
+                    BaselineEntry(
+                        rule=entry.rule,
+                        path=entry.path,
+                        line_text=entry.line_text,
+                        justification=entry.justification,
+                        count=occurrences,
+                    )
+                )
+            else:
+                kept.append(entry)
+        return Baseline(kept, root=self.root), stale
+
     @classmethod
     def from_findings(
         cls,

@@ -9,8 +9,11 @@ Exit codes::
 Examples::
 
     repro-lint src/repro
+    repro-lint src/repro --whole-program       # + cross-module analysis
     repro-lint src/repro --format json | jq '.summary'
+    repro-lint src/repro --whole-program --format sarif > lint.sarif
     repro-lint src/repro --write-baseline      # grandfather current findings
+    repro-lint src/repro --prune-baseline      # drop stale baseline entries
     repro-lint src/repro --no-baseline --strict
 """
 
@@ -26,9 +29,11 @@ from repro.errors import ReproError
 from repro.lint.baseline import BASELINE_FILENAME, Baseline, discover_baseline
 from repro.lint.engine import LintEngine
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import all_rules
+from repro.lint.registry import all_program_rules, all_rules
 
 _JSON_FORMAT_VERSION = 1
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,10 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(determinism, time-unit hygiene, exception discipline).",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories to lint (default src/repro)")
-    parser.add_argument("--format", choices=("human", "json"), default="human", help="output format")
+    parser.add_argument("--whole-program", action="store_true", help="also run the cross-module analysis pass (fork-safety, aliasing, unit dataflow)")
+    parser.add_argument("--format", choices=("human", "json", "sarif"), default="human", help="output format")
     parser.add_argument("--baseline", type=Path, default=None, help=f"baseline file (default: nearest {BASELINE_FILENAME} above the first path)")
     parser.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
     parser.add_argument("--write-baseline", action="store_true", help="write current findings to the baseline file and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true", help="drop baseline entries whose line_text no longer matches their file, rewrite the baseline, and exit")
     parser.add_argument("--select", action="append", default=None, metavar="RULE", help="run only these rules (repeatable, comma-separated)")
     parser.add_argument("--ignore", action="append", default=None, metavar="RULE", help="skip these rules (repeatable, comma-separated)")
     parser.add_argument("--strict", action="store_true", help="treat warnings as failures")
@@ -65,18 +72,22 @@ def _resolve_baseline(args: argparse.Namespace) -> Path | None:
     return discover_baseline(first if first.exists() else Path.cwd())
 
 
-def _render_human(new: list[Finding], baselined: list[Finding], files_checked: int) -> None:
+def _render_human(
+    new: list[Finding], baselined: list[Finding], files_checked: int, suppressed: int
+) -> None:
     for finding in new:
         print(finding.render())
     errors = sum(1 for f in new if f.severity is Severity.ERROR)
     warnings = len(new) - errors
     print(
         f"repro-lint: {files_checked} files checked, {errors} errors, "
-        f"{warnings} warnings, {len(baselined)} baselined"
+        f"{warnings} warnings, {len(baselined)} baselined, {suppressed} suppressed"
     )
 
 
-def _render_json(new: list[Finding], baselined: list[Finding], files_checked: int) -> str:
+def _render_json(
+    new: list[Finding], baselined: list[Finding], files_checked: int, suppressed: int
+) -> str:
     payload = {
         "version": _JSON_FORMAT_VERSION,
         "findings": [finding.to_json_dict() for finding in new],
@@ -86,7 +97,65 @@ def _render_json(new: list[Finding], baselined: list[Finding], files_checked: in
             "errors": sum(1 for f in new if f.severity is Severity.ERROR),
             "warnings": sum(1 for f in new if f.severity is Severity.WARNING),
             "baselined": len(baselined),
+            "suppressed": suppressed,
         },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": "error" if finding.severity is Severity.ERROR else "warning",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path.as_posix()},
+                    "region": {"startLine": finding.line, "startColumn": finding.col},
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external", "justification": "baselined"}]
+    return result
+
+
+def _render_sarif(new: list[Finding], baselined: list[Finding]) -> str:
+    """Findings as a minimal SARIF 2.1.0 log for CI code-scanning upload.
+
+    Baselined findings are included with a ``suppressions`` entry so
+    dashboards show them as acknowledged rather than losing them.
+    """
+    rules = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {
+                "level": "error" if rule.default_severity is Severity.ERROR else "warning"
+            },
+        }
+        for rule in (*all_rules(), *all_program_rules())
+    ]
+    payload = {
+        "version": _SARIF_VERSION,
+        "$schema": _SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    *(_sarif_result(finding, suppressed=False) for finding in new),
+                    *(_sarif_result(finding, suppressed=True) for finding in baselined),
+                ],
+            }
+        ],
     }
     return json.dumps(payload, indent=2)
 
@@ -97,16 +166,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.rule_id}  [{rule.default_severity}]  {rule.title}")
+        for rule in (*all_rules(), *all_program_rules()):
+            scope = "program" if rule.rule_id in {r.rule_id for r in all_program_rules()} else "file"
+            print(f"{rule.rule_id}  [{rule.default_severity}]  ({scope})  {rule.title}")
         return 0
 
     try:
-        rules = all_rules(select=_split_rule_ids(args.select), ignore=_split_rule_ids(args.ignore))
-        engine = LintEngine(rules)
-        run = engine.lint_paths(args.paths)
+        select = _split_rule_ids(args.select)
+        ignore = _split_rule_ids(args.ignore)
+        rules = all_rules(select=select, ignore=ignore)
+        program_rules = all_program_rules(select=select, ignore=ignore)
+        engine = LintEngine(rules, program_rules=program_rules)
 
         baseline_path = _resolve_baseline(args)
+
+        if args.prune_baseline:
+            if baseline_path is None or not baseline_path.exists():
+                print("repro-lint: error: no baseline file to prune", file=sys.stderr)
+                return 2
+            baseline = Baseline.load(baseline_path)
+            pruned, stale = baseline.prune_stale()
+            if stale:
+                pruned.save(baseline_path)
+                for entry in stale:
+                    print(f"repro-lint: pruned stale entry {entry.rule} {entry.path}: {entry.line_text!r}")
+            print(f"repro-lint: {len(stale)} stale entries pruned, {len(pruned.entries)} kept in {baseline_path}")
+            return 0
+
+        run = engine.lint_paths(args.paths, whole_program=args.whole_program)
 
         if args.write_baseline:
             target = baseline_path or Path(BASELINE_FILENAME)
@@ -127,9 +214,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     if args.format == "json":
-        print(_render_json(new, baselined, run.files_checked))
+        print(_render_json(new, baselined, run.files_checked, len(run.suppressed)))
+    elif args.format == "sarif":
+        print(_render_sarif(new, baselined))
     else:
-        _render_human(new, baselined, run.files_checked)
+        _render_human(new, baselined, run.files_checked, len(run.suppressed))
 
     failing = new if args.strict else [f for f in new if f.severity is Severity.ERROR]
     return 1 if failing else 0

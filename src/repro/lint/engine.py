@@ -1,10 +1,16 @@
 """The lint engine: file discovery, parsing, rule dispatch, suppression.
 
 The engine is deliberately dependency-free: it walks files, parses each
-one with :mod:`ast`, hands a :class:`FileContext` to every rule, and
-filters the resulting findings through inline suppressions
-(``# repro-lint: disable=RULE``) and, in the CLI layer, the committed
-baseline.
+one with :mod:`ast`, hands a :class:`FileContext` to every per-file
+rule and (under ``whole_program=True``) a project-wide
+:class:`~repro.lint.program.ProgramModel` to every program rule, and
+filters the resulting findings through inline suppressions and, in the
+CLI layer, the committed baseline.
+
+An inline suppression is ``# repro-lint: disable=RULE <justification>``
+— like baseline entries, a suppression without a justification does not
+count: the finding is still reported. Suppressed findings are retained
+on :attr:`LintRun.suppressed` so the CLI can account for them.
 """
 
 from __future__ import annotations
@@ -17,9 +23,11 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import ReproError
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import Rule, all_rules
+from repro.lint.registry import ProgramRule, Rule, all_program_rules, all_rules
 
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=((?:[A-Za-z0-9_]+)(?:\s*,\s*[A-Za-z0-9_]+)*)[ \t]*(.*)$"
+)
 
 
 class LintConfigError(ReproError):
@@ -51,10 +59,16 @@ class FileContext:
 
 @dataclass(frozen=True, slots=True)
 class LintRun:
-    """The outcome of linting a set of paths."""
+    """The outcome of linting a set of paths.
+
+    ``suppressed`` holds findings silenced by a *justified* inline
+    pragma — kept for accounting (the CLI reports their count) so
+    suppressions stay visible rather than vanishing.
+    """
 
     findings: tuple[Finding, ...]
     files_checked: int
+    suppressed: tuple[Finding, ...] = ()
 
     def errors(self) -> tuple[Finding, ...]:
         """The findings at :data:`Severity.ERROR`."""
@@ -80,16 +94,20 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts) if parts else resolved.stem
 
 
-def _suppressed_rules(line_text: str) -> set[str] | None:
-    """Rule ids disabled by an inline comment on *line_text*.
+def parse_suppression(line_text: str) -> tuple[set[str], str] | None:
+    """The ``(rule ids, justification)`` of a suppression on *line_text*.
 
     Returns ``None`` when there is no suppression comment; the special
-    token ``all`` suppresses every rule on the line.
+    token ``all`` disables every rule on the line. The justification is
+    whatever follows the rule list — it is mandatory for the
+    suppression to take effect, mirroring the baseline's
+    justified-entry contract.
     """
     match = _SUPPRESS_RE.search(line_text)
     if match is None:
         return None
-    return {token.strip().upper() for token in match.group(1).split(",") if token.strip()}
+    rules = {token.strip().upper() for token in match.group(1).split(",") if token.strip()}
+    return rules, match.group(2).strip()
 
 
 class LintEngine:
@@ -99,20 +117,49 @@ class LintEngine:
         self,
         rules: Sequence[Rule] | None = None,
         severity_overrides: Mapping[str, Severity] | None = None,
+        program_rules: Sequence[ProgramRule] | None = None,
     ) -> None:
         self.rules: tuple[Rule, ...] = tuple(rules if rules is not None else all_rules())
+        self.program_rules: tuple[ProgramRule, ...] = tuple(
+            program_rules if program_rules is not None else all_program_rules()
+        )
         self.severity_overrides: dict[str, Severity] = dict(severity_overrides or {})
 
     # -- entry points ----------------------------------------------------
 
-    def lint_paths(self, paths: Iterable[Path | str]) -> LintRun:
-        """Lint every ``.py`` file in *paths* (files or directories)."""
+    def lint_paths(self, paths: Iterable[Path | str], whole_program: bool = False) -> LintRun:
+        """Lint every ``.py`` file in *paths* (files or directories).
+
+        With ``whole_program=True`` the discovered files additionally
+        form one :class:`~repro.lint.program.ProgramModel` over which
+        every registered program rule (SHARED001/SHARED002/ALIAS001/
+        UNIT002) runs — cross-module findings land on the file that
+        defines the offending symbol.
+        """
         findings: list[Finding] = []
+        suppressed: list[Finding] = []
+        contexts: list[FileContext] = []
         files = list(self._discover(paths))
         for file_path in files:
-            findings.extend(self.lint_file(file_path))
-        findings.sort(key=lambda f: (f.path.as_posix(), f.line, f.col, f.rule_id))
-        return LintRun(findings=tuple(findings), files_checked=len(files))
+            source = file_path.read_text(encoding="utf-8")
+            new, silenced, ctx = self._lint_context(
+                source, file_path, module_name_for(file_path)
+            )
+            findings.extend(new)
+            suppressed.extend(silenced)
+            contexts.append(ctx)
+        if whole_program and contexts:
+            new, silenced = self._run_program_rules(contexts)
+            findings.extend(new)
+            suppressed.extend(silenced)
+        order = lambda f: (f.path.as_posix(), f.line, f.col, f.rule_id)  # noqa: E731
+        findings.sort(key=order)
+        suppressed.sort(key=order)
+        return LintRun(
+            findings=tuple(findings),
+            files_checked=len(files),
+            suppressed=tuple(suppressed),
+        )
 
     def lint_file(self, path: Path | str) -> list[Finding]:
         """Lint one file, deriving its module path from the filesystem."""
@@ -122,7 +169,15 @@ class LintEngine:
 
     def lint_source(self, source: str, path: Path | str, module: str | None = None) -> list[Finding]:
         """Lint *source* as if it lived at *path* in package *module*."""
-        file_path = Path(path)
+        findings, _, _ = self._lint_context(source, Path(path), module)
+        return findings
+
+    # -- internals -------------------------------------------------------
+
+    def _lint_context(
+        self, source: str, file_path: Path, module: str | None
+    ) -> tuple[list[Finding], list[Finding], FileContext]:
+        """Per-file rule pass: ``(reported, suppressed, context)``."""
         try:
             tree = ast.parse(source, filename=str(file_path))
         except SyntaxError as exc:
@@ -136,18 +191,40 @@ class LintEngine:
             severity_overrides=self.severity_overrides,
         )
         findings: list[Finding] = []
+        suppressed: list[Finding] = []
         for rule in self.rules:
-            findings.extend(rule.check(ctx))
-        return [f for f in findings if not self._is_suppressed(f, ctx)]
+            for finding in rule.check(ctx):
+                (suppressed if self._is_suppressed(finding, ctx) else findings).append(finding)
+        return findings, suppressed, ctx
 
-    # -- internals -------------------------------------------------------
+    def _run_program_rules(
+        self, contexts: list[FileContext]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Whole-program rule pass over the already-parsed *contexts*."""
+        from repro.lint.program import ProgramModel
+
+        model = ProgramModel.build(contexts)
+        ctx_by_path = {ctx.path: ctx for ctx in contexts}
+        findings: list[Finding] = []
+        suppressed: list[Finding] = []
+        for rule in self.program_rules:
+            for finding in rule.check_program(model):
+                ctx = ctx_by_path.get(finding.path)
+                if ctx is not None and self._is_suppressed(finding, ctx):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+        return findings, suppressed
 
     def _is_suppressed(self, finding: Finding, ctx: FileContext) -> bool:
         if not 1 <= finding.line <= len(ctx.lines):
             return False
-        disabled = _suppressed_rules(ctx.lines[finding.line - 1])
-        if disabled is None:
+        parsed = parse_suppression(ctx.lines[finding.line - 1])
+        if parsed is None:
             return False
+        disabled, justification = parsed
+        if not justification:
+            return False  # unjustified pragmas do not count, like the baseline
         return "ALL" in disabled or finding.rule_id.upper() in disabled
 
     def _discover(self, paths: Iterable[Path | str]) -> Iterator[Path]:

@@ -1,8 +1,10 @@
-"""Rule base class and the global rule registry.
+"""Rule base classes and the global rule registries.
 
-Rules register themselves with :func:`register_rule` at import time;
+Rules register themselves with :func:`register_rule` (per-file rules)
+or :func:`register_program_rule` (whole-program rules) at import time;
 :mod:`repro.lint.rules` imports every built-in rule module so that
-``all_rules()`` is complete after ``import repro.lint``.
+``all_rules()`` / ``all_program_rules()`` are complete after
+``import repro.lint``.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from repro.lint.findings import Finding, Severity, normalized_line
 
 if TYPE_CHECKING:
     from repro.lint.engine import FileContext
+    from repro.lint.program import ProgramModel
 
 
 class Rule:
@@ -46,13 +49,51 @@ class Rule:
         )
 
 
-_REGISTRY: dict[str, Type[Rule]] = {}
+class ProgramRule:
+    """Base class for a whole-program lint rule.
+
+    Program rules run once over the project-wide
+    :class:`~repro.lint.program.ProgramModel` instead of per file, so
+    they can reason across module boundaries (fork reachability, unit
+    dataflow through calls). Subclasses set ``rule_id``, ``title`` and
+    ``default_severity`` and implement :meth:`check_program`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check_program(self, model: "ProgramModel") -> Iterator[Finding]:
+        """Yield findings for *model*; subclasses must override."""
+        raise NotImplementedError
+
+    def finding(
+        self, model: "ProgramModel", module: str, node: ast.AST, message: str
+    ) -> Finding:
+        """A :class:`Finding` for *node* in *module* with this rule's id."""
+        ctx = model.context_for(module)
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            severity=ctx.severity_for(self),
+            line_text=normalized_line(ctx.lines, line),
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}  # repro-lint: fork-shared(grows once per rule class at import time, bounded by the module's decorated classes)
+_PROGRAM_REGISTRY: dict[str, Type[ProgramRule]] = {}  # repro-lint: fork-shared(grows once per rule class at import time, bounded by the module's decorated classes)
 
 R = TypeVar("R", bound=Type[Rule])
+P = TypeVar("P", bound=Type[ProgramRule])
 
 
 def register_rule(rule_class: R) -> R:
-    """Class decorator adding *rule_class* to the global registry."""
+    """Class decorator adding *rule_class* to the per-file registry."""
     rule_id = rule_class.rule_id
     if not rule_id:
         raise ValueError(f"{rule_class.__name__} does not define rule_id")
@@ -63,24 +104,68 @@ def register_rule(rule_class: R) -> R:
     return rule_class
 
 
+def register_program_rule(rule_class: P) -> P:
+    """Class decorator adding *rule_class* to the whole-program registry."""
+    rule_id = rule_class.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_class.__name__} does not define rule_id")
+    existing = _PROGRAM_REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"rule id {rule_id!r} already taken by a per-file rule")
+    _PROGRAM_REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def known_rule_ids() -> set[str]:
+    """Every registered rule id, per-file and whole-program."""
+    return set(_REGISTRY) | set(_PROGRAM_REGISTRY)
+
+
 def get_rule(rule_id: str) -> Rule:
-    """An instance of the registered rule with *rule_id*."""
+    """An instance of the registered per-file rule with *rule_id*."""
     try:
         return _REGISTRY[rule_id]()
     except KeyError:
         raise KeyError(f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}") from None
 
 
-def all_rules(select: Iterable[str] | None = None, ignore: Iterable[str] | None = None) -> list[Rule]:
-    """Instances of every registered rule, optionally filtered.
+def get_program_rule(rule_id: str) -> ProgramRule:
+    """An instance of the registered whole-program rule with *rule_id*."""
+    try:
+        return _PROGRAM_REGISTRY[rule_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown program rule {rule_id!r}; known: {sorted(_PROGRAM_REGISTRY)}"
+        ) from None
 
-    *select* keeps only the named rules; *ignore* drops the named rules.
-    Unknown ids in either set raise :class:`KeyError` so typos in CLI
-    flags fail loudly.
-    """
-    known = set(_REGISTRY)
+
+def _validate_requested(select: Iterable[str] | None, ignore: Iterable[str] | None) -> None:
+    known = known_rule_ids()
     for requested in (set(select or ()) | set(ignore or ())) - known:
         raise KeyError(f"unknown rule {requested!r}; known: {sorted(known)}")
-    chosen = set(select) if select else known
+
+
+def all_rules(select: Iterable[str] | None = None, ignore: Iterable[str] | None = None) -> list[Rule]:
+    """Instances of every registered per-file rule, optionally filtered.
+
+    *select* keeps only the named rules; *ignore* drops the named rules.
+    Ids unknown to *both* registries raise :class:`KeyError` so typos in
+    CLI flags fail loudly (a program-rule id is valid here but selects
+    no per-file rule).
+    """
+    _validate_requested(select, ignore)
+    chosen = set(select) & set(_REGISTRY) if select else set(_REGISTRY)
     chosen -= set(ignore or ())
     return [_REGISTRY[rule_id]() for rule_id in sorted(chosen)]
+
+
+def all_program_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[ProgramRule]:
+    """Instances of every registered whole-program rule, optionally filtered."""
+    _validate_requested(select, ignore)
+    chosen = set(select) & set(_PROGRAM_REGISTRY) if select else set(_PROGRAM_REGISTRY)
+    chosen -= set(ignore or ())
+    return [_PROGRAM_REGISTRY[rule_id]() for rule_id in sorted(chosen)]

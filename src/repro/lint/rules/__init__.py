@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, docs, exceptions, units
+from repro.lint.rules import determinism, docs, exceptions, shared_state, unitflow, units
 
-__all__ = ["determinism", "docs", "exceptions", "units"]
+__all__ = ["determinism", "docs", "exceptions", "shared_state", "unitflow", "units"]

@@ -1,0 +1,149 @@
+"""SHARED001/SHARED002/ALIAS001: fork-safety of shared mutable state.
+
+The sharded pipeline's determinism contract (byte-identical results for
+any worker count) only holds if no state is shared mutably between the
+parent and its fork workers, and if no long-lived process accumulates
+unbounded per-scenario state. These whole-program rules encode the three
+defect shapes the PR 5 review actually caught:
+
+``SHARED001``
+    Module-level mutable state (a container, or a slot rebound via
+    ``global``) that is reachable from functions dispatched through
+    fork workers. A worker mutating its copy-on-write copy silently
+    diverges from the parent; a parent rebinding the slot mid fan-out
+    clobbers nested runs. Audited exceptions (the fan-out slots in
+    :mod:`repro.core.parallel`, the interning memos) are declared inline
+    with ``# repro-lint: fork-shared(<why>)`` on the definition line —
+    the justification is mandatory.
+
+``SHARED002``
+    A module-level container that some function grows but nothing ever
+    shrinks, caps or resets: an unbounded memo that leaks across
+    scenarios in long-lived multi-scenario drivers.
+
+``ALIAS001``
+    A method rebinding ``self.<attr>`` to a fresh container while a
+    *different* method holds a local alias of (or iterates) the same
+    attribute — the exact shape of the heap-compaction bug where
+    ``_compact`` detached the queue alias held by ``run()``. Mutate in
+    place instead (slice assignment, ``clear()`` + ``extend()``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ProgramRule, register_program_rule
+
+if TYPE_CHECKING:
+    from repro.lint.program import GlobalSlot, ProgramModel
+
+
+def _site_summary(sites: list, limit: int = 2) -> str:
+    """A short ``f() at line N`` listing of access sites."""
+    parts = []
+    for site in sites[:limit]:
+        line = getattr(site.node, "lineno", "?")
+        parts.append(f"{site.function.rsplit('.', 1)[-1]}() at line {line}")
+    if len(sites) > limit:
+        parts.append(f"and {len(sites) - limit} more")
+    return ", ".join(parts)
+
+
+@register_program_rule
+class ForkSharedStateRule(ProgramRule):
+    """SHARED001: no unaudited mutable state shared with fork workers."""
+
+    rule_id = "SHARED001"
+    title = "module-level mutable state reachable from fork workers is audited"
+    default_severity = Severity.ERROR
+
+    def check_program(self, model: "ProgramModel") -> Iterator[Finding]:
+        for slot in model.iter_slots():
+            if not slot.mutators():
+                continue  # never mutated or rebound: effectively constant
+            fork_accessors = model.fork_reachable_accessors(slot)
+            if not fork_accessors:
+                continue
+            if slot.pragma:
+                if slot.pragma_reason:
+                    continue  # audited exception
+                yield self.finding(
+                    model,
+                    slot.module,
+                    slot.node,
+                    f"fork-shared pragma on {slot.name!r} has an empty justification; "
+                    "write '# repro-lint: fork-shared(<why this is safe>)'",
+                )
+                continue
+            touching = ", ".join(name.rsplit(".", 1)[-1] + "()" for name in fork_accessors[:3])
+            yield self.finding(
+                model,
+                slot.module,
+                slot.node,
+                f"module-level mutable state {slot.name!r} is mutated and reachable "
+                f"from fork workers (via {touching}); mutation across the fork "
+                "boundary breaks byte-identical sharding — refactor, or audit it "
+                "with '# repro-lint: fork-shared(<why>)'",
+            )
+
+
+@register_program_rule
+class UnboundedModuleStateRule(ProgramRule):
+    """SHARED002: module-level containers that only ever grow are leaks."""
+
+    rule_id = "SHARED002"
+    title = "module-level containers are bounded (reset, cap or shrink somewhere)"
+    default_severity = Severity.ERROR
+
+    def check_program(self, model: "ProgramModel") -> Iterator[Finding]:
+        for slot in model.iter_slots():
+            if not slot.is_container or not slot.grown_by:
+                continue
+            if slot.shrunk_by or slot.rebound_by:
+                continue  # something resets, caps or replaces it
+            if slot.pragma and slot.pragma_reason:
+                continue
+            yield self.finding(
+                model,
+                slot.module,
+                slot.node,
+                f"module-level container {slot.name!r} is grown "
+                f"({_site_summary(slot.grown_by)}) but never cleared, shrunk or "
+                "rebound: an unbounded memo that leaks across scenarios in "
+                "long-lived drivers — add a cap-and-reset, or audit it with "
+                "'# repro-lint: fork-shared(<why>)'",
+            )
+
+
+@register_program_rule
+class AliasedAttributeRebindRule(ProgramRule):
+    """ALIAS001: no rebinding of attributes another method aliases or drains."""
+
+    rule_id = "ALIAS001"
+    title = "attributes aliased by other methods are mutated in place, not rebound"
+    default_severity = Severity.ERROR
+
+    def check_program(self, model: "ProgramModel") -> Iterator[Finding]:
+        for cls in model.iter_classes():
+            for attr in sorted(cls.attr_rebinds):
+                hazards = [
+                    *cls.attr_aliases.get(attr, ()),
+                    *cls.attr_iterations.get(attr, ()),
+                ]
+                for rebind in cls.attr_rebinds[attr]:
+                    held_elsewhere = sorted(
+                        {use.method for use in hazards if use.method != rebind.method}
+                    )
+                    if not held_elsewhere:
+                        continue
+                    holders = ", ".join(f"{cls.name}.{m}()" for m in held_elsewhere[:3])
+                    yield self.finding(
+                        model,
+                        cls.module,
+                        rebind.node,
+                        f"rebinding self.{attr} to a fresh container silently detaches "
+                        f"the reference held by {holders}; mutate it in place instead "
+                        f"(self.{attr}[:] = ..., or clear() and extend())",
+                    )

@@ -1,0 +1,398 @@
+"""UNIT002: interprocedural seconds↔milliseconds dataflow.
+
+UNIT001 polices *names*: a time-valued definition must carry a ``_s`` /
+``_ms`` suffix, and one expression must not add differently-suffixed
+names. What it cannot see is a unit flowing through intermediate
+bindings and call boundaries::
+
+    budget = timeout_budget_ms()      # budget is milliseconds
+    sleep_for(budget)                 # ...into a 'pause_s' parameter
+
+UNIT002 closes that gap with a conservative forward dataflow over the
+whole-program call graph:
+
+* every suffixed name (parameter, attribute, function) declares a unit;
+* assignments propagate units into local variables; multiplicative
+  arithmetic (``* 1000``, ``/ 1000.0``) *clears* the unit, since that
+  is how conversions are written;
+* function return units are inferred from suffixed function names or,
+  failing that, from the units of returned expressions (to a fixpoint
+  across the call graph);
+* a finding is reported when units provably disagree: an argument
+  flowing into a differently-suffixed parameter, a return value bound
+  to a differently-suffixed name, additive arithmetic or an ordered
+  comparison between expressions of known different units, or a
+  function whose suffixed name disagrees with what it returns.
+
+"Provably" is the operative word: any expression whose unit is unknown
+(constants, unresolved calls, mixed branches) propagates *no* unit, so
+the rule stays quiet rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ProgramRule, register_program_rule
+from repro.lint.rules.units import unit_of
+
+if TYPE_CHECKING:
+    from repro.lint.program import CallSite, FunctionInfo, ProgramModel
+
+#: Builtins that pass their argument's dimension through unchanged.
+_PASSTHROUGH_BUILTINS = frozenset({"abs", "float", "int", "max", "min", "round", "sum"})
+
+#: How many fixpoint sweeps to run for return-unit inference; unit facts
+#: only ever flow a few call levels deep in practice.
+_RETURN_UNIT_PASSES = 4
+
+_Emit = Callable[[ast.AST, str], None]
+
+
+def _describe(unit: str) -> str:
+    return {"s": "seconds", "ms": "milliseconds", "us": "microseconds", "ns": "nanoseconds"}.get(
+        unit, unit
+    )
+
+
+class _FunctionFlow:
+    """One pass of unit dataflow over a single function body."""
+
+    def __init__(
+        self,
+        func: "FunctionInfo",
+        model: "ProgramModel",
+        return_units: dict[str, str | None],
+        emit: _Emit | None,
+    ) -> None:
+        self.func = func
+        self.model = model
+        self.return_units = return_units
+        self.emit = emit
+        self.calls: dict[int, "CallSite"] = {id(site.node): site for site in func.calls}
+        self.env: dict[str, str | None] = {
+            param: unit_of(param) for param in func.params if param not in ("self", "cls")
+        }
+        self.returned: list[str | None] = []
+
+    # -- statement walk (source order) -----------------------------------
+
+    def run(self) -> None:
+        """Walk the function body once, in source order."""
+        self._visit_body(self.func.node.body)
+
+    def _visit_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analysed as their own functions (or not at all)
+        if isinstance(stmt, ast.Assign):
+            unit = self._scan(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, unit, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            unit = self._scan(stmt.value) if stmt.value is not None else None
+            self._bind(stmt.target, unit, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            unit = self._scan(stmt.value)
+            target_unit = self._unit_of_target(stmt.target)
+            if (
+                isinstance(stmt.op, (ast.Add, ast.Sub))
+                and unit is not None
+                and target_unit is not None
+                and unit != target_unit
+            ):
+                self._report(
+                    stmt,
+                    f"augmented assignment adds {_describe(unit)} to "
+                    f"{self._target_name(stmt.target)!r} [{target_unit}]; convert first",
+                )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                unit = self._scan(stmt.value)
+                self.returned.append(unit)
+                declared = unit_of(self.func.name)
+                if declared is not None and unit is not None and unit != declared:
+                    self._report(
+                        stmt,
+                        f"{self.func.name}() is suffixed [{declared}] but returns "
+                        f"{_describe(unit)}",
+                    )
+            else:
+                self.returned.append(None)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._scan(stmt.test)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan(stmt.iter)
+            self._bind(stmt.target, None, stmt)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, None, stmt)
+            self._visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env[handler.name] = None
+                self._visit_body(handler.body)
+            self._visit_body(stmt.orelse)
+            self._visit_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self._scan(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._scan(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self._scan(stmt.test)
+        # Pass/Break/Continue/Import/Global/Nonlocal/Delete: nothing flows.
+
+    # -- binding ---------------------------------------------------------
+
+    @staticmethod
+    def _target_name(target: ast.expr) -> str:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return "<target>"
+
+    def _unit_of_target(self, target: ast.expr) -> str | None:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id) or unit_of(target.id)
+        if isinstance(target, ast.Attribute):
+            return unit_of(target.attr)
+        return None
+
+    def _bind(self, target: ast.expr, unit: str | None, stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            declared = unit_of(target.id)
+            if declared is not None and unit is not None and declared != unit:
+                self._report(
+                    stmt,
+                    f"assignment gives {target.id!r} [{declared}] a value in "
+                    f"{_describe(unit)}; convert to {_describe(declared)} first",
+                )
+            self.env[target.id] = declared if declared is not None else unit
+        elif isinstance(target, ast.Attribute):
+            declared = unit_of(target.attr)
+            if declared is not None and unit is not None and declared != unit:
+                self._report(
+                    stmt,
+                    f"assignment gives attribute {target.attr!r} [{declared}] a value "
+                    f"in {_describe(unit)}; convert to {_describe(declared)} first",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, None, stmt)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, None, stmt)
+        # Subscript targets carry the container's unit; nothing to rebind.
+
+    # -- expression scan (bottom-up) -------------------------------------
+
+    def _scan(self, expr: ast.expr | None) -> str | None:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return self.env[expr.id]
+            return unit_of(expr.id)
+        if isinstance(expr, ast.Attribute):
+            self._scan(expr.value)
+            return unit_of(expr.attr)
+        if isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.Call):
+            return self._scan_call(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._scan_binop(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._scan(expr.operand)
+        if isinstance(expr, ast.IfExp):
+            self._scan(expr.test)
+            body_unit = self._scan(expr.body)
+            orelse_unit = self._scan(expr.orelse)
+            return body_unit if body_unit == orelse_unit else None
+        if isinstance(expr, ast.Compare):
+            return self._scan_compare(expr)
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self._scan(value)
+            return None
+        if isinstance(expr, ast.Subscript):
+            unit = self._scan(expr.value)
+            self._scan(expr.slice)
+            return unit  # a container named delays_ms holds milliseconds
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                self._scan(element)
+            return None
+        if isinstance(expr, ast.Dict):
+            for key in expr.keys:
+                self._scan(key)
+            for value in expr.values:
+                self._scan(value)
+            return None
+        if isinstance(expr, ast.Starred):
+            return self._scan(expr.value)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp, ast.Lambda)):
+            return None  # separate (unmodelled) scopes
+        if isinstance(expr, ast.JoinedStr):
+            return None
+        return None
+
+    def _scan_binop(self, expr: ast.BinOp) -> str | None:
+        left_unit = self._scan(expr.left)
+        right_unit = self._scan(expr.right)
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            if left_unit is not None and right_unit is not None:
+                if left_unit != right_unit and not self._both_directly_suffixed(expr):
+                    op = "+" if isinstance(expr.op, ast.Add) else "-"
+                    self._report(
+                        expr,
+                        f"additive '{op}' mixes {_describe(left_unit)} and "
+                        f"{_describe(right_unit)} through dataflow; convert to a "
+                        "common unit first",
+                    )
+                    return None
+                if left_unit == right_unit:
+                    return left_unit
+                return None
+            return left_unit or right_unit
+        # Multiplication/division is how conversions are written: clears units.
+        return None
+
+    @staticmethod
+    def _both_directly_suffixed(expr: ast.BinOp) -> bool:
+        """UNIT001 already flags a direct suffixed-name + suffixed-name mix."""
+
+        def direct(node: ast.expr) -> bool:
+            if isinstance(node, ast.Name):
+                return unit_of(node.id) is not None
+            if isinstance(node, ast.Attribute):
+                return unit_of(node.attr) is not None
+            return False
+
+        return direct(expr.left) and direct(expr.right)
+
+    def _scan_compare(self, expr: ast.Compare) -> str | None:
+        operands = [expr.left, *expr.comparators]
+        units = [self._scan(operand) for operand in operands]
+        for index, op in enumerate(expr.ops):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                continue
+            left_unit, right_unit = units[index], units[index + 1]
+            if left_unit is not None and right_unit is not None and left_unit != right_unit:
+                self._report(
+                    expr,
+                    f"ordered comparison mixes {_describe(left_unit)} and "
+                    f"{_describe(right_unit)}; convert to a common unit first",
+                )
+        return None
+
+    def _scan_call(self, expr: ast.Call) -> str | None:
+        site = self.calls.get(id(expr))
+        argument_units = [self._scan(arg) for arg in expr.args]
+        keyword_units = {kw.arg: self._scan(kw.value) for kw in expr.keywords if kw.arg}
+        for keyword in expr.keywords:
+            if keyword.arg is None:
+                self._scan(keyword.value)
+
+        if site is None or site.target is None:
+            return self._builtin_passthrough(expr, argument_units)
+
+        callee = self.model.functions.get(site.target)
+        if callee is None or not site.exact:
+            return self._builtin_passthrough(expr, argument_units)
+
+        params = callee.params
+        if params and params[0] in ("self", "cls") and site.via_attribute:
+            params = params[1:]
+        elif params and params[0] in ("self", "cls") and callee.class_name is not None:
+            # Unbound form (C.m(obj, ...)): keep self in the zip so the
+            # caller's explicit receiver consumes it.
+            pass
+        for param, arg_unit, arg in zip(params, argument_units, expr.args):
+            self._check_argument(expr, callee, param, arg_unit)
+        for name, arg_unit in keyword_units.items():
+            if name in callee.params:
+                self._check_argument(expr, callee, name, arg_unit)
+        return self.return_units.get(site.target)
+
+    def _check_argument(
+        self, call: ast.Call, callee: "FunctionInfo", param: str, arg_unit: str | None
+    ) -> None:
+        declared = unit_of(param)
+        if declared is not None and arg_unit is not None and declared != arg_unit:
+            self._report(
+                call,
+                f"argument for parameter {param!r} [{declared}] of "
+                f"{callee.name}() carries {_describe(arg_unit)}; convert to "
+                f"{_describe(declared)} first",
+            )
+
+    def _builtin_passthrough(self, expr: ast.Call, argument_units: list[str | None]) -> str | None:
+        func = expr.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in _PASSTHROUGH_BUILTINS:
+            units = {unit for unit in argument_units if unit is not None}
+            if len(units) == 1:
+                return units.pop()
+        return None
+
+    # -- reporting -------------------------------------------------------
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        if self.emit is not None:
+            self.emit(node, message)
+
+
+@register_program_rule
+class UnitFlowRule(ProgramRule):
+    """UNIT002: units stay consistent through assignments, calls and returns."""
+
+    rule_id = "UNIT002"
+    title = "no seconds<->milliseconds mixing through interprocedural dataflow"
+    default_severity = Severity.ERROR
+
+    def check_program(self, model: "ProgramModel") -> Iterator[Finding]:
+        return_units = self._infer_return_units(model)
+        findings: list[Finding] = []
+        for func in model.iter_functions():
+            def emit(node: ast.AST, message: str, _func=func) -> None:
+                findings.append(self.finding(model, _func.module, node, message))
+
+            _FunctionFlow(func, model, return_units, emit).run()
+        yield from findings
+
+    @staticmethod
+    def _infer_return_units(model: "ProgramModel") -> dict[str, str | None]:
+        """Fixpoint of function -> return unit over the call graph."""
+        return_units: dict[str, str | None] = {}
+        for _ in range(_RETURN_UNIT_PASSES):
+            changed = False
+            for func in model.iter_functions():
+                declared = unit_of(func.name)
+                if declared is not None:
+                    inferred: str | None = declared
+                else:
+                    flow = _FunctionFlow(func, model, return_units, emit=None)
+                    flow.run()
+                    units = set(flow.returned)
+                    inferred = units.pop() if len(units) == 1 else None
+                if return_units.get(func.qualname, "unset") != inferred:
+                    return_units[func.qualname] = inferred
+                    changed = True
+            if not changed:
+                break
+        return return_units

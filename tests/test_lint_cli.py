@@ -1,6 +1,7 @@
 """End-to-end tests for the ``repro-lint`` CLI: exit codes, JSON, baseline."""
 
 import json
+import textwrap
 
 import pytest
 
@@ -67,7 +68,19 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"] == {
             "files_checked": 1, "errors": 0, "warnings": 0, "baselined": 0,
+            "suppressed": 0,
         }
+
+    def test_json_counts_suppressed(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import random\n"
+            "jitter = random.random()  # repro-lint: disable=DET001 rng injected upstream\n"
+        )
+        assert main([str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["suppressed"] == 1
+        assert payload["findings"] == []
 
 
 class TestBaselineWorkflow:
@@ -127,6 +140,122 @@ class TestBaselineWorkflow:
         # Duplicate the exact same violating line: same line_text, count exceeded.
         target.write_text(VIOLATION + "jitter = random.random()\n")
         assert main([str(target), "--baseline", str(baseline)]) == 1
+
+
+#: A single-module fork-shared clobber (the PR 5 bug shape) that only
+#: the --whole-program pass can see.
+FANOUT_FIXTURE = textwrap.dedent(
+    """
+    _FANOUT = None
+
+    def _worker(index):
+        task, configs = _FANOUT
+        return task(configs[index])
+
+    def run_all(pool, task, configs):
+        global _FANOUT
+        _FANOUT = (task, configs)
+        return [pool.apply_async(_worker, (i,)) for i in range(len(configs))]
+    """
+)
+
+
+class TestWholeProgram:
+    def test_per_file_pass_misses_cross_function_hazard(self, tmp_path):
+        path = tmp_path / "pool.py"
+        path.write_text(FANOUT_FIXTURE)
+        assert main([str(path), "--select", "SHARED001"]) == 0
+
+    def test_whole_program_pass_detects_it(self, tmp_path, capsys):
+        path = tmp_path / "pool.py"
+        path.write_text(FANOUT_FIXTURE)
+        assert main([str(path), "--whole-program", "--select", "SHARED001"]) == 1
+        out = capsys.readouterr().out
+        assert "SHARED001" in out and "_FANOUT" in out
+
+    def test_list_rules_includes_program_scope(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SHARED001", "SHARED002", "ALIAS001", "UNIT002"):
+            assert rule_id in out
+        assert "(program)" in out
+
+
+class TestSarifOutput:
+    def test_sarif_round_trips(self, violation_file, capsys):
+        assert main([str(violation_file), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"DET001", "SHARED001", "UNIT002"} <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("fixture.py")
+        assert location["region"]["startLine"] == 3
+        assert "suppressions" not in result
+
+    def test_baselined_findings_carry_suppressions(self, tmp_path, capsys):
+        project = tmp_path / "proj"
+        project.mkdir()
+        target = project / "code.py"
+        target.write_text(VIOLATION)
+        baseline = project / "lint-baseline.json"
+        assert main([str(target), "--baseline", str(baseline), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main([str(target), "--baseline", str(baseline), "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (result,) = payload["runs"][0]["results"]
+        assert result["suppressions"][0]["kind"] == "external"
+
+
+class TestPruneBaseline:
+    def _project(self, tmp_path):
+        project = tmp_path / "proj"
+        project.mkdir()
+        target = project / "code.py"
+        target.write_text(VIOLATION)
+        baseline = project / "lint-baseline.json"
+        assert main([str(target), "--baseline", str(baseline), "--write-baseline"]) == 0
+        return project, target, baseline
+
+    def test_live_entries_are_kept(self, tmp_path, capsys):
+        project, target, baseline = self._project(tmp_path)
+        assert main([str(target), "--baseline", str(baseline), "--prune-baseline"]) == 0
+        assert "0 stale entries pruned" in capsys.readouterr().out
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+
+    def test_stale_entry_is_dropped(self, tmp_path, capsys):
+        project, target, baseline = self._project(tmp_path)
+        target.write_text(CLEAN)  # the grandfathered line is gone
+        assert main([str(target), "--baseline", str(baseline), "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale entries pruned" in out
+        payload = json.loads(baseline.read_text())
+        assert payload["entries"] == []
+
+    def test_prune_without_baseline_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "code.py"
+        target.write_text(CLEAN)
+        assert main([str(target), "--no-baseline", "--prune-baseline"]) == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_overcounted_entry_is_shrunk(self, tmp_path, capsys):
+        project, target, baseline = self._project(tmp_path)
+        # Duplicate the violating line, re-baseline (count=2), then
+        # drop one occurrence: the entry must shrink back to count=1.
+        target.write_text(VIOLATION + "jitter = random.random()\n")
+        assert main([str(target), "--baseline", str(baseline), "--write-baseline"]) == 0
+        target.write_text(VIOLATION)
+        assert main([str(target), "--baseline", str(baseline), "--prune-baseline"]) == 0
+        (entry,) = [
+            e for e in json.loads(baseline.read_text())["entries"]
+            if e["line_text"] == "jitter = random.random()"
+        ]
+        assert entry["count"] == 1
 
 
 class TestReproDnsSubcommand:

@@ -5,7 +5,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import LintEngine, Severity, all_rules, get_rule
+from repro.lint import LintEngine, Severity, all_program_rules, all_rules, get_rule
 from repro.lint.engine import LintConfigError, module_name_for
 
 
@@ -33,14 +33,40 @@ class TestEngine:
         assert "example.py:2:" in finding.render()
 
     def test_inline_suppression_by_rule(self):
-        assert lint("import random\nrandom.random()  # repro-lint: disable=DET001\n") == []
+        assert lint(
+            "import random\n"
+            "random.random()  # repro-lint: disable=DET001 calibration shim, rng injected upstream\n"
+        ) == []
 
     def test_inline_suppression_all(self):
-        assert lint("import random\nrandom.random()  # repro-lint: disable=all\n") == []
+        assert lint(
+            "import random\n"
+            "random.random()  # repro-lint: disable=all scratch cell kept for doc parity\n"
+        ) == []
 
     def test_suppression_of_other_rule_does_not_apply(self):
-        findings = lint("import random\nrandom.random()  # repro-lint: disable=EXC001\n")
+        findings = lint(
+            "import random\n"
+            "random.random()  # repro-lint: disable=EXC001 wrong rule on purpose\n"
+        )
         assert rule_ids(findings) == ["DET001"]
+
+    def test_unjustified_suppression_does_not_count(self):
+        # A bare pragma is a mute button, not a decision — the finding
+        # is still reported, mirroring the baseline's justified-entry
+        # contract.
+        findings = lint("import random\nrandom.random()  # repro-lint: disable=DET001\n")
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_suppressed_findings_are_retained_for_accounting(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import random\n"
+            "random.random()  # repro-lint: disable=DET001 rng injected upstream\n"
+        )
+        run = LintEngine().lint_paths([target])
+        assert run.findings == ()
+        assert rule_ids(run.suppressed) == ["DET001"]
 
     def test_unknown_rule_selection_fails_loudly(self):
         with pytest.raises(KeyError):
@@ -344,3 +370,327 @@ class TestDOC001PublicDocs:
 
     def test_rule_scoped_to_core_and_dns(self):
         assert lint("def f(x):\n    return x\n", module="repro.workload.apps", rules=["DOC001"]) == []
+
+
+def lint_program(tmp_path, files, select=None):
+    """Write fixture *files* as a package and run the whole-program pass.
+
+    Per-file rules are disabled so the fixtures only need to satisfy the
+    program rules under test; returns the :class:`LintRun`.
+    """
+    pkg = tmp_path / "fixturepkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    for name, source in files.items():
+        (pkg / name).write_text(textwrap.dedent(source))
+    engine = LintEngine(rules=[], program_rules=all_program_rules(select=select))
+    return engine.lint_paths([pkg], whole_program=True)
+
+
+#: The PR 5 review bug: a process-wide fan-out slot read by fork
+#: workers and rebound by the dispatcher — a nested dispatch clobbers
+#: the slot under the outer pool's feet.
+FANOUT_CLOBBER = """
+    _FANOUT = None
+
+    def _worker(index):
+        task, configs = _FANOUT
+        return task(configs[index])
+
+    def run_all(pool, task, configs):
+        global _FANOUT
+        _FANOUT = (task, configs)
+        handles = [pool.apply_async(_worker, (i,)) for i in range(len(configs))]
+        return [h.get() for h in handles]
+"""
+
+#: The PR 5 review bug: an interning memo that grows per lookup and is
+#: never cleared, leaking across scenarios in long-lived drivers.
+UNBOUNDED_MEMO = """
+    _MEMO = {}
+
+    def intern_name(name):
+        if name not in _MEMO:
+            _MEMO[name] = name.lower()
+        return _MEMO[name]
+"""
+
+#: The PR 5 heap-compaction bug: ``_compact`` rebinds ``self._queue``
+#: to a fresh list while ``run`` still drains the old one through a
+#: local alias.
+QUEUE_ALIAS_REBIND = """
+    class EventQueue:
+        def __init__(self):
+            self._queue = []
+
+        def push(self, entry):
+            self._queue.append(entry)
+
+        def _compact(self):
+            self._queue = [entry for entry in self._queue if entry is not None]
+
+        def run(self):
+            queue = self._queue
+            while queue:
+                queue.pop()
+"""
+
+
+class TestSHARED001ForkSharedState:
+    def test_fanout_clobber_detected(self, tmp_path):
+        run = lint_program(tmp_path, {"pool.py": FANOUT_CLOBBER}, select=["SHARED001"])
+        (finding,) = run.findings
+        assert finding.rule_id == "SHARED001"
+        assert "_FANOUT" in finding.message
+        assert finding.line_text == "_FANOUT = None"
+
+    def test_unreachable_state_not_flagged(self, tmp_path):
+        # Same slot and mutation, but nothing hands _worker to a pool,
+        # so no fork boundary is crossed.
+        source = FANOUT_CLOBBER.replace("pool.apply_async(_worker, (i,))", "_worker(i)")
+        run = lint_program(tmp_path, {"pool.py": source}, select=["SHARED001"])
+        assert run.findings == ()
+
+    def test_fork_shared_pragma_exempts(self, tmp_path):
+        source = FANOUT_CLOBBER.replace(
+            "_FANOUT = None",
+            "_FANOUT = None  # repro-lint: fork-shared(cleared in the dispatcher's finally)",
+        )
+        run = lint_program(tmp_path, {"pool.py": source}, select=["SHARED001"])
+        assert run.findings == ()
+
+    def test_empty_pragma_justification_still_flagged(self, tmp_path):
+        source = FANOUT_CLOBBER.replace(
+            "_FANOUT = None", "_FANOUT = None  # repro-lint: fork-shared()"
+        )
+        run = lint_program(tmp_path, {"pool.py": source}, select=["SHARED001"])
+        (finding,) = run.findings
+        assert "justification" in finding.message
+
+    def test_cross_module_reachability(self, tmp_path):
+        # The worker lives in one module, the dispatcher in another; the
+        # call graph still links the pool dispatch to the slot read.
+        worker = """
+            _FANOUT = None
+
+            def work(index):
+                task, configs = _FANOUT
+                return task(configs[index])
+
+            def rebind(pair):
+                global _FANOUT
+                _FANOUT = pair
+        """
+        driver = """
+            from fixturepkg.worker import rebind, work
+
+            def dispatch(pool, task, configs):
+                rebind((task, configs))
+                return [pool.apply_async(work, (i,)) for i in range(len(configs))]
+        """
+        run = lint_program(
+            tmp_path, {"worker.py": worker, "driver.py": driver}, select=["SHARED001"]
+        )
+        (finding,) = run.findings
+        assert "_FANOUT" in finding.message
+
+
+class TestSHARED002UnboundedState:
+    def test_unbounded_memo_detected(self, tmp_path):
+        run = lint_program(tmp_path, {"memo.py": UNBOUNDED_MEMO}, select=["SHARED002"])
+        (finding,) = run.findings
+        assert finding.rule_id == "SHARED002"
+        assert "_MEMO" in finding.message
+
+    def test_cap_and_reset_memo_allowed(self, tmp_path):
+        source = UNBOUNDED_MEMO.replace(
+            "if name not in _MEMO:",
+            "if len(_MEMO) > 4096:\n            _MEMO.clear()\n        if name not in _MEMO:",
+        )
+        run = lint_program(tmp_path, {"memo.py": source}, select=["SHARED002"])
+        assert run.findings == ()
+
+    def test_read_only_table_allowed(self, tmp_path):
+        source = """
+            _TABLE = {"a": 1}
+
+            def lookup(name):
+                return _TABLE[name]
+        """
+        run = lint_program(tmp_path, {"table.py": source}, select=["SHARED002"])
+        assert run.findings == ()
+
+    def test_fork_shared_pragma_exempts(self, tmp_path):
+        source = UNBOUNDED_MEMO.replace(
+            "_MEMO = {}",
+            "_MEMO = {}  # repro-lint: fork-shared(bounded by the fixed name universe)",
+        )
+        run = lint_program(tmp_path, {"memo.py": source}, select=["SHARED002"])
+        assert run.findings == ()
+
+
+class TestALIAS001AttributeRebinding:
+    def test_queue_alias_rebind_detected(self, tmp_path):
+        run = lint_program(tmp_path, {"queue.py": QUEUE_ALIAS_REBIND}, select=["ALIAS001"])
+        (finding,) = run.findings
+        assert finding.rule_id == "ALIAS001"
+        assert "_queue" in finding.message
+        assert "run" in finding.message  # names the method holding the alias
+        assert finding.line_text.startswith("self._queue = [entry")
+
+    def test_in_place_compaction_allowed(self, tmp_path):
+        source = QUEUE_ALIAS_REBIND.replace(
+            "self._queue = [entry for entry in self._queue if entry is not None]",
+            "self._queue[:] = [entry for entry in self._queue if entry is not None]",
+        )
+        run = lint_program(tmp_path, {"queue.py": source}, select=["ALIAS001"])
+        assert run.findings == ()
+
+    def test_rebind_without_alias_allowed(self, tmp_path):
+        source = """
+            class Buffer:
+                def __init__(self):
+                    self._items = []
+
+                def reset(self):
+                    self._items = []
+
+                def add(self, item):
+                    self._items.append(item)
+        """
+        run = lint_program(tmp_path, {"buffer.py": source}, select=["ALIAS001"])
+        assert run.findings == ()
+
+    def test_iteration_counts_as_aliasing(self, tmp_path):
+        source = """
+            class Timeline:
+                def __init__(self):
+                    self._events = []
+
+                def trim(self):
+                    self._events = [e for e in self._events if e]
+
+                def replay(self):
+                    for event in self._events:
+                        event()
+        """
+        run = lint_program(tmp_path, {"timeline.py": source}, select=["ALIAS001"])
+        (finding,) = run.findings
+        assert "_events" in finding.message
+
+    def test_init_rebind_allowed(self, tmp_path):
+        source = """
+            class Store:
+                def __init__(self):
+                    self._rows = []
+
+                def scan(self):
+                    for row in self._rows:
+                        yield row
+        """
+        run = lint_program(tmp_path, {"store.py": source}, select=["ALIAS001"])
+        assert run.findings == ()
+
+
+class TestUNIT002UnitFlow:
+    def test_ms_return_bound_to_s_name(self, tmp_path):
+        source = """
+            def lookup_delay_ms(count):
+                return 10.0 + count
+
+            def drive():
+                delay_s = lookup_delay_ms(3)
+                return delay_s
+        """
+        run = lint_program(tmp_path, {"timing.py": source}, select=["UNIT002"])
+        (finding,) = run.findings
+        assert finding.rule_id == "UNIT002"
+        assert "milliseconds" in finding.message
+
+    def test_ms_argument_into_s_parameter(self, tmp_path):
+        timing = """
+            def pause(pause_s):
+                return pause_s
+
+            def lookup_delay_ms(count):
+                return 10.0 + count
+        """
+        driver = """
+            from fixturepkg.timing import lookup_delay_ms, pause
+
+            def drive():
+                wait_ms = lookup_delay_ms(3)
+                return pause(wait_ms)
+        """
+        run = lint_program(
+            tmp_path, {"timing.py": timing, "driver.py": driver}, select=["UNIT002"]
+        )
+        (finding,) = run.findings
+        assert "pause_s" in finding.message or "_s" in finding.message
+
+    def test_additive_mixing_through_dataflow(self, tmp_path):
+        # Neither operand carries a suffix at the mixing site — only the
+        # dataflow knows 'wait' holds milliseconds and 'gap' seconds.
+        source = """
+            def drive(delay_ms, interval_s):
+                wait = delay_ms
+                gap = interval_s
+                return wait + gap
+        """
+        run = lint_program(tmp_path, {"mix.py": source}, select=["UNIT002"])
+        (finding,) = run.findings
+        assert "mixes" in finding.message or "mix" in finding.message
+
+    def test_consistent_units_clean(self, tmp_path):
+        source = """
+            def lookup_delay_ms(count):
+                return 10.0 + count
+
+            def drive():
+                delay_ms = lookup_delay_ms(3)
+                total_ms = delay_ms + 5.0
+                return total_ms
+        """
+        run = lint_program(tmp_path, {"clean.py": source}, select=["UNIT002"])
+        assert run.findings == ()
+
+    def test_multiplicative_conversion_clears_unit(self, tmp_path):
+        source = """
+            def drive(delay_ms):
+                delay_s = delay_ms / 1000.0
+                return delay_s
+        """
+        run = lint_program(tmp_path, {"convert.py": source}, select=["UNIT002"])
+        assert run.findings == ()
+
+    def test_inline_suppression_applies_to_program_findings(self, tmp_path):
+        source = """
+            def lookup_delay_ms(count):
+                return 10.0 + count
+
+            def drive():
+                delay_s = lookup_delay_ms(3)  # repro-lint: disable=UNIT002 legacy field, tracked in #42
+                return delay_s
+        """
+        run = lint_program(tmp_path, {"timing.py": source}, select=["UNIT002"])
+        assert run.findings == ()
+        assert [f.rule_id for f in run.suppressed] == ["UNIT002"]
+
+
+class TestGoldenPR5Reproductions:
+    """All three PR 5 review bugs in one package, one whole-program run."""
+
+    def test_all_three_detected_together(self, tmp_path):
+        run = lint_program(
+            tmp_path,
+            {
+                "pool.py": FANOUT_CLOBBER,
+                "memo.py": UNBOUNDED_MEMO,
+                "queue.py": QUEUE_ALIAS_REBIND,
+            },
+        )
+        assert sorted(f.rule_id for f in run.findings) == [
+            "ALIAS001",
+            "SHARED001",
+            "SHARED002",
+        ]
