@@ -32,11 +32,11 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core.parallel import run_pipeline, run_scenarios  # noqa: E402
+from repro.core.parallel import effective_worker_count, run_pipeline, run_scenarios  # noqa: E402
 from repro.lint import LintEngine  # noqa: E402
 from repro.monitor.capture import trace_digest  # noqa: E402
-from repro.workload.generate import generate_trace  # noqa: E402
-from repro.workload.scenario import ScenarioConfig  # noqa: E402
+from repro.workload.generate import generate_trace, generate_trace_with_pressure  # noqa: E402
+from repro.workload.scenario import PressureConfig, ScenarioConfig  # noqa: E402
 
 #: Committed pre-optimization generation wall time for the default
 #: 8-house x 168 h seed-1 scenario (from ``BENCH_pipeline.json`` at the
@@ -74,6 +74,50 @@ def _time_lint() -> dict:
         "suppressed": len(run.suppressed),
         "whole_program_wall_s": round(wall_s, 3),
     }
+
+
+#: Stub-cache capacities of the cache-pressure micro-stage: thrashing,
+#: tight, and comfortable for the micro-scenario's working set.
+PRESSURE_CAPACITIES = (4, 32, 256)
+
+
+def _time_cache_pressure() -> list[dict]:
+    """Serve-stale cache behaviour at three capacities (micro-stage).
+
+    A small fixed scenario generated per capacity; hit rate, evictions,
+    and stale serves are the trend lines behind the pressure sweep's
+    acceptance shape (hit rate rising, evictions falling with capacity).
+    """
+    rows = []
+    for capacity in PRESSURE_CAPACITIES:
+        config = ScenarioConfig(
+            seed=1,
+            houses=6,
+            duration=7200.0,
+            pressure=PressureConfig(
+                stub_cache_capacity=capacity,
+                stub_cache_policy="serve-stale",
+                stub_stale_ttl_s=900.0,
+            ),
+        )
+        start = time.perf_counter()
+        _, stats = generate_trace_with_pressure(config)
+        wall_s = time.perf_counter() - start
+        rows.append(
+            {
+                "capacity": capacity,
+                "hit_rate": round(stats.stub_hit_rate, 4),
+                "evictions": stats.stub_evictions,
+                "stale_serves": stats.stub_stale_serves,
+                "wall_s": round(wall_s, 3),
+            }
+        )
+        print(
+            f"  capacity {capacity}: hit rate {100 * stats.stub_hit_rate:.1f}%, "
+            f"{stats.stub_evictions} evictions, {stats.stub_stale_serves} stale serves "
+            f"({wall_s:.1f}s)"
+        )
+    return rows
 
 
 def _time_pipeline(trace, workers: int, repeats: int):
@@ -155,11 +199,15 @@ def main() -> int:
             "houses": args.sweep_houses,
             "hours": args.sweep_hours,
             "workers": args.workers,
+            "workers_effective": effective_worker_count(args.workers, jobs=args.sweep_seeds),
             "serial_wall_s": round(sweep_serial_s, 3),
             "parallel_wall_s": round(sweep_parallel_s, 3),
             "speedup": round(sweep_speedup, 3),
             "outputs_identical": sweep_identical,
         }
+
+    print("cache pressure micro-stage:", flush=True)
+    cache_pressure = _time_cache_pressure()
 
     lint = _time_lint()
     print(
@@ -184,9 +232,11 @@ def main() -> int:
         "serial_wall_s": round(serial_s, 3),
         "parallel_wall_s": round(parallel_s, 3),
         "workers": args.workers,
+        "workers_effective": effective_worker_count(args.workers),
         "repeats": args.repeats,
         "speedup": round(speedup, 3),
         "outputs_identical": identical,
+        "cache_pressure": cache_pressure,
         "lint": lint,
     }
     out_path = os.path.abspath(args.out)

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Sweep cache capacity x flash-crowd pressure and report the shifts.
+
+Generates a serve-stale, fd-budgeted scenario at several stub-cache
+capacities, with and without flash crowds, and reports how the local
+hit rate, the blocked-connection share (queued + shed admissions), and
+the Table 2 SC/R split move as the cache thrashes. Every cell runs
+twice — once serially, once through :func:`run_scenarios` with a worker
+pool — and the script asserts the two sweeps are identical before
+writing SWEEP_pressure.json.
+
+Usage:
+    PYTHONPATH=src python scripts/pressure_sweep.py [--houses N]
+        [--hours H] [--seed S] [--capacities C,C,...] [--workers W]
+        [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.classify import ConnClass  # noqa: E402
+from repro.core.context import ContextStudy  # noqa: E402
+from repro.core.parallel import effective_worker_count, run_scenarios  # noqa: E402
+from repro.workload.generate import generate_trace_with_pressure  # noqa: E402
+from repro.workload.scenario import PressureConfig, ScenarioConfig  # noqa: E402
+
+CLASS_ORDER = ("N", "LC", "P", "SC", "R")
+
+#: Flash-crowd settings of the sweep: calm, and a crowded variant with
+#: frequent high-intensity windows (chosen so several windows land in a
+#: short run).
+FLASH_SETTINGS = (
+    ("calm", 0.0),
+    ("crowded", 6.0),
+)
+
+STALE_TTL_S = 900.0
+FD_BUDGET = 3
+FLASH_DURATION_S = 300.0
+FLASH_INTENSITY = 6.0
+
+
+def run_one(params: tuple[int, int, float, int, float]) -> dict:
+    """Generate and analyse one ``(seed, houses, hours, capacity, flash)`` cell.
+
+    Takes the whole parameter tuple as one argument so it can serve as
+    the :func:`run_scenarios` task callable unchanged.
+    """
+    seed, houses, hours, capacity, flash_rate = params
+    config = ScenarioConfig(
+        seed=seed,
+        houses=houses,
+        duration=hours * 3600.0,
+        pressure=PressureConfig(
+            stub_cache_capacity=capacity,
+            stub_cache_policy="serve-stale",
+            stub_stale_ttl_s=STALE_TTL_S,
+            stub_fd_budget=FD_BUDGET,
+            flash_crowd_rate_per_hour=flash_rate,
+            flash_crowd_duration_s=FLASH_DURATION_S,
+            flash_crowd_intensity=FLASH_INTENSITY,
+        ),
+    )
+    trace, pressure = generate_trace_with_pressure(config)
+    breakdown = ContextStudy(trace).breakdown
+    total = breakdown.total
+    shares = {
+        label: 100.0 * breakdown.counts.get(ConnClass(label), 0) / total
+        for label in CLASS_ORDER
+    }
+    return {
+        "capacity": capacity,
+        "flash_crowd_rate_per_hour": flash_rate,
+        "lookups": len(trace.dns),
+        "conns": len(trace.conns),
+        "stub_hit_rate_pct": 100.0 * pressure.stub_hit_rate,
+        "blocked_connection_share_pct": 100.0 * pressure.blocked_connection_share,
+        "stub_evictions": pressure.stub_evictions,
+        "stub_stale_serves": pressure.stub_stale_serves,
+        "stub_shed": pressure.stub_shed,
+        "class_shares_pct": shares,
+        "sc_plus_r_pct": shares["SC"] + shares["R"],
+    }
+
+
+def check_monotone(rows: list[dict]) -> list[str]:
+    """Hit rate must not fall as capacity grows (within a flash setting)."""
+    problems = []
+    for _, flash_rate in FLASH_SETTINGS:
+        cells = sorted(
+            (row for row in rows if row["flash_crowd_rate_per_hour"] == flash_rate),
+            key=lambda row: row["capacity"],
+        )
+        rates = [cell["stub_hit_rate_pct"] for cell in cells]
+        if rates != sorted(rates):
+            problems.append(f"hit rate not monotone in capacity at flash={flash_rate}: {rates}")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--houses", type=int, default=10)
+    parser.add_argument("--hours", type=float, default=4.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--capacities", default="4,32,256", help="comma-separated stub cache capacities")
+    parser.add_argument("--workers", type=int, default=4, help="process-pool size for the parallel sweep")
+    parser.add_argument("--out", default=os.path.join(os.path.dirname(__file__), "..", "SWEEP_pressure.json"))
+    args = parser.parse_args()
+
+    capacities = [int(value) for value in args.capacities.split(",")]
+    grid = [
+        (args.seed, args.houses, args.hours, capacity, flash_rate)
+        for _, flash_rate in FLASH_SETTINGS
+        for capacity in capacities
+    ]
+    effective = effective_worker_count(args.workers, jobs=len(grid))
+
+    print(f"sweeping {len(grid)} cells serially...", flush=True)
+    serial_rows = run_scenarios(grid, run_one, workers=1)
+    print(f"sweeping {len(grid)} cells with {args.workers} workers "
+          f"(effective {effective})...", flush=True)
+    parallel_rows = run_scenarios(grid, run_one, workers=args.workers)
+    if serial_rows != parallel_rows:
+        print("ERROR: serial and parallel sweeps disagree", file=sys.stderr)
+        return 1
+
+    print()
+    print("| capacity | flash/hr | hit rate | blocked | stale serves | SC | R | SC+R |")
+    print("|---|---|---|---|---|---|---|---|")
+    for row in serial_rows:
+        shares = row["class_shares_pct"]
+        print(
+            f"| {row['capacity']} | {row['flash_crowd_rate_per_hour']:.0f} "
+            f"| {row['stub_hit_rate_pct']:.1f}% "
+            f"| {row['blocked_connection_share_pct']:.1f}% "
+            f"| {row['stub_stale_serves']} "
+            f"| {shares['SC']:.1f} | {shares['R']:.1f} | {row['sc_plus_r_pct']:.1f} |"
+        )
+
+    problems = check_monotone(serial_rows)
+    for problem in problems:
+        print(f"WARNING: {problem}", file=sys.stderr)
+
+    payload = {
+        "houses": args.houses,
+        "hours": args.hours,
+        "seed": args.seed,
+        "stub_cache_policy": "serve-stale",
+        "stub_stale_ttl_s": STALE_TTL_S,
+        "stub_fd_budget": FD_BUDGET,
+        "flash_crowd_duration_s": FLASH_DURATION_S,
+        "flash_crowd_intensity": FLASH_INTENSITY,
+        "workers_requested": args.workers,
+        "workers_effective": effective,
+        "serial_parallel_identical": True,
+        "hit_rate_monotone_in_capacity": not problems,
+        "rows": serial_rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,11 +38,12 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
+from repro.dns.cache import EVICTION_POLICIES
 from repro.monitor.logs import save_conn_log, save_dns_log
-from repro.report.tables import render_table1, render_table2, render_table3
+from repro.report.tables import render_pressure, render_table1, render_table2, render_table3
 from repro.simulation.faults import FaultConfig
-from repro.workload.generate import generate_trace
-from repro.workload.scenario import ScenarioConfig
+from repro.workload.generate import generate_trace, generate_trace_with_pressure
+from repro.workload.scenario import PressureConfig, ScenarioConfig
 
 # sysexits.h-style codes: data errors, usage errors, missing inputs,
 # and internal software faults map to distinct, scriptable exit codes.
@@ -61,12 +62,29 @@ def _faults_from_args(args: argparse.Namespace) -> FaultConfig:
     )
 
 
+def _pressure_from_args(args: argparse.Namespace) -> PressureConfig:
+    return PressureConfig(
+        stub_cache_capacity=args.stub_cache_capacity,
+        stub_cache_policy=args.stub_cache_policy,
+        stub_stale_ttl_s=args.stub_stale_ttl,
+        stub_fd_budget=args.stub_fd_budget,
+        resolver_cache_capacity=args.resolver_cache_capacity,
+        resolver_cache_policy=args.resolver_cache_policy,
+        resolver_stale_ttl_s=args.resolver_stale_ttl,
+        resolver_fd_budget=args.resolver_fd_budget,
+        flash_crowd_rate_per_hour=args.flash_crowd_rate,
+        flash_crowd_duration_s=args.flash_crowd_duration,
+        flash_crowd_intensity=args.flash_crowd_intensity,
+    )
+
+
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig(
         seed=args.seed,
         houses=args.houses,
         duration=args.hours * 3600.0,
         faults=_faults_from_args(args),
+        pressure=_pressure_from_args(args),
     )
 
 
@@ -108,11 +126,85 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         default=0.0,
         help="resolver outage windows per hour per platform (default 0)",
     )
+    parser.add_argument(
+        "--stub-cache-capacity",
+        type=int,
+        default=None,
+        help="device stub cache entry limit (default: unchanged, 4096)",
+    )
+    parser.add_argument(
+        "--stub-cache-policy",
+        choices=EVICTION_POLICIES,
+        default="lru",
+        help="stub cache eviction policy (default lru)",
+    )
+    parser.add_argument(
+        "--stub-stale-ttl",
+        type=float,
+        default=0.0,
+        help="serve-stale staleness budget in seconds for stub caches "
+        "(0 = RFC 8767 default of one day; only used with serve-stale)",
+    )
+    parser.add_argument(
+        "--stub-fd-budget",
+        type=int,
+        default=None,
+        help="concurrent connection budget per device stub (default: unbounded)",
+    )
+    parser.add_argument(
+        "--resolver-cache-capacity",
+        type=int,
+        default=None,
+        help="recursive resolver cache entry limit (default: per-platform profile)",
+    )
+    parser.add_argument(
+        "--resolver-cache-policy",
+        choices=EVICTION_POLICIES,
+        default="lru",
+        help="recursive resolver cache eviction policy (default lru)",
+    )
+    parser.add_argument(
+        "--resolver-stale-ttl",
+        type=float,
+        default=0.0,
+        help="serve-stale staleness budget in seconds for resolver caches "
+        "(0 = RFC 8767 default of one day; only used with serve-stale)",
+    )
+    parser.add_argument(
+        "--resolver-fd-budget",
+        type=int,
+        default=None,
+        help="concurrent connection budget per resolver platform; excess "
+        "queries queue then shed as REFUSED (default: unbounded)",
+    )
+    parser.add_argument(
+        "--flash-crowd-rate",
+        type=float,
+        default=0.0,
+        help="flash-crowd windows per hour (default 0 = no flash crowds)",
+    )
+    parser.add_argument(
+        "--flash-crowd-duration",
+        type=float,
+        default=300.0,
+        help="flash-crowd window length in seconds (default 300)",
+    )
+    parser.add_argument(
+        "--flash-crowd-intensity",
+        type=float,
+        default=5.0,
+        help="browsing-rate multiplier inside a flash-crowd window (default 5)",
+    )
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
     os.makedirs(args.out, exist_ok=True)
-    trace = generate_trace(_scenario_from_args(args))
+    config = _scenario_from_args(args)
+    pressure = None
+    if config.pressure.enabled:
+        trace, pressure = generate_trace_with_pressure(config)
+    else:
+        trace = generate_trace(config)
     dns_path = os.path.join(args.out, "dns.log")
     conn_path = os.path.join(args.out, "conn.log")
     if args.format == "json":
@@ -126,6 +218,10 @@ def cmd_generate(args: argparse.Namespace) -> int:
         save_dns_log(dns_path, trace.dns)
         save_conn_log(conn_path, trace.conns)
     print(trace.summary())
+    if pressure is not None:
+        print()
+        print("Cache/connection pressure:")
+        print(render_pressure(pressure))
     print(f"wrote {dns_path} ({len(trace.dns)} records)")
     print(f"wrote {conn_path} ({len(trace.conns)} records)")
     return 0
@@ -145,7 +241,7 @@ def _print_failure_stats(study: ContextStudy) -> None:
         print(
             f"  {resolver}: {stat.queries} queries, "
             f"{stat.servfails} SERVFAIL, {stat.timeouts} timeout, "
-            f"{stat.nxdomains} NXDOMAIN "
+            f"{stat.refused} REFUSED, {stat.nxdomains} NXDOMAIN "
             f"({100 * stat.failure_rate:.2f}% failed)"
         )
 
@@ -209,11 +305,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.workload.generate import generate_trace as _generate
-
-    trace = _generate(_scenario_from_args(args))
+    config = _scenario_from_args(args)
+    pressure = None
+    if config.pressure.enabled:
+        trace, pressure = generate_trace_with_pressure(config)
+    else:
+        trace = generate_trace(config)
     study = parallel_study(trace, workers=args.workers)
     _print_report(study)
+    if pressure is not None:
+        print()
+        print("Cache/connection pressure:")
+        print(render_pressure(pressure))
     return 0
 
 

@@ -172,11 +172,12 @@ class ResolverFailureStats:
     servfails: int = 0
     timeouts: int = 0
     nxdomains: int = 0
+    refused: int = 0
 
     @property
     def failures(self) -> int:
         """Transactions that produced no usable response."""
-        return self.servfails + self.timeouts
+        return self.servfails + self.timeouts + self.refused
 
     @property
     def failure_rate(self) -> float:
@@ -192,6 +193,7 @@ class ResolverFailureStats:
             servfails=self.servfails + other.servfails,
             timeouts=self.timeouts + other.timeouts,
             nxdomains=self.nxdomains + other.nxdomains,
+            refused=self.refused + other.refused,
         )
 
 
@@ -201,12 +203,15 @@ def collect_failure_stats(dns_records: list[DnsRecord]) -> dict[str, ResolverFai
     servfails: dict[str, int] = defaultdict(int)
     timeouts: dict[str, int] = defaultdict(int)
     nxdomains: dict[str, int] = defaultdict(int)
+    refusals: dict[str, int] = defaultdict(int)
     for record in dns_records:
         queries[record.resp_h] += 1
         if record.is_servfail:
             servfails[record.resp_h] += 1
         elif record.is_timeout:
             timeouts[record.resp_h] += 1
+        elif record.rcode == "REFUSED":
+            refusals[record.resp_h] += 1
         elif record.rcode == "NXDOMAIN":
             nxdomains[record.resp_h] += 1
     return {
@@ -215,6 +220,7 @@ def collect_failure_stats(dns_records: list[DnsRecord]) -> dict[str, ResolverFai
             servfails=servfails.get(resolver, 0),
             timeouts=timeouts.get(resolver, 0),
             nxdomains=nxdomains.get(resolver, 0),
+            refused=refusals.get(resolver, 0),
         )
         for resolver, count in queries.items()
     }

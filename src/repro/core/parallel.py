@@ -39,7 +39,9 @@ from __future__ import annotations
 
 import gc
 import multiprocessing
+import os
 import pickle
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
@@ -75,6 +77,128 @@ from repro.monitor.records import ConnRecord, DnsRecord
 DEFAULT_SHARDS_PER_WORKER = 4
 """Shards per worker: small enough to amortise task overhead, large
 enough that one slow household cannot stall the pool tail."""
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware, >= 1).
+
+    A module-level seam on purpose: tests on constrained hosts
+    monkeypatch it to exercise the pool paths, and the clamp in
+    :func:`run_scenarios` reads it so a 1-CPU container degrades to the
+    serial path instead of paying fork-and-pickle overhead for a
+    slower-than-serial "parallel" run.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return max(1, len(os.sched_getaffinity(0)))
+    return max(1, os.cpu_count() or 1)
+
+
+def effective_worker_count(workers: int, jobs: int | None = None) -> int:
+    """The worker count a fan-out will actually use.
+
+    Clamps *workers* to the CPUs available to this process (oversubscribed
+    workers on a smaller host are strictly slower than serial for
+    CPU-bound scenario generation) and, when *jobs* is given, to the
+    number of jobs (idle workers would only cost fork time). Benchmarks
+    record this next to the requested count so a recorded "speedup" is
+    attributed to the pool that actually ran.
+    """
+    if workers < 1:
+        raise AnalysisError(f"worker count must be positive, got {workers}")
+    effective = min(workers, _available_cpus())
+    if jobs is not None and jobs >= 1:
+        effective = min(effective, jobs)
+    return max(1, effective)
+
+
+@dataclass(frozen=True, slots=True)
+class PressureStats:
+    """Cache/connection-budget pressure counters from one scenario.
+
+    Every field is a plain additive counter, so per-scenario (or
+    per-house) tallies merge by addition into exactly the
+    whole-population tally — the same contract as the failure stats the
+    pipeline already merges. ``stub_*`` covers the device-side caches
+    and fd budgets; ``resolver_*`` the shared recursive platforms.
+    """
+
+    stub_lookups: int = 0
+    stub_hits: int = 0
+    stub_evictions: int = 0
+    stub_stale_serves: int = 0
+    stub_stale_expirations: int = 0
+    stub_admitted: int = 0
+    stub_queued: int = 0
+    stub_shed: int = 0
+    resolver_lookups: int = 0
+    resolver_hits: int = 0
+    resolver_evictions: int = 0
+    resolver_stale_serves: int = 0
+    resolver_stale_expirations: int = 0
+    resolver_admitted: int = 0
+    resolver_queued: int = 0
+    resolver_refused: int = 0
+
+    @property
+    def stub_hit_rate(self) -> float:
+        """Local-cache hit share of all stub probes (0 when unused)."""
+        if not self.stub_lookups:
+            return 0.0
+        return self.stub_hits / self.stub_lookups
+
+    @property
+    def resolver_hit_rate(self) -> float:
+        """Shared-cache hit share of all resolver probes (0 when unused)."""
+        if not self.resolver_lookups:
+            return 0.0
+        return self.resolver_hits / self.resolver_lookups
+
+    @property
+    def blocked_connection_share(self) -> float:
+        """Share of admission decisions that queued or shed a connection."""
+        arrivals = (
+            self.stub_admitted
+            + self.stub_queued
+            + self.stub_shed
+            + self.resolver_admitted
+            + self.resolver_queued
+            + self.resolver_refused
+        )
+        if not arrivals:
+            return 0.0
+        blocked = self.stub_queued + self.stub_shed + self.resolver_queued + self.resolver_refused
+        return blocked / arrivals
+
+    def merged_with(self, other: "PressureStats") -> "PressureStats":
+        """The counter tally over both samples."""
+        return PressureStats(
+            stub_lookups=self.stub_lookups + other.stub_lookups,
+            stub_hits=self.stub_hits + other.stub_hits,
+            stub_evictions=self.stub_evictions + other.stub_evictions,
+            stub_stale_serves=self.stub_stale_serves + other.stub_stale_serves,
+            stub_stale_expirations=self.stub_stale_expirations + other.stub_stale_expirations,
+            stub_admitted=self.stub_admitted + other.stub_admitted,
+            stub_queued=self.stub_queued + other.stub_queued,
+            stub_shed=self.stub_shed + other.stub_shed,
+            resolver_lookups=self.resolver_lookups + other.resolver_lookups,
+            resolver_hits=self.resolver_hits + other.resolver_hits,
+            resolver_evictions=self.resolver_evictions + other.resolver_evictions,
+            resolver_stale_serves=self.resolver_stale_serves + other.resolver_stale_serves,
+            resolver_stale_expirations=(
+                self.resolver_stale_expirations + other.resolver_stale_expirations
+            ),
+            resolver_admitted=self.resolver_admitted + other.resolver_admitted,
+            resolver_queued=self.resolver_queued + other.resolver_queued,
+            resolver_refused=self.resolver_refused + other.resolver_refused,
+        )
+
+
+def merge_pressure_stats(parts: Sequence[PressureStats]) -> PressureStats:
+    """Merge many pressure tallies (addition: associative, commutative)."""
+    merged = PressureStats()
+    for part in parts:
+        merged = merged.merged_with(part)
+    return merged
 
 
 @dataclass(frozen=True, slots=True)
@@ -419,10 +543,24 @@ def run_scenarios(configs: Sequence, task: Callable, workers: int = 1) -> list:
     other start methods pickle both, so there ``task`` must be a
     module-level callable. A scenario whose worker dies is recovered by
     a serial retry in the parent.
+
+    Requested workers are clamped to the CPUs actually available to the
+    process (one line on stderr records the reduction): oversubscribing
+    a smaller host makes the "parallel" sweep slower than the serial
+    loop, and on a 1-CPU host the clamp degrades all the way to the
+    serial path — with byte-identical results either way.
     """
     configs = list(configs)
     if workers < 1:
         raise AnalysisError(f"worker count must be positive, got {workers}")
+    cpu_limit = _available_cpus()
+    if workers > cpu_limit:
+        print(
+            f"run_scenarios: reducing workers {workers} -> {cpu_limit} "
+            f"({cpu_limit} CPU(s) available)",
+            file=sys.stderr,
+        )
+        workers = cpu_limit
     if workers == 1 or len(configs) <= 1:
         return [task(config) for config in configs]
     global _SCENARIO_FANOUT

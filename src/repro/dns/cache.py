@@ -10,20 +10,52 @@ The same cache structure backs three different actors in this library:
 Entries are keyed by ``(qname, qtype)`` (case-folded). Every entry keeps
 the absolute expiry time derived from the minimum answer TTL, plus usage
 accounting the analysis layer relies on (first-use detection, expired-use
-detection). Capacity-bounded caches evict least-recently-used entries.
+detection).
+
+Capacity-bounded caches evict under one of three pluggable policies
+(production resolvers differ here, and it matters under pressure):
+
+* ``"lru"`` — drop the least-recently-used entry (the default, and the
+  only behaviour earlier versions had).
+* ``"ttl-aware"`` — drop the entry whose (nominal) TTL runs out
+  soonest; already-expired entries naturally go first. This mirrors
+  resolver caches that prefer reclaiming entries about to die anyway.
+* ``"serve-stale"`` — RFC 8767: an expired entry may still be served
+  for a bounded *staleness budget* (``stale_ttl_s``, evaluated
+  per-entry at store time); eviction reclaims fully-dead entries first,
+  then stale ones, then falls back to LRU. Stale serves and
+  stale-window expirations are counted separately in
+  :class:`CacheStats` so pressure experiments can report them.
+
+**Expiry-boundary convention** (uniform across every accessor): an
+entry is servable while ``now < expires_at + window`` and gone once
+``now >= expires_at + window``, where ``window`` is the tolerated
+overstay (plus the staleness budget for serve-stale caches). ``get``,
+``probe``, ``purge_expired``, and ``expiring_before`` all use this
+single convention — an entry exactly at the boundary is dropped by a
+purge *and* is a miss on the next lookup, never one without the other.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.dns.name import DomainName
 from repro.dns.rr import ResourceRecord, RRType
 from repro.errors import DnsError
 
 CacheKey = tuple[str, int]
+
+#: The pluggable eviction/staleness policies a capacity-bounded cache
+#: can run (see the module docstring for semantics).
+EVICTION_POLICIES = ("lru", "ttl-aware", "serve-stale")
+
+#: Default per-entry staleness budget for ``"serve-stale"`` caches when
+#: none is configured: RFC 8767 §5 recommends serving stale data for at
+#: most one to three days; one day is the common implementation default.
+RFC8767_DEFAULT_STALE_TTL_S = 86400.0
 
 
 #: Memo for string-keyed lookups: the hot paths resolve the same bounded
@@ -102,13 +134,20 @@ class CacheEntry:
 
 @dataclass(frozen=True, slots=True)
 class CacheLookup:
-    """Outcome of a cache probe."""
+    """Outcome of a cache probe.
+
+    ``stale`` marks a serve-stale answer (RFC 8767): the entry's TTL —
+    and any tolerated overstay — had run out, but it was still inside
+    its staleness budget. ``expired`` is True for both overstay hits and
+    stale serves; ``stale`` distinguishes the latter.
+    """
 
     hit: bool
     records: tuple[ResourceRecord, ...] = ()
     expired: bool = False
     first_use: bool = False
     entry_age: float = 0.0
+    stale: bool = False
 
     def addresses(self) -> tuple[str, ...]:
         """IP addresses among the returned records."""
@@ -121,7 +160,13 @@ _MISS = CacheLookup(hit=False)
 
 @dataclass(slots=True)
 class CacheStats:
-    """Aggregate counters for one cache instance."""
+    """Aggregate counters for one cache instance.
+
+    All fields are plain additive counters, so per-shard (or
+    per-resolver) tallies merge by addition into exactly the
+    whole-population tally — the contract the parallel pipeline's merge
+    step relies on (see :meth:`merged_with` / :meth:`merge`).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -129,6 +174,11 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     refreshes: int = 0
+    #: RFC 8767 serve-stale accounting: answers served past TTL (and
+    #: overstay) but within the staleness budget, and entries dropped
+    #: because even the staleness budget had lapsed.
+    stale_serves: int = 0
+    stale_expirations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -142,9 +192,30 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """The counter tally over both samples."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            expired_hits=self.expired_hits + other.expired_hits,
+            insertions=self.insertions + other.insertions,
+            evictions=self.evictions + other.evictions,
+            refreshes=self.refreshes + other.refreshes,
+            stale_serves=self.stale_serves + other.stale_serves,
+            stale_expirations=self.stale_expirations + other.stale_expirations,
+        )
+
+    @classmethod
+    def merge(cls, parts: Sequence["CacheStats"]) -> "CacheStats":
+        """Merge many tallies (addition is associative and commutative)."""
+        merged = cls()
+        for part in parts:
+            merged = merged.merged_with(part)
+        return merged
+
 
 class DnsCache:
-    """An LRU, TTL-aware DNS cache.
+    """An LRU, TTL-aware DNS cache with pluggable eviction.
 
     Parameters
     ----------
@@ -158,6 +229,17 @@ class DnsCache:
     min_ttl_s / max_ttl_s:
         Clamp stored TTLs, mirroring resolver implementations that floor
         or cap TTLs.
+    policy:
+        One of :data:`EVICTION_POLICIES`; chooses both the
+        capacity-eviction victim and (for ``"serve-stale"``) whether
+        expired entries stay servable inside a staleness budget. The
+        default ``"lru"`` reproduces the historical behaviour exactly.
+    stale_ttl_s:
+        Per-entry staleness budget for ``"serve-stale"`` caches: a
+        constant number of seconds, or ``stale_ttl_s(key) -> float``
+        evaluated at store time. ``0`` (the default) selects
+        :data:`RFC8767_DEFAULT_STALE_TTL_S`. Ignored by the other two
+        policies, which never serve past TTL + overstay.
     """
 
     def __init__(
@@ -166,6 +248,8 @@ class DnsCache:
         overstay: float | Callable[[CacheKey], float] = 0.0,
         min_ttl_s: float = 0.0,
         max_ttl_s: float | None = None,
+        policy: str = "lru",
+        stale_ttl_s: float | Callable[[CacheKey], float] = 0.0,
     ):
         if capacity is not None and capacity <= 0:
             raise DnsError(f"cache capacity must be positive, got {capacity}")
@@ -173,13 +257,36 @@ class DnsCache:
             raise DnsError(f"min_ttl_s must be non-negative, got {min_ttl_s}")
         if max_ttl_s is not None and max_ttl_s < min_ttl_s:
             raise DnsError("max_ttl_s must be >= min_ttl_s")
+        if policy not in EVICTION_POLICIES:
+            raise DnsError(
+                f"unknown cache eviction policy {policy!r}; expected one of {EVICTION_POLICIES}"
+            )
         self._capacity = capacity
         self._overstay = overstay
         self._min_ttl_s = min_ttl_s
         self._max_ttl_s = max_ttl_s
+        self._policy = policy
+        self._serves_stale = policy == "serve-stale"
+        if self._serves_stale and not callable(stale_ttl_s) and float(stale_ttl_s) <= 0.0:
+            stale_ttl_s = RFC8767_DEFAULT_STALE_TTL_S
+        self._stale_ttl_s = stale_ttl_s
         self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
         self._overstays: dict[CacheKey, float] = {}
+        #: Staleness budgets, evaluated at store time like overstays.
+        #: Always empty unless the policy is ``"serve-stale"``, which is
+        #: what keeps the hot lookup path free on the default policies.
+        self._stale_budgets: dict[CacheKey, float] = {}
         self.stats = CacheStats()
+
+    @property
+    def policy(self) -> str:
+        """The configured eviction policy (see :data:`EVICTION_POLICIES`)."""
+        return self._policy
+
+    @property
+    def serves_stale(self) -> bool:
+        """True when expired entries may be served inside a stale budget."""
+        return self._serves_stale
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -195,6 +302,57 @@ class DnsCache:
         if callable(self._overstay):
             return max(0.0, float(self._overstay(key)))
         return max(0.0, float(self._overstay))
+
+    def _stale_for(self, key: CacheKey) -> float:
+        if callable(self._stale_ttl_s):
+            return max(0.0, float(self._stale_ttl_s(key)))
+        return max(0.0, float(self._stale_ttl_s))
+
+    def _drop(self, key: CacheKey) -> None:
+        """Remove *key* and its per-entry windows (no stats changes)."""
+        del self._entries[key]
+        self._overstays.pop(key, None)
+        if self._stale_budgets:
+            self._stale_budgets.pop(key, None)
+
+    def _evict_one(self, now: float) -> None:
+        """Evict one entry under capacity pressure, per the policy.
+
+        * ``"lru"`` pops the least-recently-used entry (O(1)).
+        * ``"ttl-aware"`` scans for the entry whose nominal TTL runs out
+          soonest — already-expired entries naturally sort first (O(n),
+          acceptable at simulation scale and only paid when over
+          capacity).
+        * ``"serve-stale"`` reclaims fully-dead entries (past even the
+          staleness budget) first, then the least-recently-used stale
+          entry, and only then falls back to plain LRU — RFC 8767's
+          "stale data is better than no data" applied to eviction.
+        """
+        entries = self._entries
+        if self._policy == "lru":
+            victim, _ = entries.popitem(last=False)
+        elif self._policy == "ttl-aware":
+            victim = min(entries.values(), key=lambda e: e.expires_at).key
+            del entries[victim]
+        else:
+            victim = None
+            stale_fallback = None
+            for key, entry in entries.items():  # LRU order, least recent first
+                servable_until = entry.expires_at + self._overstays.get(key, 0.0)
+                if now >= servable_until + self._stale_budgets.get(key, 0.0):
+                    victim = key
+                    break
+                if stale_fallback is None and now >= servable_until:
+                    stale_fallback = key
+            if victim is None:
+                victim = stale_fallback
+            if victim is None:
+                victim, _ = entries.popitem(last=False)
+            else:
+                del entries[victim]
+        self._overstays.pop(victim, None)
+        self._stale_budgets.pop(victim, None)
+        self.stats.evictions += 1
 
     def put(
         self,
@@ -227,12 +385,12 @@ class DnsCache:
             del entries[key]
         entries[key] = entry
         self._overstays[key] = self._overstay_for(key)
+        if self._serves_stale:
+            self._stale_budgets[key] = self._stale_for(key)
         self.stats.insertions += 1
         if self._capacity is not None:
-            while len(self._entries) > self._capacity:
-                evicted_key, _ = self._entries.popitem(last=False)
-                self._overstays.pop(evicted_key, None)
-                self.stats.evictions += 1
+            while len(entries) > self._capacity:
+                self._evict_one(now)
         return entry
 
     def get(self, key: CacheKey, now: float) -> CacheLookup:
@@ -250,12 +408,21 @@ class DnsCache:
             return _MISS
         expires_at = entry.stored_at + entry.ttl
         expired = now >= expires_at
-        if expired and now >= expires_at + self._overstays.get(key, 0.0):
-            # Beyond the tolerated overstay: treat as a miss and drop it.
-            del entries[key]
-            self._overstays.pop(key, None)
-            stats.misses += 1
-            return _MISS
+        stale = False
+        if expired:
+            servable_until = expires_at + self._overstays.get(key, 0.0)
+            if now >= servable_until:
+                # Beyond the tolerated overstay: servable only inside a
+                # staleness budget (RFC 8767); a miss-and-drop otherwise.
+                stale_budget = self._stale_budgets.get(key, 0.0)
+                if stale_budget > 0.0 and now < servable_until + stale_budget:
+                    stale = True
+                else:
+                    self._drop(key)
+                    if stale_budget > 0.0:
+                        stats.stale_expirations += 1
+                    stats.misses += 1
+                    return _MISS
         first_use = entry.uses == 0
         entry.uses += 1
         entry.last_used = now
@@ -263,12 +430,15 @@ class DnsCache:
         stats.hits += 1
         if expired:
             stats.expired_hits += 1
+            if stale:
+                stats.stale_serves += 1
         return CacheLookup(
             True,
             entry.aged_records(now) if not expired else entry.records,
             expired,
             first_use,
             now - entry.stored_at,
+            stale,
         )
 
     def probe(self, key: CacheKey, now: float) -> tuple[bool, bool]:
@@ -288,21 +458,36 @@ class DnsCache:
             return (False, False)
         expires_at = entry.stored_at + entry.ttl
         expired = now >= expires_at
-        if expired and now >= expires_at + self._overstays.get(key, 0.0):
-            del entries[key]
-            self._overstays.pop(key, None)
-            stats.misses += 1
-            return (False, False)
+        stale = False
+        if expired:
+            servable_until = expires_at + self._overstays.get(key, 0.0)
+            if now >= servable_until:
+                stale_budget = self._stale_budgets.get(key, 0.0)
+                if stale_budget > 0.0 and now < servable_until + stale_budget:
+                    stale = True
+                else:
+                    self._drop(key)
+                    if stale_budget > 0.0:
+                        stats.stale_expirations += 1
+                    stats.misses += 1
+                    return (False, False)
         entry.uses += 1
         entry.last_used = now
         entries.move_to_end(key)
         stats.hits += 1
         if expired:
             stats.expired_hits += 1
+            if stale:
+                stats.stale_serves += 1
         return (True, expired)
 
     def peek(self, key: CacheKey) -> CacheEntry | None:
-        """Return the entry for *key* without touching usage accounting."""
+        """Return the entry for *key* without touching usage accounting.
+
+        Applies **no** expiry notion at all: callers get the raw entry
+        even when it is past every window (they inspect
+        ``entry.expires_at`` themselves).
+        """
         return self._entries.get(key)
 
     def refresh(
@@ -327,23 +512,58 @@ class DnsCache:
         self.stats.insertions -= 1
         return entry
 
+    def _servable_window(self, key: CacheKey) -> float:
+        """Seconds past nominal expiry the entry stays servable.
+
+        The tolerated overstay plus, for serve-stale caches, the
+        per-entry staleness budget — i.e. exactly the window the lookup
+        path honours before dropping the entry.
+        """
+        return self._overstays.get(key, 0.0) + self._stale_budgets.get(key, 0.0)
+
     def purge_expired(self, now: float) -> int:
-        """Drop every entry whose TTL (plus overstay) has run out."""
+        """Drop every entry that a lookup at *now* would no longer serve.
+
+        Uses the module-wide **overstay-extended** (and, for serve-stale
+        caches, stale-extended) expiry notion with the uniform ``now >=
+        expires_at + window`` boundary — an entry exactly at the
+        boundary is purged here *and* would have been a miss on the next
+        :meth:`get`, never one without the other.
+        """
         doomed = [
             key
             for key, entry in self._entries.items()
-            if now > entry.expires_at + self._overstays.get(key, 0.0)
+            if now >= entry.expires_at + self._servable_window(key)
         ]
+        stats = self.stats
         for key in doomed:
-            del self._entries[key]
-            self._overstays.pop(key, None)
+            if self._stale_budgets.get(key, 0.0) > 0.0:
+                stats.stale_expirations += 1
+            self._drop(key)
         return len(doomed)
 
-    def expiring_before(self, deadline: float) -> list[CacheEntry]:
-        """Entries whose nominal TTL runs out before *deadline*."""
-        return [entry for entry in self._entries.values() if entry.expires_at < deadline]
+    def expiring_before(self, deadline: float, nominal: bool = False) -> list[CacheEntry]:
+        """Entries a lookup at *deadline* would no longer serve.
+
+        By default this uses the same **overstay/stale-extended** expiry
+        notion as :meth:`get` and :meth:`purge_expired` (an entry is
+        included once ``expires_at + window <= deadline``), so
+        refresh-on-expiry simulations never treat a still-servable entry
+        as gone. Pass ``nominal=True`` for the raw-TTL notion
+        (``expires_at < deadline``, ignoring overstay and staleness),
+        which is what refresh schedulers planning *ahead of* expiry
+        want.
+        """
+        if nominal:
+            return [entry for entry in self._entries.values() if entry.expires_at < deadline]
+        return [
+            entry
+            for key, entry in self._entries.items()
+            if entry.expires_at + self._servable_window(key) <= deadline
+        ]
 
     def clear(self) -> None:
         """Drop all entries (stats are preserved)."""
         self._entries.clear()
         self._overstays.clear()
+        self._stale_budgets.clear()

@@ -29,7 +29,7 @@ from repro.dns.name import DomainName
 from repro.dns.rr import NameRecordData, ResourceRecord, RRType
 from repro.dns.zone import DnsHierarchy
 from repro.errors import NameError_, ResolutionError, ZoneError
-from repro.simulation.faults import FaultKind, FaultPlan, RetryPolicy
+from repro.simulation.faults import ConnectionBudget, FaultKind, FaultPlan, RetryPolicy
 from repro.simulation.latency import (
     LatencyModel,
     authoritative_latency,
@@ -82,8 +82,10 @@ class ResolutionOutcome:
     ``timed_out`` marks a query that never got a response (the monitor
     logs Zeek's ``-`` rcode); ``servfail`` an explicit error response;
     ``truncated`` a UDP answer that forced a TCP retry (visible only as
-    extra latency). NXDOMAIN remains a *successful* transaction carrying
-    a negative answer.
+    extra latency); ``resource_exhausted`` a query shed by a resolver
+    whose connection/fd budget was full (logged as REFUSED, and fed to
+    the stub's failover machinery like any other hard failure). NXDOMAIN
+    remains a *successful* transaction carrying a negative answer.
     """
 
     qname: DomainName
@@ -96,6 +98,7 @@ class ResolutionOutcome:
     timed_out: bool = False
     servfail: bool = False
     truncated: bool = False
+    resource_exhausted: bool = False
 
     def addresses(self) -> tuple[str, ...]:
         """IP addresses among the answer records."""
@@ -104,7 +107,7 @@ class ResolutionOutcome:
     @property
     def failed(self) -> bool:
         """Did the transaction fail outright (no usable response)?"""
-        return self.timed_out or self.servfail
+        return self.timed_out or self.servfail or self.resource_exhausted
 
     @property
     def rcode_name(self) -> str:
@@ -113,6 +116,8 @@ class ResolutionOutcome:
             return "-"
         if self.servfail:
             return "SERVFAIL"
+        if self.resource_exhausted:
+            return "REFUSED"
         if self.nxdomain:
             return "NXDOMAIN"
         return "NOERROR"
@@ -127,12 +132,15 @@ class RecursiveResolver:
         hierarchy: DnsHierarchy,
         rng: random.Random | None = None,
         faults: FaultPlan | None = None,
+        cache: DnsCache | None = None,
+        connection_budget: ConnectionBudget | None = None,
     ):
         self.profile = profile
         self.hierarchy = hierarchy
-        self.cache = DnsCache(capacity=profile.cache_capacity)
+        self.cache = cache if cache is not None else DnsCache(capacity=profile.cache_capacity)
         self._rng = rng if rng is not None else random.Random(0)
         self._faults = faults
+        self._budget = connection_budget
         # Per-name demand estimates for background-population warming:
         # key -> [query count, first seen, last known TTL].
         self._demand: dict[CacheKey, list[float]] = {}
@@ -150,6 +158,7 @@ class RecursiveResolver:
         self.fault_servfails = 0
         self.fault_nxdomains = 0
         self.fault_truncations = 0
+        self.connections_refused = 0
 
     @property
     def platform(self) -> str:
@@ -171,10 +180,46 @@ class RecursiveResolver:
         """Resolve *qname*/*qtype* at simulated time *now*.
 
         The returned duration covers the full client-observed transaction:
-        one client<->resolver round trip plus any authoritative chasing.
+        one client<->resolver round trip plus any authoritative chasing,
+        plus any time spent queued for a connection slot when the
+        platform runs a :class:`ConnectionBudget`. A shed connection
+        returns immediately with ``resource_exhausted`` set (REFUSED).
         """
         rng = rng if rng is not None else self._rng
         name = qname if isinstance(qname, DomainName) else DomainName.intern(qname)
+        budget = self._budget
+        if budget is None:
+            return self._dispatch(name, qtype, now, rng)
+        wait_s = budget.admit(now)
+        if wait_s is None:
+            # Out of connection slots and the queue is too deep: shed.
+            self.connections_refused += 1
+            self.queries_served += 1
+            duration = self.profile.client_latency_model.sample(rng) + _PROCESSING_DELAY
+            return ResolutionOutcome(
+                qname=name,
+                qtype=qtype,
+                records=(),
+                duration_s=duration,
+                cache_hit=False,
+                auth_queries=0,
+                resource_exhausted=True,
+            )
+        start_s = now + wait_s
+        outcome = self._dispatch(name, qtype, start_s, rng)
+        budget.occupy(start_s, start_s + outcome.duration_s)
+        if wait_s > 0.0:
+            outcome = dataclasses.replace(outcome, duration_s=outcome.duration_s + wait_s)
+        return outcome
+
+    def _dispatch(
+        self,
+        name: DomainName,
+        qtype: RRType,
+        now: float,
+        rng: random.Random,
+    ) -> ResolutionOutcome:
+        """Route one admitted query through the fault plan or clean path."""
         if self._faults is not None:
             decision = self._faults.decide(self.platform, name.folded(), now)
             if decision.kind is not FaultKind.NONE:
@@ -478,6 +523,7 @@ class StubResolver:
         cache: DnsCache | None = None,
         rng: random.Random | None = None,
         retry: RetryPolicy | None = None,
+        connection_budget: ConnectionBudget | None = None,
     ):
         if not upstreams:
             raise ResolutionError("a stub resolver needs at least one upstream")
@@ -489,6 +535,10 @@ class StubResolver:
         self.cache = cache if cache is not None else DnsCache()
         self._rng = rng if rng is not None else random.Random(0)
         self._retry = retry if retry is not None else RetryPolicy()
+        self._budget = connection_budget
+        #: Lookups dropped on-device because the stub's own fd budget
+        #: was exhausted (no wire transaction ever happened).
+        self.local_sheds = 0
 
     def pick_upstream(self, rng: random.Random | None = None) -> RecursiveResolver:
         """Choose an upstream resolver proportionally to its weight."""
@@ -523,13 +573,40 @@ class StubResolver:
                 # Positional construction (field order per StubLookup):
                 # this and the wire-path return below run once per lookup.
                 return StubLookup(name, qtype, cached.records, 0.0, False, None, None, None, cached)
+        queue_wait_s = 0.0
+        if self._budget is not None:
+            admitted = self._budget.admit(now)
+            if admitted is None:
+                # The device itself is out of sockets: the lookup dies
+                # locally, before any wire transaction.
+                self.local_sheds += 1
+                shed = ResolutionOutcome(
+                    qname=name,
+                    qtype=qtype,
+                    records=(),
+                    duration_s=0.0,
+                    cache_hit=False,
+                    auth_queries=0,
+                    resource_exhausted=True,
+                )
+                return StubLookup(name, qtype, (), 0.0, False, None, None, shed, None)
+            queue_wait_s = admitted
+        start_s = now + queue_wait_s
         resolver = self.pick_upstream(rng)
-        outcome = resolver.resolve(name, now, qtype, rng)
-        waited_s = 0.0
+        outcome = resolver.resolve(name, start_s, qtype, rng)
+        waited_s = queue_wait_s
         if outcome.timed_out:
-            outcome, resolver, waited_s = self._retry_after_timeout(
-                name, qtype, now, rng, resolver
+            outcome, resolver, retry_waited_s = self._retry_after_timeout(
+                name, qtype, start_s, rng, resolver
             )
+            waited_s += retry_waited_s
+        elif outcome.resource_exhausted:
+            outcome, resolver, retry_waited_s = self._failover_after_refusal(
+                name, qtype, start_s, rng, resolver, outcome
+            )
+            waited_s += retry_waited_s
+        if self._budget is not None:
+            self._budget.occupy(start_s, now + waited_s + outcome.duration_s)
         if outcome.records:
             self.cache.put(key, outcome.records, now + waited_s + outcome.duration_s)
         return StubLookup(
@@ -590,6 +667,56 @@ class StubResolver:
                     return outcome, upstream, waited_s
                 last, resolver = outcome, upstream
                 waited_s += timeout_s
+        return last, resolver, waited_s
+
+    def _failover_after_refusal(
+        self,
+        name: DomainName,
+        qtype: RRType,
+        now: float,
+        rng: random.Random,
+        primary: RecursiveResolver,
+        refused: ResolutionOutcome,
+    ) -> tuple[ResolutionOutcome, RecursiveResolver, float]:
+        """Fail over after an upstream shed the query (REFUSED).
+
+        Unlike a timeout, a REFUSED response arrives quickly and
+        explicitly, so the stub does not wait out its retransmit
+        schedule — it retries the next configured upstream immediately
+        (at most ``max_failovers`` of them), falling back to the timeout
+        schedule only when a failover target itself goes silent. Returns
+        the final outcome, the upstream that produced it, and the time
+        spent on dead attempts (the returned outcome's own duration is
+        the caller's to add, matching :meth:`_retry_after_timeout`).
+        """
+        policy = self._retry
+        timeouts = policy.schedule()
+        waited_s = 0.0
+        # Cost of the current failure, charged only once another attempt
+        # is actually issued (the final failure's cost is the caller's).
+        pending_s = refused.duration_s
+        last, resolver = refused, primary
+        failovers = 0
+        for upstream, _ in self._upstreams:
+            if upstream is primary:
+                continue
+            if failovers >= policy.max_failovers:
+                break
+            failovers += 1
+            for timeout_s in timeouts:
+                waited_s += pending_s
+                outcome = upstream.resolve(name, now + waited_s, qtype, rng)
+                if outcome.timed_out:
+                    last, resolver, pending_s = outcome, upstream, timeout_s
+                    continue
+                if outcome.resource_exhausted:
+                    # This upstream is shedding too; move to the next.
+                    last, resolver, pending_s = outcome, upstream, outcome.duration_s
+                    break
+                return outcome, upstream, waited_s
+        if last.timed_out:
+            # A client that ends on a timeout waited that timeout out.
+            waited_s += pending_s
         return last, resolver, waited_s
 
 

@@ -6,6 +6,7 @@ from typing import Sequence
 
 from repro.core.classify import ClassBreakdown
 from repro.core.improvements import RefreshComparison
+from repro.core.parallel import PressureStats
 from repro.core.resolvers import ResolverUsageRow
 
 
@@ -50,6 +51,34 @@ def render_table2(breakdown: ClassBreakdown) -> str:
         for cls, description, count, percent in breakdown.as_rows()
     ]
     return render_table(("Class", "Desc.", "Conns", "% Conns"), body)
+
+
+def render_pressure(stats: PressureStats) -> str:
+    """Cache/connection pressure summary (stub vs. resolver side)."""
+    body = [
+        (
+            "stub",
+            f"{stats.stub_lookups}",
+            f"{100 * stats.stub_hit_rate:.1f}%",
+            f"{stats.stub_evictions}",
+            f"{stats.stub_stale_serves}",
+            f"{stats.stub_queued}",
+            f"{stats.stub_shed}",
+        ),
+        (
+            "resolver",
+            f"{stats.resolver_lookups}",
+            f"{100 * stats.resolver_hit_rate:.1f}%",
+            f"{stats.resolver_evictions}",
+            f"{stats.resolver_stale_serves}",
+            f"{stats.resolver_queued}",
+            f"{stats.resolver_refused}",
+        ),
+    ]
+    return render_table(
+        ("Side", "Lookups", "Hit rate", "Evictions", "Stale serves", "Queued", "Shed"),
+        body,
+    )
 
 
 def render_table3(comparison: RefreshComparison) -> str:

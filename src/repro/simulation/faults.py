@@ -17,6 +17,11 @@ makes those failure modes first-class — and *reproducible*:
   schedule with exponential backoff and failover to the device's other
   configured resolvers. Lookup-duration tails come from this explicit
   schedule, and transactions can genuinely fail once it is exhausted.
+* :class:`ConnectionBudget` — a resolver's bounded concurrent-connection
+  (file-descriptor) budget: arrivals beyond capacity queue until a slot
+  frees and are shed once the projected wait exceeds the configured
+  bound, modelling how production resolvers degrade when they run out
+  of file descriptors under a query storm.
 
 With the default (all-zero) :class:`FaultConfig` the simulation is
 byte-identical to a fault-free run: no decision consumes a draw from
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 import bisect
 import enum
+import heapq
 import random
 from dataclasses import dataclass, field
 
@@ -86,6 +92,93 @@ class RetryPolicy:
     def budget_s(self) -> float:
         """Worst-case wait against a single unresponsive upstream."""
         return sum(self.schedule())
+
+
+class ConnectionBudget:
+    """A bounded concurrent-connection (file-descriptor) budget.
+
+    Up to ``capacity`` resolutions may be in flight at once; an arrival
+    beyond that **queues** until a slot frees, and is **shed** once the
+    projected wait exceeds ``max_queue_wait_s`` — the queue-then-shed
+    discipline production resolvers fall into when they run out of file
+    descriptors. Shed connections surface as REFUSED /
+    ``RESOURCE_EXHAUSTED`` outcomes so the client's retry/failover
+    machinery sees a real, immediate failure rather than a timeout.
+
+    Deterministic by construction: occupancy is a heap of in-flight
+    end-times, so the projected wait for an arrival at ``now`` is a pure
+    function of the resolutions already recorded — no clock, no
+    randomness, and therefore the same verdicts in serial and forked
+    runs. A queued arrival reserves its slot from the moment it is
+    recorded (not from when its wait elapses), which keeps admission a
+    single-pass online decision.
+    """
+
+    def __init__(self, capacity: int, max_queue_wait_s: float = 0.0) -> None:
+        if capacity <= 0:
+            raise SimulationError(
+                f"connection capacity must be positive, got {capacity}"
+            )
+        if max_queue_wait_s < 0:
+            raise SimulationError(
+                f"max_queue_wait_s cannot be negative, got {max_queue_wait_s}"
+            )
+        self.capacity = capacity
+        self.max_queue_wait_s = max_queue_wait_s
+        self._ends_s: list[float] = []
+        self.admitted = 0
+        self.queued = 0
+        self.shed = 0
+
+    @property
+    def active(self) -> int:
+        """Slots occupied as of the last :meth:`admit` call."""
+        return len(self._ends_s)
+
+    @property
+    def arrivals(self) -> int:
+        """Total admission decisions taken."""
+        return self.admitted + self.queued + self.shed
+
+    def _release_until(self, now: float) -> None:
+        """Free the slots of connections already finished by *now*."""
+        ends_s = self._ends_s
+        while ends_s and ends_s[0] <= now:
+            heapq.heappop(ends_s)
+
+    def admit(self, now: float) -> float | None:
+        """Admission verdict for an arrival at *now*.
+
+        Returns ``0.0`` when a slot is free, the queueing delay in
+        seconds when the arrival must wait for one (bounded by
+        ``max_queue_wait_s``), or ``None`` when even the earliest slot
+        frees too late and the connection is shed. ``admit`` only
+        decides — the caller records the resolution it actually
+        performed via :meth:`occupy`.
+        """
+        self._release_until(now)
+        ends_s = self._ends_s
+        if len(ends_s) < self.capacity:
+            self.admitted += 1
+            return 0.0
+        # All slots busy (including reservations): this arrival gets the
+        # k-th slot to free, where k-1 reservations are already queued
+        # ahead of it.
+        k = len(ends_s) - self.capacity + 1
+        wait_s = heapq.nsmallest(k, ends_s)[-1] - now
+        if wait_s > self.max_queue_wait_s:
+            self.shed += 1
+            return None
+        self.queued += 1
+        return wait_s
+
+    def occupy(self, start_s: float, end_s: float) -> None:
+        """Record one admitted connection holding a slot until *end_s*."""
+        if end_s < start_s:
+            raise SimulationError(
+                f"connection cannot end before it starts ({end_s} < {start_s})"
+            )
+        heapq.heappush(self._ends_s, end_s)
 
 
 @dataclass(frozen=True, slots=True)

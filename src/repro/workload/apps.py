@@ -111,15 +111,32 @@ class WebBrowsingModel:
         self.config = config if config is not None else BrowsingConfig()
         self.rate_scale = rate_scale
 
-    def schedule(self, device: Device, engine: SimulationEngine, start: float, end: float) -> None:
-        """Schedule this device's browsing sessions over [start, end)."""
+    def schedule(
+        self,
+        device: Device,
+        engine: SimulationEngine,
+        start: float,
+        end: float,
+        rng: random.Random | None = None,
+        diurnal: bool = True,
+    ) -> None:
+        """Schedule this device's browsing sessions over [start, end).
+
+        ``rng`` overrides the arrival stream (the sessions themselves
+        still draw from the device's stream); flash-crowd windows use a
+        derived stream here so enabling them never perturbs the
+        device's base schedule. ``diurnal=False`` skips the
+        time-of-day thinning — a flash crowd is event-driven, not
+        circadian.
+        """
         schedule_poisson(
             engine,
-            device.rng,
+            rng if rng is not None else device.rng,
             self.config.sessions_per_hour * self.rate_scale,
             start,
             end,
             lambda when: self._run_session(device, engine, when, end),
+            diurnal=diurnal,
         )
 
     # -- session/page machinery -------------------------------------------

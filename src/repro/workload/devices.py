@@ -117,6 +117,29 @@ class Device:
                 if stale is not None:
                     return stale
             return resolution
+        if lookup.outcome is not None and lookup.outcome.resource_exhausted:
+            # The stub shed the lookup on-device (fd budget exhausted):
+            # nothing went out on the wire, so the monitor sees nothing.
+            # Like any hard failure, the device may still ride a stale
+            # cached address (§5.2's connect-by-cached-address).
+            shed = Resolution(
+                hostname,
+                (),
+                now,
+                TruthClass.RESOLUTION,
+                None,
+                False,
+                self._platform_for_host.get(hostname),
+                False,
+                True,
+            )
+            stale_addresses = (
+                tuple(rr.address for rr in stale_entry.records if rr.is_address())
+                if stale_entry is not None
+                else ()
+            )
+            fallback = self._stale_fallback(shed, stale_addresses)
+            return fallback if fallback is not None else shed
         cache_result = lookup.cache_result
         assert cache_result is not None
         truth = TruthClass.PREFETCHED if cache_result.first_use else TruthClass.LOCAL_CACHE

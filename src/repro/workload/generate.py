@@ -12,13 +12,16 @@ validation).
 from __future__ import annotations
 
 import gc
+import random
 
+from repro.core.parallel import PressureStats
+from repro.dns.cache import DnsCache
 from repro.dns.resolver import RecursiveResolver, build_platform_profiles
 from repro.monitor.capture import MonitorCapture, Trace
 from repro.monitor.records import ConnRecord, DnsRecord
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.faults import FaultPlan
-from repro.simulation.random import RandomStreams, derive_seed
+from repro.simulation.faults import ConnectionBudget, FaultPlan
+from repro.simulation.random import RandomStreams, derive_seed, poisson_arrivals
 from repro.workload.apps import (
     ApiPollingModel,
     ConnectivityCheckModel,
@@ -55,6 +58,7 @@ class TrafficGenerator:
         self.fault_plan = self._build_fault_plan()
         self.resolvers = self._build_resolvers()
         self.capture = MonitorCapture()
+        pressure = config.pressure
         builder = HouseholdBuilder(
             mix=config.mix,
             resolvers=self.resolvers,
@@ -62,6 +66,11 @@ class TrafficGenerator:
             capture=self.capture,
             rng=self.streams.stream("houses"),
             retry=config.faults.retry,
+            stub_cache_capacity=pressure.stub_cache_capacity,
+            stub_cache_policy=pressure.stub_cache_policy,
+            stub_stale_ttl_s=pressure.stub_stale_ttl_s,
+            stub_fd_budget=pressure.stub_fd_budget,
+            stub_max_queue_wait_s=pressure.stub_max_queue_wait_s,
         )
         self.houses: list[House] = builder.build(config.houses)
         self.engine = SimulationEngine()
@@ -84,13 +93,35 @@ class TrafficGenerator:
         )
 
     def _build_resolvers(self) -> dict[str, RecursiveResolver]:
+        pressure = self.config.pressure
         resolvers = {}
         for name, profile in self.profiles.items():
+            cache = None
+            if (
+                pressure.resolver_cache_capacity is not None
+                or pressure.resolver_cache_policy != "lru"
+            ):
+                cache = DnsCache(
+                    capacity=pressure.resolver_cache_capacity
+                    if pressure.resolver_cache_capacity is not None
+                    else profile.cache_capacity,
+                    policy=pressure.resolver_cache_policy,
+                    stale_ttl_s=pressure.resolver_stale_ttl_s,
+                )
+            budget = (
+                ConnectionBudget(
+                    pressure.resolver_fd_budget, pressure.resolver_max_queue_wait_s
+                )
+                if pressure.resolver_fd_budget is not None
+                else None
+            )
             resolvers[name] = RecursiveResolver(
                 profile,
                 self.universe.hierarchy,
                 rng=self.streams.stream("resolver", name),
                 faults=self.fault_plan,
+                cache=cache,
+                connection_budget=budget,
             )
         return resolvers
 
@@ -140,6 +171,59 @@ class TrafficGenerator:
                 device, self.engine, start, end
             )
 
+    # -- flash crowds --------------------------------------------------------
+
+    def _flash_crowd_windows(self, horizon: float) -> list[tuple[float, float]]:
+        """Poisson (start, end) windows of synchronized demand spikes.
+
+        Drawn from a derived seed namespace of their own, so enabling
+        flash crowds never perturbs the workload's model streams — and
+        an all-default pressure config draws nothing at all.
+        """
+        pressure = self.config.pressure
+        if pressure.flash_crowd_rate_per_hour <= 0:
+            return []
+        rng = random.Random(derive_seed(self.config.seed, "flash-crowd"))
+        rate_per_second = pressure.flash_crowd_rate_per_hour / 3600.0
+        return [
+            (start, min(start + pressure.flash_crowd_duration_s, horizon))
+            for start in poisson_arrivals(rng, rate_per_second, 0.0, horizon)
+        ]
+
+    def _attach_flash_crowds(self, horizon: float) -> None:
+        """Schedule the extra browsing bursts of each flash-crowd window.
+
+        Every browsing-capable device gets an extra session-arrival
+        process at ``flash_crowd_intensity`` times its base rate for the
+        window's duration, with no diurnal thinning (the crowd is
+        event-driven). Arrival streams derive from ``(seed,
+        "flash-crowd", window, device)``, so the schedule is independent
+        of device iteration order.
+        """
+        config = self.config
+        pressure = config.pressure
+        windows = self._flash_crowd_windows(horizon)
+        if not windows:
+            return
+        scales = {
+            "laptop": config.rates.laptop_browsing_scale,
+            "android": config.rates.android_browsing_scale,
+        }
+        for index, (start, end) in enumerate(windows):
+            for house in self.houses:
+                for device in house.devices:
+                    scale = scales.get(device.kind)
+                    if scale is None:
+                        continue
+                    rng = random.Random(
+                        derive_seed(config.seed, "flash-crowd", str(index), device.name)
+                    )
+                    WebBrowsingModel(
+                        self.universe,
+                        config.browsing,
+                        rate_scale=scale * pressure.flash_crowd_intensity,
+                    ).schedule(device, self.engine, start, end, rng=rng, diurnal=False)
+
     # -- run -------------------------------------------------------------------
 
     def run(self) -> Trace:
@@ -150,11 +234,54 @@ class TrafficGenerator:
             for device in house.devices:
                 device.quic_fraction = config.rates.quic_fraction
                 self._attach_apps(device, 0.0, horizon)
+        self._attach_flash_crowds(horizon)
         self.engine.run(until=horizon)
         trace = self.capture.finish(duration=horizon, houses=config.houses)
         if config.warmup > 0:
             trace = _clip_warmup(trace, config.warmup)
         return trace
+
+    def pressure_stats(self) -> PressureStats:
+        """Aggregate cache/budget pressure counters after a run.
+
+        Sums the additive counters of every stub cache/fd budget and
+        every recursive platform into one mergeable
+        :class:`~repro.core.parallel.PressureStats` tally.
+        """
+        stats = PressureStats()
+        for house in self.houses:
+            for device in house.devices:
+                stub = device.stub
+                cache_stats = stub.cache.stats
+                budget = stub._budget  # noqa: SLF001 - generator-side accounting
+                stats = stats.merged_with(
+                    PressureStats(
+                        stub_lookups=cache_stats.lookups,
+                        stub_hits=cache_stats.hits,
+                        stub_evictions=cache_stats.evictions,
+                        stub_stale_serves=cache_stats.stale_serves,
+                        stub_stale_expirations=cache_stats.stale_expirations,
+                        stub_admitted=budget.admitted if budget is not None else 0,
+                        stub_queued=budget.queued if budget is not None else 0,
+                        stub_shed=budget.shed if budget is not None else 0,
+                    )
+                )
+        for resolver in self.resolvers.values():
+            cache_stats = resolver.cache.stats
+            budget = resolver._budget  # noqa: SLF001 - generator-side accounting
+            stats = stats.merged_with(
+                PressureStats(
+                    resolver_lookups=cache_stats.lookups,
+                    resolver_hits=cache_stats.hits,
+                    resolver_evictions=cache_stats.evictions,
+                    resolver_stale_serves=cache_stats.stale_serves,
+                    resolver_stale_expirations=cache_stats.stale_expirations,
+                    resolver_admitted=budget.admitted if budget is not None else 0,
+                    resolver_queued=budget.queued if budget is not None else 0,
+                    resolver_refused=resolver.connections_refused,
+                )
+            )
+        return stats
 
 
 def _clip_warmup(trace: Trace, warmup: float) -> Trace:
@@ -226,6 +353,23 @@ def generate_trace(config: ScenarioConfig) -> Trace:
     gc.disable()
     try:
         return TrafficGenerator(config).run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def generate_trace_with_pressure(config: ScenarioConfig) -> tuple[Trace, PressureStats]:
+    """Generate the trace for *config* and its pressure tally.
+
+    Same gc discipline as :func:`generate_trace`; use this variant when
+    the cache/budget counters matter (pressure sweeps, benchmarks).
+    """
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        generator = TrafficGenerator(config)
+        trace = generator.run()
+        return trace, generator.pressure_stats()
     finally:
         if gc_was_enabled:
             gc.enable()

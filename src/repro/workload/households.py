@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.dns.cache import CacheKey, DnsCache
 from repro.dns.resolver import RecursiveResolver, StubResolver
 from repro.errors import WorkloadError
-from repro.simulation.faults import RetryPolicy
+from repro.simulation.faults import ConnectionBudget, RetryPolicy
 from repro.monitor.capture import MonitorCapture
 from repro.workload.devices import Device
 from repro.workload.namespace import NameUniverse
@@ -125,6 +125,11 @@ class HouseholdBuilder:
         capture: MonitorCapture,
         rng: random.Random,
         retry: RetryPolicy | None = None,
+        stub_cache_capacity: int | None = None,
+        stub_cache_policy: str = "lru",
+        stub_stale_ttl_s: float = 0.0,
+        stub_fd_budget: int | None = None,
+        stub_max_queue_wait_s: float = 0.05,
     ):
         missing = {"local", "google", "opendns", "cloudflare"} - set(resolvers)
         if missing:
@@ -135,6 +140,16 @@ class HouseholdBuilder:
         self.capture = capture
         self.rng = rng
         self.retry = retry if retry is not None else RetryPolicy()
+        # Stub pressure knobs arrive as plain values (not a
+        # PressureConfig) to keep the households module import-free of
+        # the scenario layer, which imports this one.
+        self.stub_cache_capacity = (
+            stub_cache_capacity if stub_cache_capacity is not None else 4096
+        )
+        self.stub_cache_policy = stub_cache_policy
+        self.stub_stale_ttl_s = stub_stale_ttl_s
+        self.stub_fd_budget = stub_fd_budget
+        self.stub_max_queue_wait_s = stub_max_queue_wait_s
 
     # -- stub cache policies ----------------------------------------------
 
@@ -157,8 +172,24 @@ class HouseholdBuilder:
         upstreams: list[tuple[RecursiveResolver, float]],
         rng: random.Random,
     ) -> StubResolver:
-        cache = DnsCache(capacity=4096, overstay=self._overstay_policy(rng))
-        return StubResolver(upstreams=upstreams, cache=cache, rng=rng, retry=self.retry)
+        cache = DnsCache(
+            capacity=self.stub_cache_capacity,
+            overstay=self._overstay_policy(rng),
+            policy=self.stub_cache_policy,
+            stale_ttl_s=self.stub_stale_ttl_s,
+        )
+        budget = (
+            ConnectionBudget(self.stub_fd_budget, self.stub_max_queue_wait_s)
+            if self.stub_fd_budget is not None
+            else None
+        )
+        return StubResolver(
+            upstreams=upstreams,
+            cache=cache,
+            rng=rng,
+            retry=self.retry,
+            connection_budget=budget,
+        )
 
     # -- house construction -------------------------------------------------
 

@@ -10,10 +10,96 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.dns.cache import EVICTION_POLICIES
 from repro.errors import WorkloadError
 from repro.simulation.faults import FaultConfig
 from repro.workload.apps import BrowsingConfig
 from repro.workload.households import HouseholdMixConfig
+
+
+@dataclass(frozen=True, slots=True)
+class PressureConfig:
+    """Resolver/cache pressure knobs (all off by default).
+
+    With the defaults nothing changes: caches keep their historical
+    capacities and LRU policy, no connection budgets exist, and no flash
+    crowds fire — traces are byte-identical to pre-pressure builds.
+
+    ``*_cache_capacity`` bounds the respective cache (``None`` keeps the
+    existing default); ``*_cache_policy`` picks one of
+    :data:`repro.dns.cache.EVICTION_POLICIES`; ``*_stale_ttl_s`` sets
+    the RFC 8767 staleness budget for ``"serve-stale"`` caches (``0``
+    selects the RFC default). ``*_fd_budget`` caps concurrent
+    connections (``None`` = unbounded), with arrivals queueing up to
+    ``*_max_queue_wait_s`` before being shed as REFUSED.
+
+    Flash crowds model synchronized demand spikes (a game patch, a live
+    event): Poisson windows of ``flash_crowd_duration_s`` during which
+    every device runs ``flash_crowd_intensity`` extra browsing-session
+    arrivals, thrashing caches and connection budgets at once.
+    """
+
+    stub_cache_capacity: int | None = None
+    stub_cache_policy: str = "lru"
+    stub_stale_ttl_s: float = 0.0
+    stub_fd_budget: int | None = None
+    stub_max_queue_wait_s: float = 0.05
+    resolver_cache_capacity: int | None = None
+    resolver_cache_policy: str = "lru"
+    resolver_stale_ttl_s: float = 0.0
+    resolver_fd_budget: int | None = None
+    resolver_max_queue_wait_s: float = 0.25
+    flash_crowd_rate_per_hour: float = 0.0
+    flash_crowd_duration_s: float = 300.0
+    flash_crowd_intensity: float = 5.0
+
+    def __post_init__(self) -> None:
+        for label, policy in (
+            ("stub_cache_policy", self.stub_cache_policy),
+            ("resolver_cache_policy", self.resolver_cache_policy),
+        ):
+            if policy not in EVICTION_POLICIES:
+                raise WorkloadError(
+                    f"{label} must be one of {EVICTION_POLICIES}, got {policy!r}"
+                )
+        for label, value in (
+            ("stub_cache_capacity", self.stub_cache_capacity),
+            ("stub_fd_budget", self.stub_fd_budget),
+            ("resolver_cache_capacity", self.resolver_cache_capacity),
+            ("resolver_fd_budget", self.resolver_fd_budget),
+        ):
+            if value is not None and value <= 0:
+                raise WorkloadError(f"{label} must be positive, got {value}")
+        for label, value in (
+            ("stub_stale_ttl_s", self.stub_stale_ttl_s),
+            ("stub_max_queue_wait_s", self.stub_max_queue_wait_s),
+            ("resolver_stale_ttl_s", self.resolver_stale_ttl_s),
+            ("resolver_max_queue_wait_s", self.resolver_max_queue_wait_s),
+            ("flash_crowd_rate_per_hour", self.flash_crowd_rate_per_hour),
+        ):
+            if value < 0:
+                raise WorkloadError(f"{label} cannot be negative, got {value}")
+        if self.flash_crowd_duration_s <= 0:
+            raise WorkloadError(
+                f"flash_crowd_duration_s must be positive, got {self.flash_crowd_duration_s}"
+            )
+        if self.flash_crowd_intensity < 1.0:
+            raise WorkloadError(
+                f"flash_crowd_intensity must be >= 1, got {self.flash_crowd_intensity}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Does this configuration change anything at all?"""
+        return (
+            self.stub_cache_capacity is not None
+            or self.stub_cache_policy != "lru"
+            or self.stub_fd_budget is not None
+            or self.resolver_cache_capacity is not None
+            or self.resolver_cache_policy != "lru"
+            or self.resolver_fd_budget is not None
+            or self.flash_crowd_rate_per_hour > 0
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +145,9 @@ class ScenarioConfig:
     # All-zero by default: the fault plan is never consulted and traces
     # are byte-identical to pre-fault-model builds.
     faults: FaultConfig = field(default_factory=FaultConfig)
+    # All-off by default: caches stay unpressured and no budgets exist,
+    # keeping traces byte-identical to pre-pressure builds.
+    pressure: PressureConfig = field(default_factory=PressureConfig)
 
     def __post_init__(self) -> None:
         if self.houses <= 0:

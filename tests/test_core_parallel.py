@@ -9,6 +9,7 @@ from repro.core.context import ContextStudy, StudyOptions
 from repro.core.pairing import PairingPolicy
 from repro.core.parallel import (
     DEFAULT_SHARDS_PER_WORKER,
+    effective_worker_count,
     parallel_study,
     run_pipeline,
     run_scenarios,
@@ -149,7 +150,20 @@ def test_collect_connections_off_by_default(trace):
 # -- run_scenarios: multi-scenario fan-out ----------------------------------
 
 
-def test_run_scenarios_preserves_config_order():
+def _unclamp_cpus(monkeypatch):
+    """Pretend the host has CPUs to spare so the pool path runs.
+
+    The CPU clamp would otherwise degrade these tests to the serial path
+    on constrained CI hosts, silently un-exercising the fork machinery
+    they exist to cover.
+    """
+    from repro.core import parallel as parallel_mod
+
+    monkeypatch.setattr(parallel_mod, "_available_cpus", lambda: 8)
+
+
+def test_run_scenarios_preserves_config_order(monkeypatch):
+    _unclamp_cpus(monkeypatch)
     values = list(range(8))
     assert run_scenarios(values, _square, workers=3) == [v * v for v in values]
 
@@ -177,21 +191,55 @@ def test_run_scenarios_rejects_nested_fanout(monkeypatch):
 
     if "fork" not in multiprocessing.get_all_start_methods():
         pytest.skip("fork start method unavailable")
+    _unclamp_cpus(monkeypatch)
     monkeypatch.setattr(parallel_mod, "_SCENARIO_FANOUT", (_square, [1]))
     with pytest.raises(AnalysisError, match="already fanning out"):
         run_scenarios([1, 2], _square, workers=2)
 
 
-def test_run_scenarios_recovers_crashed_workers():
+def test_run_scenarios_recovers_crashed_workers(monkeypatch):
     # Every pool worker raises; the serial retry in the parent succeeds,
     # so results still arrive complete and in order.
+    _unclamp_cpus(monkeypatch)
     assert run_scenarios([1, 2, 3], _fail_in_worker, workers=2) == [2, 3, 4]
 
 
-def test_run_scenarios_generation_matches_serial():
+def test_run_scenarios_generation_matches_serial(monkeypatch):
+    _unclamp_cpus(monkeypatch)
     configs = [
         ScenarioConfig(seed=seed, houses=2, duration=1800.0) for seed in (5, 6, 7)
     ]
     serial_digests = [_tiny_scenario_digest(config) for config in configs]
     parallel_digests = run_scenarios(configs, _tiny_scenario_digest, workers=3)
     assert parallel_digests == serial_digests
+
+
+def test_run_scenarios_clamps_workers_to_cpus(monkeypatch, capsys):
+    # On a host with a single available CPU the fan-out degrades to the
+    # serial path (results identical) and says so, once, on stderr.
+    from repro.core import parallel as parallel_mod
+
+    monkeypatch.setattr(parallel_mod, "_available_cpus", lambda: 1)
+    calls = {"count": 0}
+
+    def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+        calls["count"] += 1
+        raise AssertionError("pool must not be used on a 1-CPU host")
+
+    monkeypatch.setattr(parallel_mod.multiprocessing, "get_context", forbidden)
+    assert run_scenarios([1, 2, 3], _square, workers=4) == [1, 4, 9]
+    assert calls["count"] == 0
+    err = capsys.readouterr().err
+    assert "reducing workers 4 -> 1" in err
+
+
+def test_effective_worker_count(monkeypatch):
+    from repro.core import parallel as parallel_mod
+
+    monkeypatch.setattr(parallel_mod, "_available_cpus", lambda: 4)
+    assert effective_worker_count(8) == 4
+    assert effective_worker_count(2) == 2
+    assert effective_worker_count(8, jobs=3) == 3
+    assert effective_worker_count(1, jobs=0) == 1
+    with pytest.raises(AnalysisError, match="worker count"):
+        effective_worker_count(0)
