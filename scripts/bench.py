@@ -24,17 +24,36 @@ enforce determinism over it.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import multiprocessing
 import os
 import platform
+import resource
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core.parallel import effective_worker_count, run_pipeline, run_scenarios  # noqa: E402
+from repro.core.parallel import (  # noqa: E402
+    effective_worker_count,
+    run_pipeline,
+    run_scenarios,
+    run_streaming_pipeline,
+    run_streaming_summary,
+)
 from repro.lint import LintEngine  # noqa: E402
-from repro.monitor.capture import trace_digest  # noqa: E402
+from repro.monitor.capture import Trace, trace_digest  # noqa: E402
+from repro.monitor.logs import (  # noqa: E402
+    iter_conn_log,
+    iter_dns_log,
+    load_conn_log,
+    load_dns_log,
+    save_conn_log,
+    save_dns_log,
+)
+from repro.report.tables import render_pipeline_report  # noqa: E402
 from repro.workload.generate import generate_trace, generate_trace_with_pressure  # noqa: E402
 from repro.workload.scenario import PressureConfig, ScenarioConfig  # noqa: E402
 
@@ -118,6 +137,106 @@ def _time_cache_pressure() -> list[dict]:
             f"({wall_s:.1f}s)"
         )
     return rows
+
+
+def _peak_rss_kb() -> int:
+    """This process's own peak RSS in KiB.
+
+    Prefers ``VmHWM`` from ``/proc/self/status``: ``ru_maxrss`` is NOT
+    reset by ``execve``, so spawn-pool children of a large parent (the
+    bench holds the whole trace) inherit the parent's peak and every
+    child reports the same meaningless number. ``VmHWM`` belongs to the
+    fresh post-exec address space. Falls back to ``ru_maxrss`` where
+    ``/proc`` is unavailable.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _analysis_child(task: tuple[str, str, str]) -> dict:
+    """One analysis engine run in a fresh process (spawn pool worker).
+
+    Runs in a spawn-context child so :func:`_peak_rss_kb` isolates the
+    peak RSS of exactly one engine over the on-disk logs: ``batch``
+    loads both logs and runs the reference pipeline,
+    ``streaming-exact`` one-passes lazy log iterators with full-sample
+    (batch-identical) statistics, and ``streaming-sketch`` one-passes
+    them with quantile sketches and a one-hour pairing window — the
+    bounded-memory configuration. Returns wall time, peak RSS, and a
+    digest of the rendered report (equal for ``batch`` and
+    ``streaming-exact`` by the engine's parity guarantee).
+    """
+    mode, dns_path, conn_path = task
+    start = time.perf_counter()
+    report = None
+    if mode == "batch":
+        trace = Trace(dns=load_dns_log(dns_path), conns=load_conn_log(conn_path))
+        report = render_pipeline_report(run_pipeline(trace, workers=1))
+    elif mode == "streaming-exact":
+        result = run_streaming_pipeline(iter_dns_log(dns_path), iter_conn_log(conn_path))
+        report = render_pipeline_report(result)
+    else:
+        run_streaming_summary(
+            iter_dns_log(dns_path), iter_conn_log(conn_path), window_s=3600.0
+        )
+    wall_s = time.perf_counter() - start
+    return {
+        "mode": mode,
+        "wall_s": round(wall_s, 3),
+        "peak_rss_kb": _peak_rss_kb(),
+        "report_sha256": (
+            hashlib.sha256(report.encode()).hexdigest() if report is not None else None
+        ),
+    }
+
+
+def _time_streaming(trace) -> dict:
+    """Streaming-vs-batch wall time and peak RSS over on-disk logs.
+
+    The comparison the streaming engine exists for: week-scale logs
+    analysed by (a) the batch pipeline after loading both logs, (b) the
+    exact streaming pass, (c) the sketched streaming pass. Each runs in
+    its own spawn child (see :func:`_analysis_child`); the recorded
+    ``rss_ratio`` entries are streaming peak RSS over batch peak RSS.
+    """
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-streaming-") as tmp:
+        dns_path = os.path.join(tmp, "dns.log")
+        conn_path = os.path.join(tmp, "conn.log")
+        save_dns_log(dns_path, trace.dns)
+        save_conn_log(conn_path, trace.conns)
+        context = multiprocessing.get_context("spawn")
+        for mode in ("batch", "streaming-exact", "streaming-sketch"):
+            with context.Pool(1) as pool:
+                row = pool.apply(_analysis_child, ((mode, dns_path, conn_path),))
+            rows.append(row)
+            print(
+                f"  {row['mode']}: {row['wall_s']:.3f}s, "
+                f"peak RSS {row['peak_rss_kb'] / 1024:.1f} MiB"
+            )
+    by_mode = {row["mode"]: row for row in rows}
+    batch_rss = by_mode["batch"]["peak_rss_kb"]
+    reports_identical = (
+        by_mode["batch"]["report_sha256"] == by_mode["streaming-exact"]["report_sha256"]
+    )
+    exact_ratio = by_mode["streaming-exact"]["peak_rss_kb"] / batch_rss
+    sketch_ratio = by_mode["streaming-sketch"]["peak_rss_kb"] / batch_rss
+    print(
+        f"  exact report identical to batch: {reports_identical}; "
+        f"RSS ratios: exact {exact_ratio:.2f}, sketch {sketch_ratio:.2f}"
+    )
+    return {
+        "runs": rows,
+        "reports_identical": reports_identical,
+        "rss_ratio_exact": round(exact_ratio, 3),
+        "rss_ratio_sketch": round(sketch_ratio, 3),
+    }
 
 
 def _time_pipeline(trace, workers: int, repeats: int):
@@ -206,6 +325,9 @@ def main() -> int:
             "outputs_identical": sweep_identical,
         }
 
+    print("streaming vs batch (spawn children, on-disk logs):", flush=True)
+    streaming = _time_streaming(trace)
+
     print("cache pressure micro-stage:", flush=True)
     cache_pressure = _time_cache_pressure()
 
@@ -236,6 +358,7 @@ def main() -> int:
         "repeats": args.repeats,
         "speedup": round(speedup, 3),
         "outputs_identical": identical,
+        "streaming": streaming,
         "cache_pressure": cache_pressure,
         "lint": lint,
     }
@@ -262,7 +385,12 @@ def main() -> int:
         stream.write("\n")
     print(f"wrote {generate_out_path}")
 
-    ok = identical and generate_identical is not False and (sweep is None or sweep["outputs_identical"])
+    ok = (
+        identical
+        and generate_identical is not False
+        and (sweep is None or sweep["outputs_identical"])
+        and streaming["reports_identical"]
+    )
     return 0 if ok else 1
 
 

@@ -28,7 +28,11 @@ import os
 import sys
 
 from repro.core.context import ContextStudy
-from repro.core.parallel import parallel_study
+from repro.core.parallel import (
+    parallel_study,
+    run_streaming_pipeline,
+    run_streaming_summary,
+)
 from repro.errors import (
     AnalysisError,
     DnsError,
@@ -39,8 +43,15 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.dns.cache import EVICTION_POLICIES
-from repro.monitor.logs import save_conn_log, save_dns_log
-from repro.report.tables import render_pressure, render_table1, render_table2, render_table3
+from repro.monitor.logs import iter_conn_log, iter_dns_log, save_conn_log, save_dns_log
+from repro.report.tables import (
+    render_pipeline_report,
+    render_pressure,
+    render_streaming_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+)
 from repro.simulation.faults import FaultConfig
 from repro.workload.generate import generate_trace, generate_trace_with_pressure
 from repro.workload.scenario import PressureConfig, ScenarioConfig
@@ -96,6 +107,42 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         help="analysis worker processes; >1 shards the trace by household "
         "and merges byte-identical results (default 1)",
     )
+
+
+def _add_streaming_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="analyse in one bounded-memory pass (TTL-windowed pairing "
+        "index, incremental thresholds) instead of loading the trace",
+    )
+    parser.add_argument(
+        "--window-s",
+        type=float,
+        default=None,
+        help="streaming: drop expired-fallback pairing state older than "
+        "this many seconds (default: keep for the stream's lifetime)",
+    )
+    parser.add_argument(
+        "--exact-stats",
+        action="store_true",
+        help="streaming: buffer full samples for exact, batch-identical "
+        "statistics instead of bounded-memory quantile sketches",
+    )
+
+
+def _run_streaming_report(args: argparse.Namespace, dns_records, conns) -> None:
+    """Run the one-pass engine over record iterables and print its report."""
+    if args.exact_stats:
+        result = run_streaming_pipeline(
+            dns_records, conns, workers=args.workers, window_s=args.window_s
+        )
+        print(render_pipeline_report(result))
+    else:
+        summary = run_streaming_summary(
+            dns_records, conns, workers=args.workers, window_s=args.window_s
+        )
+        print(render_streaming_summary(summary))
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -284,6 +331,12 @@ def _print_report(study: ContextStudy) -> None:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.streaming:
+        if not (args.dns and args.conn):
+            print("analyze --streaming requires both --dns and --conn", file=sys.stderr)
+            return 2
+        _run_streaming_report(args, iter_dns_log(args.dns), iter_conn_log(args.conn))
+        return 0
     if args.pcap:
         study = ContextStudy.from_pcap(args.pcap, local_networks=tuple(args.local_net))
     elif args.dns and args.conn:
@@ -311,6 +364,13 @@ def cmd_report(args: argparse.Namespace) -> int:
         trace, pressure = generate_trace_with_pressure(config)
     else:
         trace = generate_trace(config)
+    if args.streaming:
+        _run_streaming_report(args, trace.dns, trace.conns)
+        if pressure is not None:
+            print()
+            print("Cache/connection pressure:")
+            print(render_pressure(pressure))
+        return 0
     study = parallel_study(trace, workers=args.workers)
     _print_report(study)
     if pressure is not None:
@@ -365,11 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine malformed log lines (reported on stderr) instead of aborting",
     )
     _add_workers_argument(analyze)
+    _add_streaming_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     report = subparsers.add_parser("report", help="generate and analyse in one step")
     _add_scenario_arguments(report)
     _add_workers_argument(report)
+    _add_streaming_arguments(report)
     report.set_defaults(func=cmd_report)
 
     lint = subparsers.add_parser(

@@ -100,13 +100,21 @@ class GapAnalysis:
         )
 
 
-def _find_gap_knee(gaps: Sequence[float], knee_reference: float) -> tuple[float, int]:
-    """The gap-CDF knee, falling back to the paper's 20 ms reference."""
+def find_gap_knee(gaps: Sequence[float], knee_reference: float = KNEE_REFERENCE) -> tuple[float, int]:
+    """The gap-CDF knee and excluded-sample count, falling back to the
+    paper's 20 ms reference when the sample defeats the knee finder.
+
+    Shared by the batch analysis, the shard merge, and the streaming
+    engine's finalize step so all three agree bit-for-bit."""
     try:
         result = find_knee_detailed(gaps, log_x=True)
     except AnalysisError:
         return knee_reference, 0
     return result.knee, result.excluded_samples
+
+
+# Historical private alias (pre-streaming callers).
+_find_gap_knee = find_gap_knee
 
 
 def analyze_gaps(

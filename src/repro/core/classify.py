@@ -97,28 +97,128 @@ class ResolverDurationStats:
         )
 
 
+class ResolverObserver:
+    """One-pass per-resolver duration *and* outcome aggregation.
+
+    The incremental form of :func:`collect_resolver_stats` and
+    :func:`collect_failure_stats`: feed it DNS records one at a time
+    (:meth:`observe`) and read either aggregate at any point. The batch
+    collectors are thin wrappers over this class, so both paths share
+    one implementation and agree exactly — including dict insertion
+    order (first-appearance order of each resolver address).
+
+    The streaming engine additionally uses :meth:`threshold_for` to get
+    a *running* SC/R threshold mid-stream (sketch mode classifies
+    online); the batch path only ever reads thresholds after the full
+    pass, where the running value equals the final one by construction.
+    """
+
+    __slots__ = (
+        "_counts",
+        "_failed",
+        "_minima",
+        "_queries",
+        "_servfails",
+        "_timeouts",
+        "_nxdomains",
+        "_refusals",
+    )
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+        self._failed: dict[str, int] = defaultdict(int)
+        self._minima: dict[str, float] = {}
+        self._queries: dict[str, int] = defaultdict(int)
+        self._servfails: dict[str, int] = defaultdict(int)
+        self._timeouts: dict[str, int] = defaultdict(int)
+        self._nxdomains: dict[str, int] = defaultdict(int)
+        self._refusals: dict[str, int] = defaultdict(int)
+
+    def observe(self, record: DnsRecord) -> None:
+        """Fold one DNS transaction into both aggregates."""
+        self._queries[record.resp_h] += 1
+        if record.is_servfail:
+            self._servfails[record.resp_h] += 1
+        elif record.is_timeout:
+            self._timeouts[record.resp_h] += 1
+        elif record.rcode == "REFUSED":
+            self._refusals[record.resp_h] += 1
+        elif record.rcode == "NXDOMAIN":
+            self._nxdomains[record.resp_h] += 1
+        if record.failed:
+            self._failed[record.resp_h] += 1
+            self._counts.setdefault(record.resp_h, 0)
+            return
+        self._counts[record.resp_h] += 1
+        current = self._minima.get(record.resp_h)
+        if current is None or record.rtt < current:
+            self._minima[record.resp_h] = record.rtt
+
+    def duration_stats(self) -> dict[str, ResolverDurationStats]:
+        """Per-resolver duration aggregates seen so far."""
+        return {
+            resolver: ResolverDurationStats(
+                lookups=count,
+                min_rtt_s=self._minima.get(resolver, math.inf),
+                failed_lookups=self._failed.get(resolver, 0),
+            )
+            for resolver, count in self._counts.items()
+        }
+
+    def failure_stats(self) -> dict[str, ResolverFailureStats]:
+        """Per-resolver outcome tallies seen so far."""
+        return {
+            resolver: ResolverFailureStats(
+                queries=count,
+                servfails=self._servfails.get(resolver, 0),
+                timeouts=self._timeouts.get(resolver, 0),
+                nxdomains=self._nxdomains.get(resolver, 0),
+                refused=self._refusals.get(resolver, 0),
+            )
+            for resolver, count in self._queries.items()
+        }
+
+    def thresholds(self, policy: "ThresholdPolicy | None" = None) -> dict[str, float]:
+        """Per-resolver SC/R thresholds from the records seen so far."""
+        return thresholds_from_stats(self.duration_stats(), policy)
+
+    def threshold_for(self, resolver: str, policy: "ThresholdPolicy | None" = None) -> float:
+        """Running SC/R threshold for one resolver (default until the
+        min-lookups gate is met)."""
+        policy = policy if policy is not None else ThresholdPolicy()
+        count = self._counts.get(resolver, 0)
+        minimum = self._minima.get(resolver)
+        if count < policy.min_lookups or minimum is None:
+            return policy.default_threshold
+        return policy.derive(minimum)
+
+    def merge_from(self, other: "ResolverObserver") -> None:
+        """Fold another observer's aggregates into this one (shard merge)."""
+        for resolver, count in other._counts.items():
+            self._counts[resolver] += count
+        for resolver, count in other._failed.items():
+            self._failed[resolver] += count
+        for resolver, minimum in other._minima.items():
+            current = self._minima.get(resolver)
+            if current is None or minimum < current:
+                self._minima[resolver] = minimum
+        for tally, other_tally in (
+            (self._queries, other._queries),
+            (self._servfails, other._servfails),
+            (self._timeouts, other._timeouts),
+            (self._nxdomains, other._nxdomains),
+            (self._refusals, other._refusals),
+        ):
+            for resolver, count in other_tally.items():
+                tally[resolver] += count
+
+
 def collect_resolver_stats(dns_records: list[DnsRecord]) -> dict[str, ResolverDurationStats]:
     """Per-resolver-address duration aggregates for *dns_records*."""
-    counts: dict[str, int] = defaultdict(int)
-    failed: dict[str, int] = defaultdict(int)
-    minima: dict[str, float] = {}
+    observer = ResolverObserver()
     for record in dns_records:
-        if record.failed:
-            failed[record.resp_h] += 1
-            counts.setdefault(record.resp_h, 0)
-            continue
-        counts[record.resp_h] += 1
-        current = minima.get(record.resp_h)
-        if current is None or record.rtt < current:
-            minima[record.resp_h] = record.rtt
-    return {
-        resolver: ResolverDurationStats(
-            lookups=count,
-            min_rtt_s=minima.get(resolver, math.inf),
-            failed_lookups=failed.get(resolver, 0),
-        )
-        for resolver, count in counts.items()
-    }
+        observer.observe(record)
+    return observer.duration_stats()
 
 
 def merge_resolver_stats(
@@ -199,31 +299,10 @@ class ResolverFailureStats:
 
 def collect_failure_stats(dns_records: list[DnsRecord]) -> dict[str, ResolverFailureStats]:
     """Per-resolver-address outcome tallies for *dns_records*."""
-    queries: dict[str, int] = defaultdict(int)
-    servfails: dict[str, int] = defaultdict(int)
-    timeouts: dict[str, int] = defaultdict(int)
-    nxdomains: dict[str, int] = defaultdict(int)
-    refusals: dict[str, int] = defaultdict(int)
+    observer = ResolverObserver()
     for record in dns_records:
-        queries[record.resp_h] += 1
-        if record.is_servfail:
-            servfails[record.resp_h] += 1
-        elif record.is_timeout:
-            timeouts[record.resp_h] += 1
-        elif record.rcode == "REFUSED":
-            refusals[record.resp_h] += 1
-        elif record.rcode == "NXDOMAIN":
-            nxdomains[record.resp_h] += 1
-    return {
-        resolver: ResolverFailureStats(
-            queries=count,
-            servfails=servfails.get(resolver, 0),
-            timeouts=timeouts.get(resolver, 0),
-            nxdomains=nxdomains.get(resolver, 0),
-            refused=refusals.get(resolver, 0),
-        )
-        for resolver, count in queries.items()
-    }
+        observer.observe(record)
+    return observer.failure_stats()
 
 
 def merge_failure_stats(

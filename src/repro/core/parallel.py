@@ -43,7 +43,7 @@ import os
 import pickle
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.core.blocking import DEFAULT_BLOCKING_THRESHOLD, GapAnalysis, analyze_gaps
 from repro.core.classify import (
@@ -69,6 +69,16 @@ from repro.core.performance import (
     contribution_analysis,
     lookup_delay_analysis,
     significance_quadrant,
+)
+from repro.core.streaming import (
+    DEFAULT_DRAIN_INTERVAL_S,
+    DEFAULT_SKETCH_EPSILON,
+    StreamingConfig,
+    StreamingState,
+    StreamingSummary,
+    analyze_stream,
+    finalize_result,
+    finalize_summary,
 )
 from repro.errors import AnalysisError
 from repro.monitor.capture import Trace
@@ -766,3 +776,136 @@ def parallel_study(
             [], config=study.options.classifier, thresholds=result.thresholds
         )
     return study
+
+@dataclass(frozen=True, slots=True)
+class StreamingShardTask:
+    """One household shard of a streaming run (a `run_scenarios` config)."""
+
+    shard_id: int
+    dns_records: tuple[DnsRecord, ...]
+    conns: tuple[ConnRecord, ...]
+    config: StreamingConfig
+
+
+def _stream_shard(task: StreamingShardTask) -> StreamingState:
+    """One-pass a single household shard (module-level for spawn pools)."""
+    return analyze_stream(task.dns_records, task.conns, task.config)
+
+
+def _run_streaming(
+    dns_records: "Iterable[DnsRecord]",
+    conns: "Iterable[ConnRecord]",
+    config: StreamingConfig,
+    workers: int,
+) -> tuple[StreamingState, int]:
+    """Shared driver of the streaming entry points.
+
+    ``workers=1`` consumes the record iterables lazily — this is the
+    memory-bounded path, and the only one that accepts true streams.
+    ``workers>1`` must materialize both logs to shard them by household
+    (use it when the logs are already in memory and wall-time matters);
+    the shard states merge into exactly the single-stream state, so both
+    paths finalize identically.
+    """
+    if workers < 1:
+        raise AnalysisError(f"worker count must be positive, got {workers}")
+    if workers == 1:
+        return analyze_stream(dns_records, conns, config), 1
+    dns_list = list(dns_records)
+    conn_list = list(conns)
+    houses = {conn.orig_h for conn in conn_list} | {record.orig_h for record in dns_list}
+    shard_count = max(1, min(workers * DEFAULT_SHARDS_PER_WORKER, len(houses)))
+    parts = shard_by_household(dns_list, conn_list, shard_count)
+    tasks = [
+        StreamingShardTask(
+            shard_id=shard_id,
+            dns_records=tuple(dns_part),
+            conns=tuple(conn_part),
+            config=config,
+        )
+        for shard_id, (dns_part, conn_part, _) in enumerate(parts)
+    ]
+    return StreamingState.merge(run_scenarios(tasks, _stream_shard, workers)), len(tasks)
+
+
+def run_streaming_pipeline(
+    dns_records: "Iterable[DnsRecord]",
+    conns: "Iterable[ConnRecord]",
+    options: StudyOptions | None = None,
+    workers: int = 1,
+    window_s: float | None = None,
+    drain_interval_s: float = DEFAULT_DRAIN_INTERVAL_S,
+    blocking_threshold: float = DEFAULT_BLOCKING_THRESHOLD,
+    abs_threshold: float = ABS_INSIGNIFICANT,
+    rel_threshold: float = REL_INSIGNIFICANT,
+) -> PipelineResult:
+    """One-pass the logs with exact statistics; return the batch result.
+
+    The streaming counterpart of :func:`run_pipeline`: same output type,
+    same values — ``run_streaming_pipeline(trace.dns, trace.conns) ==
+    run_pipeline(trace)`` bit-for-bit (the differential harness pins
+    this across seeds and fault mixes) — but computed in one pass with
+    the DNS index TTL-drained as the stream advances, so ``workers=1``
+    accepts lazy record iterators and never holds the full record
+    population. ``window_s`` additionally bounds expired-fallback tails;
+    parity then holds for traces whose pairing gaps fit in the window.
+    """
+    config = StreamingConfig(
+        options=options if options is not None else StudyOptions(),
+        exact=True,
+        window_s=window_s,
+        drain_interval_s=drain_interval_s,
+        blocking_threshold=blocking_threshold,
+        abs_threshold=abs_threshold,
+        rel_threshold=rel_threshold,
+    )
+    state, shard_count = _run_streaming(dns_records, conns, config, workers)
+    result = finalize_result(state, config)
+    return PipelineResult(
+        census=result.census,
+        breakdown=result.breakdown,
+        gap_analysis=result.gap_analysis,
+        lookup_delays=result.lookup_delays,
+        contribution=result.contribution,
+        quadrant=result.quadrant,
+        thresholds=result.thresholds,
+        failure_stats=result.failure_stats,
+        classified=None,
+        workers=workers,
+        shards=shard_count,
+    )
+
+
+def run_streaming_summary(
+    dns_records: "Iterable[DnsRecord]",
+    conns: "Iterable[ConnRecord]",
+    options: StudyOptions | None = None,
+    workers: int = 1,
+    window_s: float | None = None,
+    epsilon: float = DEFAULT_SKETCH_EPSILON,
+    drain_interval_s: float = DEFAULT_DRAIN_INTERVAL_S,
+    blocking_threshold: float = DEFAULT_BLOCKING_THRESHOLD,
+    abs_threshold: float = ABS_INSIGNIFICANT,
+    rel_threshold: float = REL_INSIGNIFICANT,
+) -> StreamingSummary:
+    """One-pass the logs with sketched statistics; return the summary.
+
+    The O(window)-memory mode: distribution shapes live in mergeable
+    quantile sketches with an *epsilon* rank-error budget, and every
+    count (census, class breakdown up to the running-threshold SC/R
+    split, quadrant, unused lookups) stays exact. See
+    :class:`repro.core.streaming.StreamingSummary` for what is exact
+    versus certified-approximate.
+    """
+    config = StreamingConfig(
+        options=options if options is not None else StudyOptions(),
+        exact=False,
+        epsilon=epsilon,
+        window_s=window_s,
+        drain_interval_s=drain_interval_s,
+        blocking_threshold=blocking_threshold,
+        abs_threshold=abs_threshold,
+        rel_threshold=rel_threshold,
+    )
+    state, _ = _run_streaming(dns_records, conns, config, workers)
+    return finalize_summary(state, config)

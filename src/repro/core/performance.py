@@ -220,7 +220,7 @@ class SignificanceQuadrant:
         total = sum(part.total_conns for part in parts)
         if not blocked:
             raise AnalysisError("no blocked connections: cannot compute quadrant")
-        return _quadrant_from_cells(cells, blocked, total)
+        return quadrant_from_cells(cells, blocked, total)
 
 
 def significance_quadrant(
@@ -247,13 +247,17 @@ def significance_quadrant(
             cells["rel"] += 1
         else:
             cells["ii"] += 1
-    return _quadrant_from_cells(cells, len(blocked), len(classified))
+    return quadrant_from_cells(cells, len(blocked), len(classified))
 
 
-def _quadrant_from_cells(
+def quadrant_from_cells(
     cells: dict[str, int], blocked_conns: int, total_conns: int
 ) -> SignificanceQuadrant:
-    """Build a quadrant from raw cell counts and population sizes."""
+    """Build a quadrant from raw ``ii``/``rel``/``abs``/``sig`` cell
+    counts and the blocked/total population sizes.
+
+    Shared by the batch classifier, the shard merge, and the streaming
+    engine — all three count cells their own way and converge here."""
     return SignificanceQuadrant(
         insignificant_both=cells["ii"] / blocked_conns,
         relative_only=cells["rel"] / blocked_conns,

@@ -132,6 +132,209 @@ class Cdf:
         return deduped
 
 
+#: Stream size (items) the default capacity formula guarantees the
+#: epsilon bound for. Larger streams still work — the *tracked*
+#: :attr:`QuantileSketch.rank_error_bound` stays exact at any size.
+SKETCH_DESIGN_WEIGHT = 1 << 20
+
+
+class QuantileSketch:
+    """A mergeable, deterministic quantile sketch (compactor hierarchy).
+
+    A bounded-memory replacement for full-sample :class:`Cdf`: items are
+    buffered per level (an item at level *i* stands for ``2**i``
+    originals) and an over-full level is *compacted* — sorted, paired
+    up, and the upper item of every pair promoted one level. Compaction
+    is a pure function of the level's sorted content (fixed parity, no
+    randomness), which buys two properties the analysis layer needs:
+
+    * **Determinism** — the same stream always produces the same sketch,
+      so results are reproducible without any seed plumbing.
+    * **Exactly commutative merges** — ``merge([a, b]) == merge([b, a])``
+      because merging is multiset union per level followed by the same
+      content-deterministic compaction (the PR 2 merge contract).
+      Associativity holds only up to the error bound: different merge
+      trees compact at different moments, so ``merge([merge([a, b]), c])``
+      and ``merge([a, merge([b, c])])`` are equal as estimators (both
+      within the tracked bound) but not byte-identical.
+
+    Every compaction of a level-*i* buffer can displace any rank by at
+    most ``2**i``, and the sketch adds exactly that to a running error
+    counter — :attr:`rank_error_bound` is therefore a *certificate*, not
+    an estimate. The default capacity keeps the bound under *epsilon*
+    for streams up to :data:`SKETCH_DESIGN_WEIGHT` items.
+    """
+
+    __slots__ = ("epsilon", "_capacity", "_levels", "_count", "_max_rank_error")
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise AnalysisError(f"sketch epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._capacity = max(16, math.ceil(40.0 / epsilon))
+        self._levels: list[list[float]] = [[]]
+        self._count = 0
+        self._max_rank_error = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (
+            self.epsilon == other.epsilon
+            and self._count == other._count
+            and self._max_rank_error == other._max_rank_error
+            and [sorted(level) for level in self._levels]
+            == [sorted(level) for level in other._levels]
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - sketches are not dict keys
+        return id(self)
+
+    @property
+    def stored_items(self) -> int:
+        """Items currently buffered (the sketch's memory footprint)."""
+        return sum(len(level) for level in self._levels)
+
+    @property
+    def rank_error_bound(self) -> float:
+        """Certified worst-case rank error as a fraction of the stream."""
+        if not self._count:
+            return 0.0
+        return self._max_rank_error / self._count
+
+    def offer(self, value: float) -> None:
+        """Add one sample to the sketch."""
+        self._levels[0].append(float(value))
+        self._count += 1
+        if len(self._levels[0]) > self._capacity:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add every sample in *values*."""
+        for value in values:
+            self.offer(value)
+
+    def _compress(self) -> None:
+        """Compact every over-full level (bottom-up, cascading)."""
+        level = 0
+        while level < len(self._levels):
+            buffer = self._levels[level]
+            if len(buffer) <= self._capacity:
+                level += 1
+                continue
+            buffer.sort()
+            if len(buffer) % 2:
+                # Odd item count: the largest stays behind so total
+                # weight is conserved exactly.
+                remainder = [buffer.pop()]
+            else:
+                remainder = []
+            promoted = buffer[1::2]
+            self._levels[level] = remainder
+            if level + 1 == len(self._levels):
+                self._levels.append([])
+            self._levels[level + 1].extend(promoted)
+            # One compaction of a weight-2**level buffer moves any rank
+            # by at most one item-weight (exactly one pair can straddle
+            # a query point in a sorted buffer).
+            self._max_rank_error += 1 << level
+            level += 1
+
+    @classmethod
+    def merge(cls, sketches: "Sequence[QuantileSketch]") -> "QuantileSketch":
+        """Combine sketches over disjoint streams into one.
+
+        Levels merge as multisets, error certificates add, and any
+        over-full level is re-compacted — a pure function of the level
+        contents, so the merge is exactly commutative.
+        """
+        if not sketches:
+            raise AnalysisError("cannot merge an empty collection of sketches")
+        epsilons = {sketch.epsilon for sketch in sketches}
+        if len(epsilons) > 1:
+            raise AnalysisError(f"cannot merge sketches with mixed epsilons: {epsilons}")
+        merged = cls(epsilon=sketches[0].epsilon)
+        depth = max(len(sketch._levels) for sketch in sketches)
+        merged._levels = [[] for _ in range(depth)]
+        for sketch in sketches:
+            for level, buffer in enumerate(sketch._levels):
+                merged._levels[level].extend(buffer)
+            merged._count += sketch._count
+            merged._max_rank_error += sketch._max_rank_error
+        for level in range(len(merged._levels)):
+            merged._levels[level].sort()
+        merged._compress()
+        return merged
+
+    def _weighted_support(self) -> list[tuple[float, int]]:
+        """(value, weight) pairs sorted by value."""
+        pairs: list[tuple[float, int]] = []
+        for level, buffer in enumerate(self._levels):
+            weight = 1 << level
+            pairs.extend((value, weight) for value in buffer)
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+    def evaluate(self, x: float) -> float:
+        """Estimated P[X <= x]."""
+        if not self._count:
+            raise AnalysisError("cannot evaluate an empty sketch")
+        below = sum(weight for value, weight in self._weighted_support() if value <= x)
+        return below / self._count
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at cumulative probability *q* in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+        support = self._weighted_support()
+        if not support:
+            raise AnalysisError("cannot take a quantile of an empty sketch")
+        target = max(1, math.ceil(q * self._count))
+        cumulative = 0
+        for value, weight in support:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return support[-1][0]
+
+    @property
+    def median(self) -> float:
+        """The estimated 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Estimated share of samples strictly above *threshold*."""
+        if not self._count:
+            return 0.0
+        return 1.0 - self.evaluate(threshold)
+
+    def series(self, points: int = 200) -> list[tuple[float, float]]:
+        """(value, cumulative probability) pairs for plotting/export."""
+        if points < 2:
+            raise AnalysisError(f"need at least 2 points, got {points}")
+        support = self._weighted_support()
+        if not support:
+            raise AnalysisError("cannot build a series from an empty sketch")
+        out: list[tuple[float, float]] = []
+        cumulative = 0
+        for value, weight in support:
+            cumulative += weight
+            fraction_seen = cumulative / self._count
+            if out and out[-1][0] == value:
+                out[-1] = (value, fraction_seen)
+            else:
+                out.append((value, fraction_seen))
+        if len(out) <= points:
+            return out
+        stride = (len(out) - 1) / (points - 1)
+        sampled = [out[round(index * stride)] for index in range(points)]
+        sampled[-1] = out[-1]
+        return sampled
+
+
 @dataclass(frozen=True, slots=True)
 class KneeResult:
     """A located CDF knee plus the sample accounting behind it.

@@ -362,3 +362,51 @@ def load_conn_log(path: str) -> list[ConnRecord]:
     """Read a conn.log file from *path*."""
     with open(path, "r", encoding="utf-8") as stream:
         return read_conn_log(stream)
+
+def _iter_log(stream: IO[str], parse) -> Iterator:
+    """Incremental (strict) variant of :func:`_read_log`.
+
+    Yields records as lines are parsed instead of materializing the
+    log, so week-scale logs stream through the one-pass analysis engine
+    in O(1) reader memory. Malformed lines always raise — a lazy reader
+    has no quarantine report to attach them to.
+    """
+    index_by_name: dict[str, int] | None = None
+    for number, line in enumerate(stream, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("#fields"):
+                parts = line.split(_SEPARATOR)
+                index_by_name = {name: index for index, name in enumerate(parts[1:])}
+            continue
+        if index_by_name is None:
+            raise LogFormatError(f"line {number}: data before #fields header")
+        columns = line.split(_SEPARATOR)
+        try:
+            yield parse(columns, index_by_name, number)
+        except LogFormatError:
+            raise
+        except ValueError as exc:
+            raise LogFormatError(f"line {number}: {exc}") from exc
+
+
+def iter_dns_log(path: str) -> Iterator[DnsRecord]:
+    """Lazily read a dns.log from *path*, one record at a time.
+
+    The streaming counterpart of :func:`load_dns_log`: feed it straight
+    to :func:`repro.core.parallel.run_streaming_pipeline` and the full
+    record list never exists in memory. The file stays open until the
+    generator is exhausted or closed."""
+    with open(path, "r", encoding="utf-8") as stream:
+        yield from _iter_log(stream, _dns_from_columns)
+
+
+def iter_conn_log(path: str) -> Iterator[ConnRecord]:
+    """Lazily read a conn.log from *path*, one record at a time.
+
+    The streaming counterpart of :func:`load_conn_log`; see
+    :func:`iter_dns_log`."""
+    with open(path, "r", encoding="utf-8") as stream:
+        yield from _iter_log(stream, _conn_from_columns)

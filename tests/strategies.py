@@ -1,0 +1,141 @@
+"""Shared hypothesis strategies for synthetic DNS/conn record streams.
+
+One vocabulary of generators for every property-based suite: plain
+float samples for the statistics kernels, and correlated DNS/connection
+record streams — time-ordered, with a controllable share of
+connections actually answering a prior lookup — for the pairing,
+streaming, and cache suites. Keeping them here means a test that needs
+"a plausible little trace" composes these rather than hand-rolling
+records, and tightening the generators improves every suite at once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, Proto
+
+#: Bounded, finite floats for the statistics kernels (CDFs, sketches).
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+#: Nonempty samples for distribution estimators.
+float_samples = st.lists(finite_floats, min_size=1, max_size=200)
+
+#: Nonnegative second quantities (durations, overstays, gaps).
+seconds = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+#: Strictly positive second quantities (TTLs, windows, intervals).
+positive_seconds = st.floats(min_value=1.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+HOUSES = ("10.0.0.1", "10.0.0.2", "10.0.0.3")
+SERVERS = ("93.184.216.34", "93.184.216.35", "198.51.100.7", "203.0.113.9")
+RESOLVERS = ("8.8.8.8", "1.1.1.1")
+RCODES = ("NOERROR", "NOERROR", "NOERROR", "NXDOMAIN", "SERVFAIL", "-")
+
+
+@st.composite
+def dns_record_streams(
+    draw,
+    min_size: int = 0,
+    max_size: int = 25,
+    max_gap_s: float = 120.0,
+    max_rtt_s: float = 0.3,
+    max_ttl_s: float = 600.0,
+):
+    """A ``ts``-ordered list of DNS transactions from a few households.
+
+    Timestamps advance by bounded nonnegative deltas (ties allowed),
+    answers carry one A record for a server from a small shared pool
+    (so connection streams drawn against the same pool can pair), and
+    rcodes mix successes with NXDOMAIN/SERVFAIL/timeout outcomes.
+    """
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    records: list[DnsRecord] = []
+    now_s = 0.0
+    for index in range(count):
+        now_s += draw(st.floats(min_value=0.0, max_value=max_gap_s))
+        rcode = draw(st.sampled_from(RCODES))
+        answers: tuple[DnsAnswer, ...] = ()
+        server = draw(st.sampled_from(SERVERS))
+        if rcode == "NOERROR":
+            ttl = draw(st.floats(min_value=1.0, max_value=max_ttl_s))
+            answers = (DnsAnswer(data=server, ttl=ttl),)
+        records.append(
+            DnsRecord(
+                ts=now_s,
+                uid=f"D{index}",
+                orig_h=draw(st.sampled_from(HOUSES)),
+                orig_p=40000 + index,
+                resp_h=draw(st.sampled_from(RESOLVERS)),
+                resp_p=53,
+                query=f"name{index}.example.com",
+                rcode=rcode,
+                rtt=0.0 if rcode == "-" else draw(st.floats(min_value=0.0, max_value=max_rtt_s)),
+                answers=answers,
+            )
+        )
+    return records
+
+
+@st.composite
+def conn_record_streams(
+    draw,
+    dns_records: list[DnsRecord],
+    min_size: int = 1,
+    max_size: int = 30,
+    max_gap_s: float = 90.0,
+    max_duration_s: float = 30.0,
+):
+    """A ``ts``-ordered connection list correlated with *dns_records*.
+
+    Each connection either follows up a previously completed lookup
+    from the same house (same server address, started at a bounded lag
+    after completion — the pairable population) or goes to an arbitrary
+    server (the NO-DNS population). Pass the output of
+    :func:`dns_record_streams` to keep both streams on one address pool.
+    """
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    conns: list[ConnRecord] = []
+    now_s = 0.0
+    for index in range(count):
+        now_s += draw(st.floats(min_value=0.0, max_value=max_gap_s))
+        completed = [
+            record
+            for record in dns_records
+            if record.completed_at <= now_s and record.addresses()
+        ]
+        source = None
+        if completed and draw(st.booleans()):
+            source = draw(st.sampled_from(completed))
+        conns.append(
+            ConnRecord(
+                ts=now_s,
+                uid=f"C{index}",
+                orig_h=source.orig_h if source is not None else draw(st.sampled_from(HOUSES)),
+                orig_p=50000 + index,
+                resp_h=(
+                    source.addresses()[0]
+                    if source is not None
+                    else draw(st.sampled_from(SERVERS))
+                ),
+                resp_p=443,
+                proto=Proto.TCP,
+                duration=draw(st.floats(min_value=0.0, max_value=max_duration_s)),
+                orig_bytes=draw(st.integers(min_value=0, max_value=1 << 20)),
+                resp_bytes=draw(st.integers(min_value=0, max_value=1 << 20)),
+            )
+        )
+    return conns
+
+
+@st.composite
+def trace_streams(draw, max_lookups: int = 25, max_conns: int = 30):
+    """A correlated ``(dns_records, conns)`` pair, both ``ts``-ordered.
+
+    The one-call strategy for whole-pipeline properties: the connection
+    stream is drawn against the DNS stream, so a healthy share of
+    connections pair, expire, and contend for candidates.
+    """
+    dns_records = draw(dns_record_streams(max_size=max_lookups))
+    conns = draw(conn_record_streams(dns_records, max_size=max_conns))
+    return dns_records, conns

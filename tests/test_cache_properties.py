@@ -13,8 +13,13 @@ budget:
   (non-expired) hit only inside ``[0, ttl)``.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from tests.strategies import positive_seconds, seconds
+
+pytestmark = pytest.mark.property
 
 from repro.dns.cache import EVICTION_POLICIES, DnsCache, cache_key
 from repro.dns.rr import a_record
@@ -24,8 +29,8 @@ KEY = cache_key("prop.example.com")
 RECORDS = (a_record("prop.example.com", "10.0.0.1", 60),)
 
 policies = st.sampled_from(EVICTION_POLICIES)
-ttls = st.floats(min_value=1.0, max_value=1e5, allow_nan=False, allow_infinity=False)
-windows = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+ttls = positive_seconds
+windows = seconds
 times = st.floats(min_value=0.0, max_value=5e5, allow_nan=False, allow_infinity=False)
 
 

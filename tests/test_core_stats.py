@@ -6,6 +6,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.strategies import float_samples
+
 from repro.core.stats import (
     Cdf,
     find_knee,
@@ -83,7 +85,8 @@ class TestCdf:
         with pytest.raises(AnalysisError):
             cdf.series(1)
 
-    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    @pytest.mark.property
+    @given(float_samples)
     @settings(max_examples=60)
     def test_quantile_evaluate_consistency(self, values):
         cdf = Cdf.from_values(values)
@@ -184,13 +187,8 @@ class TestCdfMerge:
         with pytest.raises(AnalysisError):
             Cdf.merge([])
 
-    @given(
-        st.lists(
-            st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30),
-            min_size=1,
-            max_size=5,
-        )
-    )
+    @pytest.mark.property
+    @given(st.lists(float_samples, min_size=1, max_size=5))
     @settings(max_examples=40)
     def test_merge_is_multiset_union(self, groups):
         merged = Cdf.merge([Cdf.from_values(group) for group in groups])

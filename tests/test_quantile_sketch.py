@@ -1,0 +1,196 @@
+"""Tests for :class:`repro.core.stats.QuantileSketch`.
+
+Three families of guarantees:
+
+* **Accuracy** — on hypothesis-generated samples and on the golden
+  trace's gap population, every reported quantile's *rank* error stays
+  within the epsilon budget (checked against the sketch's own certified
+  bound, which must itself stay under epsilon).
+* **Merge algebra** — ``merge(a, b) == merge(b, a)`` exactly (the
+  deterministic compaction makes merged sketches content-equal, not
+  just statistically close), and associativity re-groupings stay within
+  the certified bound of each other.
+* **Bounded memory** — stored items grow logarithmically, not linearly,
+  with the stream.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.strategies import finite_floats, float_samples
+
+from repro.core.stats import Cdf, QuantileSketch
+from repro.errors import AnalysisError
+
+QUANTILES = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def rank_error(values: list[float], estimate: float, q: float) -> float:
+    """Rank distance of *estimate* from the q-th rank of *values*.
+
+    A duplicated value occupies a rank *interval* ``[lo, hi]``; the
+    error is the distance from the target rank to that interval (0 when
+    the target falls inside), normalized by the sample size — the
+    standard definition KLL/GK bounds are stated against.
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    lo = sum(1 for value in ordered if value < estimate) + 1
+    hi = sum(1 for value in ordered if value <= estimate)
+    target = max(1, math.ceil(q * n))
+    if lo <= target <= hi:
+        return 0.0
+    return min(abs(target - lo), abs(target - hi)) / n
+
+
+class TestValidation:
+    def test_rejects_bad_epsilon(self):
+        for epsilon in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(AnalysisError):
+                QuantileSketch(epsilon)
+
+    def test_empty_sketch_has_no_quantiles(self):
+        sketch = QuantileSketch()
+        with pytest.raises(AnalysisError):
+            sketch.quantile(0.5)
+        assert sketch.rank_error_bound == 0.0
+
+    def test_merge_rejects_mixed_epsilons(self):
+        with pytest.raises(AnalysisError):
+            QuantileSketch.merge([QuantileSketch(0.01), QuantileSketch(0.05)])
+
+    def test_merge_rejects_empty_collection(self):
+        with pytest.raises(AnalysisError):
+            QuantileSketch.merge([])
+
+
+class TestAccuracy:
+    @pytest.mark.property
+    @given(values=float_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_small_samples_are_exact_enough(self, values):
+        sketch = QuantileSketch(0.05)
+        for value in values:
+            sketch.offer(value)
+        assert sketch.rank_error_bound <= 0.05
+        for q in QUANTILES:
+            assert rank_error(values, sketch.quantile(q), q) <= 0.05 + 1e-12
+
+    @pytest.mark.property
+    @given(
+        values=st.lists(finite_floats, min_size=50, max_size=400),
+        epsilon=st.sampled_from((0.01, 0.02, 0.05)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_certified_bound_dominates_observed_error(self, values, epsilon):
+        sketch = QuantileSketch(epsilon)
+        for value in values:
+            sketch.offer(value)
+        bound = sketch.rank_error_bound
+        assert bound <= epsilon
+        for q in QUANTILES:
+            assert rank_error(values, sketch.quantile(q), q) <= bound + 1e-12
+
+    def test_large_stream_accuracy_and_memory(self):
+        values = [math.sin(i * 0.7) * 50.0 + i % 97 for i in range(50_000)]
+        sketch = QuantileSketch(0.01)
+        for value in values:
+            sketch.offer(value)
+        assert sketch.rank_error_bound <= 0.01
+        for q in QUANTILES:
+            assert rank_error(values, sketch.quantile(q), q) <= 0.01
+        # Bounded memory: far fewer stored items than stream length.
+        assert sketch.stored_items < len(values) // 4
+
+    def test_evaluate_tracks_exact_cdf(self):
+        values = [float(i) for i in range(2_000)]
+        sketch = QuantileSketch(0.01)
+        for value in values:
+            sketch.offer(value)
+        cdf = Cdf.from_values(values)
+        for threshold in (0.0, 500.0, 999.5, 1999.0):
+            assert sketch.evaluate(threshold) == pytest.approx(
+                cdf.evaluate(threshold), abs=0.01
+            )
+        assert sketch.fraction_above(999.5) == pytest.approx(
+            1.0 - sketch.evaluate(999.5)
+        )
+
+    def test_golden_trace_gap_sample(self, golden_gaps):
+        sketch = QuantileSketch(0.01)
+        for gap in golden_gaps:
+            sketch.offer(gap)
+        assert sketch.rank_error_bound <= 0.01
+        for q in QUANTILES:
+            assert rank_error(golden_gaps, sketch.quantile(q), q) <= 0.01
+
+
+@pytest.fixture(scope="module")
+def golden_gaps():
+    """Clamped pairing gaps of a small golden-config trace."""
+    from repro.core.pairing import pair_trace
+    from repro.workload.generate import generate_trace
+    from repro.workload.scenario import ScenarioConfig
+
+    trace = generate_trace(ScenarioConfig(houses=3, duration=6 * 3600.0, seed=1))
+    paired = pair_trace(trace.dns, trace.conns)
+    gaps = [max(0.0, item.gap) for item in paired if item.gap is not None]
+    assert len(gaps) > 1000
+    return gaps
+
+
+def _sketch_of(values: list[float], epsilon: float = 0.02) -> QuantileSketch:
+    sketch = QuantileSketch(epsilon)
+    for value in values:
+        sketch.offer(value)
+    return sketch
+
+
+class TestMergeAlgebra:
+    @pytest.mark.property
+    @given(a=float_samples, b=float_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_commutes_exactly(self, a, b):
+        ab = QuantileSketch.merge([_sketch_of(a), _sketch_of(b)])
+        ba = QuantileSketch.merge([_sketch_of(b), _sketch_of(a)])
+        # Content equality, not approximate agreement: deterministic
+        # compaction makes both orders produce the same sketch.
+        assert ab == ba
+
+    @pytest.mark.property
+    @given(a=float_samples, b=float_samples, c=float_samples)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_associates_within_bound(self, a, b, c):
+        left = QuantileSketch.merge(
+            [QuantileSketch.merge([_sketch_of(a), _sketch_of(b)]), _sketch_of(c)]
+        )
+        right = QuantileSketch.merge(
+            [_sketch_of(a), QuantileSketch.merge([_sketch_of(b), _sketch_of(c)])]
+        )
+        pooled = a + b + c
+        tolerance = left.rank_error_bound + right.rank_error_bound + 1e-12
+        for q in QUANTILES:
+            assert rank_error(pooled, left.quantile(q), q) <= tolerance
+            assert rank_error(pooled, right.quantile(q), q) <= tolerance
+
+    @pytest.mark.property
+    @given(parts=st.lists(float_samples, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_merged_quantiles_match_pooled_sample(self, parts):
+        merged = QuantileSketch.merge([_sketch_of(part) for part in parts])
+        pooled = [value for part in parts for value in part]
+        assert merged.rank_error_bound <= 0.02 + 1e-12
+        for q in QUANTILES:
+            assert (
+                rank_error(pooled, merged.quantile(q), q)
+                <= merged.rank_error_bound + 1e-12
+            )
+
+    def test_merge_preserves_count_and_epsilon(self):
+        merged = QuantileSketch.merge([_sketch_of([1.0, 2.0]), _sketch_of([3.0])])
+        assert merged.epsilon == 0.02
+        assert merged.quantile(1.0) == 3.0
+        assert merged.median == 2.0
