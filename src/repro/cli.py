@@ -27,23 +27,40 @@ import argparse
 import os
 import sys
 
+from repro.core.checkpoint import (
+    DEFAULT_CHECKPOINT_INTERVAL_S,
+    CheckpointConfig,
+    CheckpointTelemetry,
+    discard_checkpoint,
+)
 from repro.core.context import ContextStudy
 from repro.core.parallel import (
     parallel_study,
     run_streaming_pipeline,
     run_streaming_summary,
 )
+from repro.core.streaming import reorder_records
 from repro.errors import (
     AnalysisError,
+    CheckpointError,
     DnsError,
     LogFormatError,
     PcapError,
     ReproError,
     SimulationError,
+    SupervisionError,
     WorkloadError,
 )
 from repro.dns.cache import EVICTION_POLICIES
-from repro.monitor.logs import iter_conn_log, iter_dns_log, save_conn_log, save_dns_log
+from repro.monitor.logs import (
+    IngestReport,
+    iter_conn_log,
+    iter_dns_log,
+    save_conn_log,
+    save_dns_log,
+    tail_conn_log,
+    tail_dns_log,
+)
 from repro.report.tables import (
     render_pipeline_report,
     render_pressure,
@@ -129,20 +146,129 @@ def _add_streaming_arguments(parser: argparse.ArgumentParser) -> None:
         help="streaming: buffer full samples for exact, batch-identical "
         "statistics instead of bounded-memory quantile sketches",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="streaming: periodically snapshot analysis state to PATH "
+        "(atomic write) so a crashed run can be resumed; requires --workers 1",
+    )
+    parser.add_argument(
+        "--checkpoint-interval-s",
+        type=float,
+        default=DEFAULT_CHECKPOINT_INTERVAL_S,
+        help="streaming: stream-time seconds between checkpoint snapshots "
+        f"(default {DEFAULT_CHECKPOINT_INTERVAL_S:.0f})",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="streaming: resume from the --checkpoint file if present "
+        "(refused unless its config and input prefix match this run)",
+    )
+    parser.add_argument(
+        "--reorder-window-s",
+        type=float,
+        default=None,
+        help="streaming: buffer and re-sort records arriving up to this many "
+        "seconds out of order (default: 5 with --follow, otherwise off)",
+    )
 
 
-def _run_streaming_report(args: argparse.Namespace, dns_records, conns) -> None:
-    """Run the one-pass engine over record iterables and print its report."""
+def _print_ingest_reports(reports, stream) -> None:
+    """Write lenient-ingest quarantine summaries to *stream*."""
+    for report in reports:
+        if report.ok:
+            continue
+        print(f"ingest: {report.summary()}", file=stream)
+        for line in report.quarantined[:10]:
+            print(f"  line {line.line_number}: {line.reason}", file=stream)
+        if len(report.quarantined) > 10:
+            remaining = len(report.quarantined) - 10
+            print(f"  ... and {remaining} more", file=stream)
+
+
+def _counted(records, counter: list[int]):
+    """Yield *records* while counting them into ``counter[0]``."""
+    for record in records:
+        counter[0] += 1
+        yield record
+
+
+def _run_streaming_report(
+    args: argparse.Namespace, dns_records, conns, ingest_state=None
+) -> None:
+    """Run the one-pass engine over record iterables and print its report.
+
+    *ingest_state* carries ``(label, counter, quarantine)`` triples from a
+    lenient read; the resulting :class:`IngestReport` objects can only be
+    built after the run, once the lazy readers have drained.
+    """
+    reorder_window_s = args.reorder_window_s
+    if reorder_window_s is None:
+        reorder_window_s = 5.0 if getattr(args, "follow", False) else 0.0
+    if reorder_window_s:
+        dns_records = reorder_records(dns_records, reorder_window_s)
+        conns = reorder_records(conns, reorder_window_s)
+    checkpoint = None
+    telemetry = None
+    if args.checkpoint:
+        checkpoint = CheckpointConfig(
+            path=args.checkpoint, interval_s=args.checkpoint_interval_s
+        )
+        telemetry = CheckpointTelemetry()
     if args.exact_stats:
         result = run_streaming_pipeline(
-            dns_records, conns, workers=args.workers, window_s=args.window_s
+            dns_records,
+            conns,
+            workers=args.workers,
+            window_s=args.window_s,
+            checkpoint=checkpoint,
+            resume=args.resume,
+            checkpoint_telemetry=telemetry,
         )
-        print(render_pipeline_report(result))
+        report = render_pipeline_report(result)
+        if ingest_state is not None:
+            _print_ingest_reports(_build_ingest_reports(ingest_state), sys.stderr)
     else:
         summary = run_streaming_summary(
-            dns_records, conns, workers=args.workers, window_s=args.window_s
+            dns_records,
+            conns,
+            workers=args.workers,
+            window_s=args.window_s,
+            checkpoint=checkpoint,
+            resume=args.resume,
+            checkpoint_telemetry=telemetry,
         )
-        print(render_streaming_summary(summary))
+        ingest = None
+        if ingest_state is not None:
+            ingest = _build_ingest_reports(ingest_state)
+        report = render_streaming_summary(summary, ingest=ingest)
+    if checkpoint is not None:
+        # The run completed: the checkpoint has nothing left to resume.
+        discard_checkpoint(checkpoint.path)
+        if telemetry is not None and telemetry.resumed:
+            print(
+                f"checkpoint: resumed at event ts {telemetry.resumed_event_ts:.6f}",
+                file=sys.stderr,
+            )
+        if telemetry is not None:
+            print(
+                f"checkpoint: {telemetry.snapshots} snapshot(s), "
+                f"{telemetry.bytes_per_snapshot:.0f} bytes/snapshot",
+                file=sys.stderr,
+            )
+    print(report)
+
+
+def _build_ingest_reports(ingest_state) -> tuple[IngestReport, ...]:
+    """Materialize lenient-ingest reports once the lazy readers drained."""
+    return tuple(
+        IngestReport(
+            path_label=label, parsed=counter[0], quarantined=tuple(quarantine)
+        )
+        for label, counter, quarantine in ingest_state
+    )
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -330,25 +456,67 @@ def _print_report(study: ContextStudy) -> None:
     print(render_table3(study.refresh()))
 
 
+def _streaming_inputs(args: argparse.Namespace):
+    """Build the (dns, conn, ingest_state) input triple for streaming analyze.
+
+    Four reader shapes fall out of two independent flags: ``--follow``
+    swaps the lazy file readers for live tails, and ``--lenient`` threads
+    quarantine lists (plus record counters) through either reader so the
+    post-run :class:`IngestReport` can be assembled.
+    """
+    ingest_state = None
+    strict = not args.lenient
+    dns_quarantine: list = []
+    conn_quarantine: list = []
+    if args.follow:
+        dns_records = tail_dns_log(
+            args.dns,
+            idle_timeout_s=args.idle_timeout_s,
+            strict=strict,
+            quarantine=dns_quarantine,
+        )
+        conns = tail_conn_log(
+            args.conn,
+            idle_timeout_s=args.idle_timeout_s,
+            strict=strict,
+            quarantine=conn_quarantine,
+        )
+    else:
+        dns_records = iter_dns_log(args.dns, strict=strict, quarantine=dns_quarantine)
+        conns = iter_conn_log(args.conn, strict=strict, quarantine=conn_quarantine)
+    if args.lenient:
+        dns_counter = [0]
+        conn_counter = [0]
+        dns_records = _counted(dns_records, dns_counter)
+        conns = _counted(conns, conn_counter)
+        ingest_state = (
+            ("dns", dns_counter, dns_quarantine),
+            ("conn", conn_counter, conn_quarantine),
+        )
+    return dns_records, conns, ingest_state
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.follow and not args.streaming:
+        print("analyze --follow requires --streaming", file=sys.stderr)
+        return 2
+    if (args.checkpoint or args.resume) and not args.streaming:
+        # The batch path cannot snapshot; refusing beats silently running
+        # without the crash safety the flag asked for.
+        print("analyze --checkpoint/--resume requires --streaming", file=sys.stderr)
+        return 2
     if args.streaming:
         if not (args.dns and args.conn):
             print("analyze --streaming requires both --dns and --conn", file=sys.stderr)
             return 2
-        _run_streaming_report(args, iter_dns_log(args.dns), iter_conn_log(args.conn))
+        dns_records, conns, ingest_state = _streaming_inputs(args)
+        _run_streaming_report(args, dns_records, conns, ingest_state)
         return 0
     if args.pcap:
         study = ContextStudy.from_pcap(args.pcap, local_networks=tuple(args.local_net))
     elif args.dns and args.conn:
         study = ContextStudy.from_logs(args.dns, args.conn, strict=not args.lenient)
-        for report in study.ingest_reports:
-            if not report.ok:
-                print(f"ingest: {report.summary()}", file=sys.stderr)
-                for line in report.quarantined[:10]:
-                    print(f"  line {line.line_number}: {line.reason}", file=sys.stderr)
-                if len(report.quarantined) > 10:
-                    remaining = len(report.quarantined) - 10
-                    print(f"  ... and {remaining} more", file=sys.stderr)
+        _print_ingest_reports(study.ingest_reports, sys.stderr)
     else:
         print("analyze requires either --pcap or both --dns and --conn", file=sys.stderr)
         return 2
@@ -358,6 +526,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if (args.checkpoint or args.resume) and not args.streaming:
+        print("report --checkpoint/--resume requires --streaming", file=sys.stderr)
+        return 2
     config = _scenario_from_args(args)
     pressure = None
     if config.pressure.enabled:
@@ -424,6 +595,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="quarantine malformed log lines (reported on stderr) instead of aborting",
     )
+    analyze.add_argument(
+        "--follow",
+        action="store_true",
+        help="with --streaming: tail growing logs live, surviving rotation "
+        "and truncation, instead of reading to EOF and stopping",
+    )
+    analyze.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=None,
+        help="with --follow: stop once no new data arrives for this many "
+        "seconds (default: follow until interrupted)",
+    )
     _add_workers_argument(analyze)
     _add_streaming_arguments(analyze)
     analyze.set_defaults(func=cmd_analyze)
@@ -446,11 +630,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _exit_code_for(error: ReproError) -> int:
     """Map a library error to its sysexits.h-style exit code."""
-    if isinstance(error, (LogFormatError, AnalysisError, PcapError)):
+    if isinstance(error, (LogFormatError, AnalysisError, PcapError, CheckpointError)):
         return EXIT_DATA
     if isinstance(error, WorkloadError):
         return EXIT_USAGE
-    if isinstance(error, (DnsError, SimulationError)):
+    if isinstance(error, (DnsError, SimulationError, SupervisionError)):
         return EXIT_SOFTWARE
     return EXIT_SOFTWARE
 

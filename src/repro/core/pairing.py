@@ -194,6 +194,39 @@ class DnsIndex:
         """
         return len(self._states)
 
+    def __getstate__(self) -> dict:
+        """Pickle without the tail-locator heap; rebuilt on unpickle.
+
+        ``_tail_heap`` only locates old tails for window trimming and
+        already tolerates stale entries (pops verify against
+        ``_tails`` and skip losers), so it is fully reconstructible
+        from ``_tails``. Dropping it removes the biggest single
+        component of a streaming checkpoint snapshot — the heap plus
+        every stale entry it has accumulated. Trimming behaviour is
+        unchanged: entries sort by their unique ``(completed_at,
+        seq)`` prefix, so the rebuilt heap pops live tails in the
+        same order the original would have, minus the skipped stales.
+        ``_keys`` is likewise derivable: insertions and evictions
+        mutate it in lockstep with ``_by_house_address``, so each
+        entry is exactly its bucket's ``completed_at`` column.
+        """
+        state = self.__dict__.copy()
+        del state["_tail_heap"]
+        del state["_keys"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._tail_heap = [
+            (candidate.completed_at, candidate.seq, key, candidate)
+            for key, candidate in self._tails.items()
+        ]
+        heapq.heapify(self._tail_heap)
+        self._keys = {
+            key: [candidate.completed_at for candidate in bucket]
+            for key, bucket in self._by_house_address.items()
+        }
+
     def candidates_before(self, house: str, address: str, when: float) -> list[_Candidate]:
         """Candidates for (house, address) completed at or before *when*."""
         candidates = self._by_house_address.get((house, address))

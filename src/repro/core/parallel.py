@@ -70,6 +70,11 @@ from repro.core.performance import (
     lookup_delay_analysis,
     significance_quadrant,
 )
+from repro.core.checkpoint import (
+    CheckpointConfig,
+    CheckpointTelemetry,
+    run_checkpointed_stream,
+)
 from repro.core.streaming import (
     DEFAULT_DRAIN_INTERVAL_S,
     DEFAULT_SKETCH_EPSILON,
@@ -83,6 +88,7 @@ from repro.core.streaming import (
 from repro.errors import AnalysisError
 from repro.monitor.capture import Trace
 from repro.monitor.records import ConnRecord, DnsRecord
+from repro.supervise import SupervisionReport, SupervisorPolicy, supervise
 
 DEFAULT_SHARDS_PER_WORKER = 4
 """Shards per worker: small enough to amortise task overhead, large
@@ -278,6 +284,7 @@ class PipelineResult:
     workers: int = field(default=1, compare=False)
     shards: int = field(default=1, compare=False)
     recovered_shards: tuple[int, ...] = field(default=(), compare=False)
+    supervision: SupervisionReport | None = field(default=None, compare=False)
 
     @property
     def partial_recovery(self) -> bool:
@@ -378,11 +385,6 @@ def _merge_present(
     return merge(present)
 
 
-#: Shard tasks shared with fork-started workers via copy-on-write memory
-#: (set only for the duration of a pool run; never mutated by workers).
-_FORK_TASKS: list[ShardTask] | None = None  # repro-lint: fork-shared(set in the parent before fork, read-only in workers, cleared in _run_tasks' finally on every exit path)
-
-
 class ShardCrashError(RuntimeError):
     """A deliberately injected worker-shard crash (testing only)."""
 
@@ -409,10 +411,13 @@ def _maybe_crash(shard_id: int) -> None:
         raise ShardCrashError(f"injected crash for shard {shard_id}")
 
 
-def _analyze_shard_by_index(index: int) -> ShardResult:
-    """Fork-mode worker entry: look the task up in inherited memory."""
-    assert _FORK_TASKS is not None
-    task = _FORK_TASKS[index]
+def _supervised_shard(task: ShardTask) -> ShardResult:
+    """Supervised worker entry: the crash hook, then the real analysis.
+
+    The parent's final serial retry calls :func:`analyze_shard` directly
+    and therefore bypasses the test-only crash injection — exactly the
+    asymmetry the recovery tests rely on.
+    """
     _maybe_crash(task.shard_id)
     return analyze_shard(task)
 
@@ -456,56 +461,52 @@ def _collect_with_recovery(
 
 
 def _run_tasks(
-    tasks: list[ShardTask], workers: int
-) -> tuple[list[ShardResult], tuple[int, ...]]:
-    """Execute shard tasks over a process pool (fork-aware).
+    tasks: list[ShardTask], workers: int, supervisor: SupervisorPolicy | None = None
+) -> tuple[list[ShardResult], tuple[int, ...], SupervisionReport | None]:
+    """Execute shard tasks over supervised workers (fork-aware).
 
-    Under ``fork`` the tasks are reached through inherited memory
-    (:data:`_FORK_TASKS`) instead of being pickled, and the parent heap
-    is frozen out of GC for the pool's lifetime so the children's
-    copy-on-write pages stay shared. Other start methods fall back to
-    pickling the tasks. Either way, a shard whose worker dies is
-    recovered by a serial retry in the parent; the returned tuple lists
-    the recovered shard ids.
+    Under ``fork`` each shard runs in a supervised process
+    (:func:`repro.supervise.supervise`): tasks are inherited through
+    copy-on-write memory instead of being pickled, the parent heap is
+    frozen out of GC for the fan-out's lifetime so the children's
+    copy-on-write pages stay shared, and the supervisor adds heartbeats,
+    deadlines, and bounded restarts on top of the serial-retry recovery.
+    Other start methods fall back to pickling the tasks over a plain
+    pool. Either way, a shard whose worker dies is recovered by a serial
+    retry in the parent; the returned tuple lists the recovered shard
+    ids, plus the supervision report where one exists.
     """
-    global _FORK_TASKS
     start_methods = multiprocessing.get_all_start_methods()
     if "fork" in start_methods:
-        context = multiprocessing.get_context("fork")
-        # Assign inside the try: if gc.freeze() or Pool creation raises,
-        # the finally still restores the slot (a leaked value would make
-        # every later run_scenarios()-style guard or retry see stale
-        # state for the life of the process).
         try:
-            _FORK_TASKS = tasks
             gc.freeze()
-            with context.Pool(processes=workers, initializer=_disable_worker_gc) as pool:
-                pending = [
-                    pool.apply_async(_analyze_shard_by_index, (index,))
-                    for index in range(len(tasks))
-                ]
-                return _collect_with_recovery(pending, tasks)
+            results, report = supervise(
+                tasks,
+                _supervised_shard,
+                workers,
+                policy=supervisor,
+                parent_run=analyze_shard,
+                label="shard",
+            )
         finally:
             gc.unfreeze()
-            _FORK_TASKS = None
+        recovered = tuple(tasks[index].shard_id for index in report.recovered_indices)
+        return results, recovered, report
     with multiprocessing.get_context().Pool(
         processes=workers, initializer=_disable_worker_gc
     ) as pool:
         pending = [pool.apply_async(_analyze_shard_task, (task,)) for task in tasks]
-        return _collect_with_recovery(pending, tasks)
+        results, recovered = _collect_with_recovery(pending, tasks)
+        return results, recovered, None
 
 
-#: Scenario fan-out state shared with fork-started workers via
-#: copy-on-write memory: ``(task callable, config list)``. Set only for
-#: the duration of a pool run; never mutated by workers.
+#: Scenario fan-out state: ``(task callable, config list)`` of the one
+#: fan-out this process is running. Under fork the supervisor hands
+#: tasks to children directly (copy-on-write, no lookup needed); this
+#: slot remains as the process-wide *guard* against nested or concurrent
+#: multi-worker sweeps, which would interleave two supervisors over the
+#: same CPU budget and deadlock a 1-slot host.
 _SCENARIO_FANOUT: tuple[Callable, list] | None = None  # repro-lint: fork-shared(set in the parent before fork, read-only in workers, cleared in run_scenarios' finally; the not-None guard rejects nested fan-out)
-
-
-def _run_scenario_by_index(index: int):
-    """Fork-mode worker entry: look task and config up in inherited memory."""
-    assert _SCENARIO_FANOUT is not None
-    task, configs = _SCENARIO_FANOUT
-    return task(configs[index])
 
 
 def _run_scenario_call(task: Callable, config):
@@ -533,7 +534,12 @@ def _collect_scenarios(
     return results
 
 
-def run_scenarios(configs: Sequence, task: Callable, workers: int = 1) -> list:
+def run_scenarios(
+    configs: Sequence,
+    task: Callable,
+    workers: int = 1,
+    supervisor: SupervisorPolicy | None = None,
+) -> list:
     """Map *task* over *configs* on a process pool, results in config order.
 
     The multi-scenario analogue of :func:`run_pipeline`'s sharding:
@@ -586,20 +592,21 @@ def run_scenarios(configs: Sequence, task: Callable, workers: int = 1) -> list:
                 "nested or concurrent multi-worker sweeps are not supported "
                 "(run the inner call with workers=1)"
             )
-        context = multiprocessing.get_context("fork")
-        # Assign inside the try so any failure path (gc.freeze, Pool
-        # creation) still clears the slot — a leaked fan-out would make
+        # Assign inside the try so any failure path (gc.freeze, process
+        # spawn) still clears the slot — a leaked fan-out would make
         # the not-None nesting guard above reject every later sweep in
         # this process.
         try:
             _SCENARIO_FANOUT = (task, configs)
             gc.freeze()
-            with context.Pool(processes=processes, initializer=_disable_worker_gc) as pool:
-                pending = [
-                    pool.apply_async(_run_scenario_by_index, (index,))
-                    for index in range(len(configs))
-                ]
-                return _collect_scenarios(pending, configs, task)
+            results, _report = supervise(
+                configs,
+                task,
+                processes,
+                policy=supervisor,
+                label="scenario",
+            )
+            return results
         finally:
             gc.unfreeze()
             _SCENARIO_FANOUT = None
@@ -617,6 +624,7 @@ def _merge_results(
     collect_connections: bool,
     workers: int,
     recovered_shards: tuple[int, ...] = (),
+    supervision: SupervisionReport | None = None,
 ) -> PipelineResult:
     """Merge per-shard partials into the serial path's exact objects."""
     classified: tuple[ClassifiedConnection, ...] | None = None
@@ -656,6 +664,7 @@ def _merge_results(
         workers=workers,
         shards=len(results),
         recovered_shards=recovered_shards,
+        supervision=supervision,
     )
 
 
@@ -698,6 +707,7 @@ def run_pipeline(
     abs_threshold: float = ABS_INSIGNIFICANT,
     rel_threshold: float = REL_INSIGNIFICANT,
     collect_connections: bool = False,
+    supervisor: SupervisorPolicy | None = None,
 ) -> PipelineResult:
     """Run the §4–§6 analysis pipeline, optionally over a worker pool.
 
@@ -744,9 +754,10 @@ def run_pipeline(
         )
         for shard_id, (dns_part, conn_part, index_part) in enumerate(parts)
     ]
-    results, recovered = _run_tasks(tasks, workers)
+    results, recovered, report = _run_tasks(tasks, workers, supervisor)
     return _merge_results(
-        results, thresholds, len(trace.conns), collect_connections, workers, recovered
+        results, thresholds, len(trace.conns), collect_connections, workers, recovered,
+        report,
     )
 
 
@@ -797,6 +808,9 @@ def _run_streaming(
     conns: "Iterable[ConnRecord]",
     config: StreamingConfig,
     workers: int,
+    checkpoint: CheckpointConfig | None = None,
+    resume: bool = False,
+    checkpoint_telemetry: CheckpointTelemetry | None = None,
 ) -> tuple[StreamingState, int]:
     """Shared driver of the streaming entry points.
 
@@ -805,10 +819,30 @@ def _run_streaming(
     ``workers>1`` must materialize both logs to shard them by household
     (use it when the logs are already in memory and wall-time matters);
     the shard states merge into exactly the single-stream state, so both
-    paths finalize identically.
+    paths finalize identically. *checkpoint* makes the single-stream
+    path crash-safe (:func:`repro.core.checkpoint.run_checkpointed_stream`);
+    checkpointing a sharded run is rejected — one checkpoint file cannot
+    describe many independent stream frontiers.
     """
     if workers < 1:
         raise AnalysisError(f"worker count must be positive, got {workers}")
+    if checkpoint is not None and workers != 1:
+        raise AnalysisError(
+            "checkpointing requires workers=1 (a sharded streaming run has "
+            "no single resumable frontier)"
+        )
+    if checkpoint is not None:
+        return (
+            run_checkpointed_stream(
+                dns_records,
+                conns,
+                config,
+                checkpoint=checkpoint,
+                resume=resume,
+                telemetry=checkpoint_telemetry,
+            ),
+            1,
+        )
     if workers == 1:
         return analyze_stream(dns_records, conns, config), 1
     dns_list = list(dns_records)
@@ -838,6 +872,9 @@ def run_streaming_pipeline(
     blocking_threshold: float = DEFAULT_BLOCKING_THRESHOLD,
     abs_threshold: float = ABS_INSIGNIFICANT,
     rel_threshold: float = REL_INSIGNIFICANT,
+    checkpoint: CheckpointConfig | None = None,
+    resume: bool = False,
+    checkpoint_telemetry: CheckpointTelemetry | None = None,
 ) -> PipelineResult:
     """One-pass the logs with exact statistics; return the batch result.
 
@@ -859,7 +896,9 @@ def run_streaming_pipeline(
         abs_threshold=abs_threshold,
         rel_threshold=rel_threshold,
     )
-    state, shard_count = _run_streaming(dns_records, conns, config, workers)
+    state, shard_count = _run_streaming(
+        dns_records, conns, config, workers, checkpoint, resume, checkpoint_telemetry
+    )
     result = finalize_result(state, config)
     return PipelineResult(
         census=result.census,
@@ -887,6 +926,9 @@ def run_streaming_summary(
     blocking_threshold: float = DEFAULT_BLOCKING_THRESHOLD,
     abs_threshold: float = ABS_INSIGNIFICANT,
     rel_threshold: float = REL_INSIGNIFICANT,
+    checkpoint: CheckpointConfig | None = None,
+    resume: bool = False,
+    checkpoint_telemetry: CheckpointTelemetry | None = None,
 ) -> StreamingSummary:
     """One-pass the logs with sketched statistics; return the summary.
 
@@ -907,5 +949,7 @@ def run_streaming_summary(
         abs_threshold=abs_threshold,
         rel_threshold=rel_threshold,
     )
-    state, _ = _run_streaming(dns_records, conns, config, workers)
+    state, _ = _run_streaming(
+        dns_records, conns, config, workers, checkpoint, resume, checkpoint_telemetry
+    )
     return finalize_summary(state, config)

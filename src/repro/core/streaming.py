@@ -248,6 +248,122 @@ class StreamingState:
         return merged
 
 
+class StreamMerger:
+    """The snapshottable event-time merge behind :func:`stream_trace`.
+
+    Holds exactly the merge frontier — the pending-completion heap, the
+    tie-break sequence counter, the ordering guards, and the one-record
+    lookahead into each input — as explicit state so a checkpoint can
+    capture it (:meth:`snapshot`) and a resumed process can rebuild it
+    against re-opened inputs (:meth:`restore`). The input iterators
+    themselves are *not* part of the snapshot; the checkpoint layer
+    records how many records each one has yielded instead.
+    """
+
+    __slots__ = (
+        "_dns_iter",
+        "_conn_iter",
+        "_pending",
+        "_seq",
+        "_last_dns_ts_s",
+        "_last_conn_ts_s",
+        "_next_dns",
+        "_next_conn",
+    )
+
+    def __init__(
+        self, dns_records: Iterable[DnsRecord], conns: Iterable[ConnRecord]
+    ) -> None:
+        self._dns_iter = iter(dns_records)
+        self._conn_iter = iter(conns)
+        self._pending: list[tuple[float, int, DnsRecord]] = []
+        self._seq = 0
+        self._last_dns_ts_s = -math.inf
+        self._last_conn_ts_s = -math.inf
+        self._next_dns = next(self._dns_iter, None)
+        self._next_conn = next(self._conn_iter, None)
+
+    def snapshot(
+        self,
+    ) -> tuple[
+        list[tuple[float, int, DnsRecord]],
+        int,
+        float,
+        float,
+        DnsRecord | None,
+        ConnRecord | None,
+    ]:
+        """The merge frontier as a picklable tuple (inputs excluded)."""
+        return (
+            list(self._pending),
+            self._seq,
+            self._last_dns_ts_s,
+            self._last_conn_ts_s,
+            self._next_dns,
+            self._next_conn,
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        dns_records: Iterable[DnsRecord],
+        conns: Iterable[ConnRecord],
+        frontier: tuple[
+            list[tuple[float, int, DnsRecord]],
+            int,
+            float,
+            float,
+            DnsRecord | None,
+            ConnRecord | None,
+        ],
+    ) -> "StreamMerger":
+        """Rebuild a merger from :meth:`snapshot` state plus re-opened
+        inputs positioned just past the records already consumed."""
+        merger = cls.__new__(cls)
+        merger._dns_iter = iter(dns_records)
+        merger._conn_iter = iter(conns)
+        pending, seq, last_dns_ts_s, last_conn_ts_s, next_dns, next_conn = frontier
+        merger._pending = list(pending)
+        merger._seq = seq
+        merger._last_dns_ts_s = last_dns_ts_s
+        merger._last_conn_ts_s = last_conn_ts_s
+        merger._next_dns = next_dns
+        merger._next_conn = next_conn
+        return merger
+
+    def __iter__(self) -> "StreamMerger":
+        return self
+
+    def __next__(self) -> tuple[str, DnsRecord | ConnRecord]:
+        pending = self._pending
+        while pending or self._next_dns is not None or self._next_conn is not None:
+            next_dns = self._next_dns
+            next_conn = self._next_conn
+            conn_ts = next_conn.ts if next_conn is not None else math.inf
+            dns_ts = next_dns.ts if next_dns is not None else math.inf
+            if pending and pending[0][0] <= conn_ts and pending[0][0] <= dns_ts:
+                return "dns", heapq.heappop(pending)[2]
+            if next_dns is not None and dns_ts <= conn_ts:
+                if dns_ts < self._last_dns_ts_s:
+                    raise AnalysisError(
+                        f"DNS log is not time-ordered: {dns_ts} after {self._last_dns_ts_s}"
+                    )
+                self._last_dns_ts_s = dns_ts
+                heapq.heappush(pending, (next_dns.completed_at, self._seq, next_dns))
+                self._seq += 1
+                self._next_dns = next(self._dns_iter, None)
+                continue
+            assert next_conn is not None
+            if conn_ts < self._last_conn_ts_s:
+                raise AnalysisError(
+                    f"connection log is not time-ordered: {conn_ts} after {self._last_conn_ts_s}"
+                )
+            self._last_conn_ts_s = conn_ts
+            self._next_conn = next(self._conn_iter, None)
+            return "conn", next_conn
+        raise StopIteration
+
+
 def stream_trace(
     dns_records: Iterable[DnsRecord], conns: Iterable[ConnRecord]
 ) -> Iterator[tuple[str, DnsRecord | ConnRecord]]:
@@ -261,38 +377,51 @@ def stream_trace(
     completion, so a min-heap of pending completions (bounded by the
     number of concurrently outstanding lookups) suffices to reorder;
     both inputs must be ``ts``-nondecreasing, as Zeek logs are.
+
+    Thin wrapper over :class:`StreamMerger`, which exposes the same
+    merge with a snapshottable frontier for checkpointing.
     """
-    pending: list[tuple[float, int, DnsRecord]] = []
+    return iter(StreamMerger(dns_records, conns))
+
+
+def reorder_records(
+    records: "Iterable[DnsRecord | ConnRecord]", window_s: float
+) -> "Iterator[DnsRecord | ConnRecord]":
+    """Bounded reorder buffer for near-``ts``-ordered live streams.
+
+    A log tailed while it is being written can interleave writers and
+    arrive slightly out of order; :class:`StreamMerger` however requires
+    ``ts``-nondecreasing inputs. This operator holds records in a
+    min-heap and only releases one once the maximum timestamp seen is at
+    least ``window_s`` ahead of it, so any record at most ``window_s``
+    late is re-sorted into place. Records later than that raise
+    :class:`AnalysisError` — silently reordering them would break the
+    merge contract. Ties preserve arrival order. ``window_s=0`` is a
+    pass-through that merely verifies ordering.
+    """
+    if window_s < 0:
+        raise AnalysisError(f"reorder window must be nonnegative, got {window_s}")
+    heap: list[tuple[float, int, DnsRecord | ConnRecord]] = []
     seq = 0
-    last_dns_ts_s = -math.inf
-    last_conn_ts_s = -math.inf
-    dns_iter = iter(dns_records)
-    conn_iter = iter(conns)
-    next_dns = next(dns_iter, None)
-    next_conn = next(conn_iter, None)
-    while pending or next_dns is not None or next_conn is not None:
-        conn_ts = next_conn.ts if next_conn is not None else math.inf
-        dns_ts = next_dns.ts if next_dns is not None else math.inf
-        if pending and pending[0][0] <= conn_ts and pending[0][0] <= dns_ts:
-            yield "dns", heapq.heappop(pending)[2]
-        elif next_dns is not None and dns_ts <= conn_ts:
-            if dns_ts < last_dns_ts_s:
-                raise AnalysisError(
-                    f"DNS log is not time-ordered: {dns_ts} after {last_dns_ts_s}"
-                )
-            last_dns_ts_s = dns_ts
-            heapq.heappush(pending, (next_dns.completed_at, seq, next_dns))
-            seq += 1
-            next_dns = next(dns_iter, None)
-        else:
-            assert next_conn is not None
-            if conn_ts < last_conn_ts_s:
-                raise AnalysisError(
-                    f"connection log is not time-ordered: {conn_ts} after {last_conn_ts_s}"
-                )
-            last_conn_ts_s = conn_ts
-            yield "conn", next_conn
-            next_conn = next(conn_iter, None)
+    max_ts_s = -math.inf
+    emitted_ts_s = -math.inf
+    for record in records:
+        ts = record.ts
+        if ts < emitted_ts_s:
+            raise AnalysisError(
+                f"record at ts={ts} arrived more than {window_s}s late "
+                f"(stream frontier already at {emitted_ts_s})"
+            )
+        if ts > max_ts_s:
+            max_ts_s = ts
+        heapq.heappush(heap, (ts, seq, record))
+        seq += 1
+        horizon_s = max_ts_s - window_s
+        while heap and heap[0][0] <= horizon_s:
+            emitted_ts_s = heap[0][0]
+            yield heapq.heappop(heap)[2]
+    while heap:
+        yield heapq.heappop(heap)[2]
 
 
 class StreamingAnalyzer:

@@ -53,3 +53,22 @@ class LogFormatError(ReproError):
 
 class AnalysisError(ReproError):
     """The analysis pipeline was given inconsistent inputs."""
+
+
+class CheckpointError(ReproError):
+    """A streaming checkpoint could not be written, loaded, or resumed.
+
+    Raised both for corrupt/truncated checkpoint files and for resume
+    mismatches (a checkpoint written under a different streaming
+    configuration, or against a different input trace).
+    """
+
+
+class SupervisionError(ReproError):
+    """A supervised worker task was quarantined.
+
+    Raised when a task exhausts its restart budget on failures the
+    parent cannot safely retry serially (hangs, stalled heartbeats) or
+    when its final serial retry fails for a non-library reason. The
+    message names the offending task.
+    """

@@ -2,6 +2,22 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, docs, exceptions, shared_state, unitflow, units
+from repro.lint.rules import (
+    atomicity,
+    determinism,
+    docs,
+    exceptions,
+    shared_state,
+    unitflow,
+    units,
+)
 
-__all__ = ["determinism", "docs", "exceptions", "shared_state", "unitflow", "units"]
+__all__ = [
+    "atomicity",
+    "determinism",
+    "docs",
+    "exceptions",
+    "shared_state",
+    "unitflow",
+    "units",
+]

@@ -1,0 +1,84 @@
+"""CKPT001: checkpoint files are written atomically.
+
+A checkpoint exists to survive a crash — which means the crash can land
+inside the checkpoint writer itself. A plain ``open(path, "w")`` on a
+checkpoint path truncates the previous good snapshot before the new one
+is durable, so a kill mid-write destroys the very state the file was
+meant to preserve. All checkpoint writes must go through
+:func:`repro.core.checkpoint.atomic_write_bytes` (write-temp + fsync +
+rename), which that module owns — it is the single audited exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register_rule
+
+#: Path substrings marking an expression as "a checkpoint path". Matched
+#: against the unparsed source of ``open``'s file argument, lowercased,
+#: so variables (``checkpoint_path``), attributes (``self.ckpt``) and
+#: literals (``"run.ckpt"``) are all caught.
+_CHECKPOINT_MARKERS = ("checkpoint", "ckpt")
+
+#: The one module allowed to open checkpoint paths for writing: it
+#: implements the atomic-rename helper everything else must call.
+_EXEMPT_SUFFIX = "repro/core/checkpoint.py"
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The literal mode string of an ``open`` call, if present."""
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    else:
+        mode = next(
+            (kw.value for kw in node.keywords if kw.arg == "mode"), None
+        )
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _open_path(node: ast.Call) -> ast.expr | None:
+    """The file-argument expression of an ``open`` call, if present."""
+    if node.args:
+        return node.args[0]
+    return next((kw.value for kw in node.keywords if kw.arg == "file"), None)
+
+
+@register_rule
+class CheckpointAtomicityRule(Rule):
+    """CKPT001: no bare write-mode open() on checkpoint paths."""
+
+    rule_id = "CKPT001"
+    title = "checkpoint writes go through the atomic-rename helper"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if str(ctx.path).replace("\\", "/").endswith(_EXEMPT_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "open"):
+                continue
+            mode = _open_mode(node)
+            if mode is None or not any(flag in mode for flag in "wax+"):
+                continue
+            path_expr = _open_path(node)
+            if path_expr is None:
+                continue
+            source = ast.unparse(path_expr).lower()
+            if not any(marker in source for marker in _CHECKPOINT_MARKERS):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"open({ast.unparse(path_expr)}, {mode!r}) truncates a checkpoint "
+                "in place — a crash mid-write destroys the last good snapshot; "
+                "use repro.core.checkpoint.atomic_write_bytes instead",
+            )

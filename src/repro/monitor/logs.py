@@ -9,8 +9,10 @@ field order and ignore unknown fields, so logs written by other tools
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
-from typing import IO, Iterable, Iterator
+from typing import IO, Callable, Iterable, Iterator
 
 from repro.errors import LogFormatError
 from repro.monitor.records import ConnRecord, DnsAnswer, DnsRecord, Proto
@@ -363,16 +365,23 @@ def load_conn_log(path: str) -> list[ConnRecord]:
     with open(path, "r", encoding="utf-8") as stream:
         return read_conn_log(stream)
 
-def _iter_log(stream: IO[str], parse) -> Iterator:
-    """Incremental (strict) variant of :func:`_read_log`.
+def _parse_lines(
+    lines: Iterable[str],
+    parse,
+    strict: bool,
+    quarantine: list[QuarantinedLine] | None,
+) -> Iterator:
+    """The shared incremental parse loop behind lazy and tailing readers.
 
-    Yields records as lines are parsed instead of materializing the
-    log, so week-scale logs stream through the one-pass analysis engine
-    in O(1) reader memory. Malformed lines always raise — a lazy reader
-    has no quarantine report to attach them to.
+    Header (``#``) lines re-establish the field map whenever they
+    appear, so a tailed stream that crosses a rotation boundary picks
+    up the new file's header transparently. With ``strict`` a
+    malformed line raises :class:`LogFormatError`; otherwise it is
+    appended to *quarantine* (when given) and skipped, keeping a
+    long-lived tail alive across the occasional torn line.
     """
     index_by_name: dict[str, int] | None = None
-    for number, line in enumerate(stream, start=1):
+    for number, line in enumerate(lines, start=1):
         line = line.rstrip("\n")
         if not line:
             continue
@@ -382,31 +391,195 @@ def _iter_log(stream: IO[str], parse) -> Iterator:
                 index_by_name = {name: index for index, name in enumerate(parts[1:])}
             continue
         if index_by_name is None:
-            raise LogFormatError(f"line {number}: data before #fields header")
+            if strict:
+                raise LogFormatError(f"line {number}: data before #fields header")
+            if quarantine is not None:
+                quarantine.append(
+                    QuarantinedLine(number, "data before #fields header", line)
+                )
+            continue
         columns = line.split(_SEPARATOR)
         try:
             yield parse(columns, index_by_name, number)
-        except LogFormatError:
-            raise
-        except ValueError as exc:
-            raise LogFormatError(f"line {number}: {exc}") from exc
+        except (ValueError, LogFormatError) as exc:
+            if strict:
+                if isinstance(exc, LogFormatError):
+                    raise
+                raise LogFormatError(f"line {number}: {exc}") from exc
+            if quarantine is not None:
+                quarantine.append(QuarantinedLine(number, str(exc), line))
 
 
-def iter_dns_log(path: str) -> Iterator[DnsRecord]:
+def _iter_log(
+    stream: IO[str],
+    parse,
+    strict: bool = True,
+    quarantine: list[QuarantinedLine] | None = None,
+) -> Iterator:
+    """Incremental variant of :func:`_read_log`.
+
+    Yields records as lines are parsed instead of materializing the
+    log, so week-scale logs stream through the one-pass analysis engine
+    in O(1) reader memory. With ``strict=False`` malformed lines are
+    collected into *quarantine* (a caller-owned list, inspected after
+    the stream drains) instead of raising.
+    """
+    yield from _parse_lines(stream, parse, strict, quarantine)
+
+
+def iter_dns_log(
+    path: str,
+    strict: bool = True,
+    quarantine: list[QuarantinedLine] | None = None,
+) -> Iterator[DnsRecord]:
     """Lazily read a dns.log from *path*, one record at a time.
 
     The streaming counterpart of :func:`load_dns_log`: feed it straight
     to :func:`repro.core.parallel.run_streaming_pipeline` and the full
     record list never exists in memory. The file stays open until the
-    generator is exhausted or closed."""
+    generator is exhausted or closed. ``strict=False`` plus a
+    *quarantine* list gives lenient ingest with a post-hoc audit trail."""
     with open(path, "r", encoding="utf-8") as stream:
-        yield from _iter_log(stream, _dns_from_columns)
+        yield from _iter_log(stream, _dns_from_columns, strict, quarantine)
 
 
-def iter_conn_log(path: str) -> Iterator[ConnRecord]:
+def iter_conn_log(
+    path: str,
+    strict: bool = True,
+    quarantine: list[QuarantinedLine] | None = None,
+) -> Iterator[ConnRecord]:
     """Lazily read a conn.log from *path*, one record at a time.
 
     The streaming counterpart of :func:`load_conn_log`; see
     :func:`iter_dns_log`."""
     with open(path, "r", encoding="utf-8") as stream:
-        yield from _iter_log(stream, _conn_from_columns)
+        yield from _iter_log(stream, _conn_from_columns, strict, quarantine)
+
+
+def tail_lines(
+    path: str,
+    poll_interval_s: float = 0.25,
+    idle_timeout_s: float | None = None,
+    stop: Callable[[], bool] | None = None,
+) -> Iterator[str]:
+    """Follow a growing log file, yielding complete lines as they land.
+
+    The live-ingest primitive: reads in binary so byte positions are
+    exact, buffers a partial trailing line until its newline arrives,
+    and survives the two things log writers do to followers —
+
+    * **truncation** (``copytruncate``-style rotation): the file's size
+      drops below our read position; re-seek to the start and drop any
+      buffered partial line, since its continuation is gone.
+    * **rotation** (rename-and-recreate): the path's inode changes.
+      The old stream is drained to EOF first — nothing more will be
+      appended to a renamed-away file — then the new file is opened
+      from the beginning. A buffered partial line from the old file is
+      flushed as-is: the writer closed that file, so the line is final.
+
+    A missing file (not yet created, or mid-rotation) is waited out.
+    ``idle_timeout_s`` ends the tail after that much time with no new
+    data; ``stop`` is polled between reads for cooperative shutdown.
+    Decoding replaces invalid UTF-8 rather than raising, leaving
+    malformed-line policy to the record-level parser.
+    """
+    if poll_interval_s <= 0.0:
+        raise ValueError(f"poll_interval_s must be positive, got {poll_interval_s}")
+    if idle_timeout_s is not None and idle_timeout_s <= 0.0:
+        raise ValueError(f"idle_timeout_s must be positive, got {idle_timeout_s}")
+    stream: IO[bytes] | None = None
+    inode: int | None = None
+    buffer = b""
+    last_data_s = time.monotonic()
+    while True:
+        if stream is None:
+            try:
+                stream = open(path, "rb")
+            except FileNotFoundError:
+                if stop is not None and stop():
+                    return
+                if (
+                    idle_timeout_s is not None
+                    and time.monotonic() - last_data_s >= idle_timeout_s
+                ):
+                    return
+                time.sleep(poll_interval_s)
+                continue
+            inode = os.fstat(stream.fileno()).st_ino
+            buffer = b""
+        chunk = stream.read(65536)
+        if chunk:
+            last_data_s = time.monotonic()
+            buffer += chunk
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    break
+                yield buffer[:newline].decode("utf-8", errors="replace")
+                buffer = buffer[newline + 1 :]
+            continue
+        # At EOF of the current stream: check for truncation, rotation,
+        # shutdown, and idleness — in that order.
+        size = os.fstat(stream.fileno()).st_size
+        if size < stream.tell():
+            stream.seek(0)
+            buffer = b""
+            continue
+        rotated = False
+        try:
+            rotated = os.stat(path).st_ino != inode
+        except FileNotFoundError:
+            # Mid-rotation window: the old file persists via our fd;
+            # keep polling it until the new file appears.
+            pass
+        if rotated:
+            if buffer:
+                yield buffer.decode("utf-8", errors="replace")
+            stream.close()
+            stream = None
+            continue
+        if stop is not None and stop():
+            if buffer:
+                yield buffer.decode("utf-8", errors="replace")
+            stream.close()
+            return
+        if (
+            idle_timeout_s is not None
+            and time.monotonic() - last_data_s >= idle_timeout_s
+        ):
+            stream.close()
+            return
+        time.sleep(poll_interval_s)
+
+
+def tail_dns_log(
+    path: str,
+    poll_interval_s: float = 0.25,
+    idle_timeout_s: float | None = None,
+    stop: Callable[[], bool] | None = None,
+    strict: bool = True,
+    quarantine: list[QuarantinedLine] | None = None,
+) -> Iterator[DnsRecord]:
+    """Follow a growing dns.log, yielding records as they are written.
+
+    :func:`tail_lines` handles growth, rotation, and truncation; this
+    wrapper parses each completed line, re-reading headers whenever a
+    rotation delivers a fresh file. Lenient mode (``strict=False``)
+    quarantines torn or malformed lines instead of killing the tail."""
+    lines = tail_lines(path, poll_interval_s, idle_timeout_s, stop)
+    yield from _parse_lines(lines, _dns_from_columns, strict, quarantine)
+
+
+def tail_conn_log(
+    path: str,
+    poll_interval_s: float = 0.25,
+    idle_timeout_s: float | None = None,
+    stop: Callable[[], bool] | None = None,
+    strict: bool = True,
+    quarantine: list[QuarantinedLine] | None = None,
+) -> Iterator[ConnRecord]:
+    """Follow a growing conn.log, yielding records as they are written.
+
+    See :func:`tail_dns_log`."""
+    lines = tail_lines(path, poll_interval_s, idle_timeout_s, stop)
+    yield from _parse_lines(lines, _conn_from_columns, strict, quarantine)

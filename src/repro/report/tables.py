@@ -9,6 +9,7 @@ from repro.core.improvements import RefreshComparison
 from repro.core.parallel import PipelineResult, PressureStats
 from repro.core.resolvers import ResolverUsageRow
 from repro.core.streaming import StreamingSummary
+from repro.monitor.logs import IngestReport
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -168,13 +169,17 @@ def render_pipeline_report(result: "PipelineResult") -> str:
     return "\n".join(lines)
 
 
-def render_streaming_summary(summary: "StreamingSummary") -> str:
+def render_streaming_summary(
+    summary: "StreamingSummary", ingest: "tuple[IngestReport, ...] | None" = None
+) -> str:
     """Text report of a sketch-mode streaming run.
 
     Counts are exact; distribution numbers come from the quantile
     sketches and are annotated with the certified worst-case rank-error
     bound. Dict-backed sections sort their keys (see
-    :func:`render_pipeline_report`)."""
+    :func:`render_pipeline_report`). *ingest* reports from a lenient
+    streaming read are surfaced as a quarantine section, so discarded
+    lines stay visible even when the record lists never materialize."""
     census = summary.census
     lines = [
         "Streaming summary (one pass, sketched statistics):",
@@ -233,4 +238,8 @@ def render_streaming_summary(summary: "StreamingSummary") -> str:
             f"  {resolver}: {1000 * summary.thresholds[resolver]:.1f} ms"
             for resolver in sorted(summary.thresholds)
         )
+    if ingest:
+        lines.append("")
+        lines.append("Lenient ingest quarantine:")
+        lines.extend(f"  {report.summary()}" for report in ingest)
     return "\n".join(lines)

@@ -694,3 +694,51 @@ class TestGoldenPR5Reproductions:
             "SHARED001",
             "SHARED002",
         ]
+
+
+class TestCKPT001CheckpointAtomicity:
+    def test_write_mode_open_on_checkpoint_path_flagged(self):
+        findings = lint(
+            'def save(checkpoint_path):\n'
+            '    with open(checkpoint_path, "w") as stream:\n'
+            '        stream.write("state")\n',
+            rules=["CKPT001"],
+        )
+        assert rule_ids(findings) == ["CKPT001"]
+        assert "atomic_write_bytes" in findings[0].message
+
+    def test_binary_and_append_modes_flagged(self):
+        findings = lint(
+            'def save(ckpt):\n'
+            '    open(ckpt, "wb").write(b"x")\n'
+            '    open(ckpt, mode="ab").write(b"y")\n',
+            rules=["CKPT001"],
+        )
+        assert rule_ids(findings) == ["CKPT001", "CKPT001"]
+
+    def test_read_mode_allowed(self):
+        assert lint(
+            'def load(checkpoint_path):\n'
+            '    with open(checkpoint_path, "rb") as stream:\n'
+            '        return stream.read()\n',
+            rules=["CKPT001"],
+        ) == []
+
+    def test_non_checkpoint_path_allowed(self):
+        assert lint(
+            'def save(log_path):\n'
+            '    with open(log_path, "w") as stream:\n'
+            '        stream.write("line")\n',
+            rules=["CKPT001"],
+        ) == []
+
+    def test_checkpoint_module_itself_exempt(self):
+        engine = LintEngine(rules=[get_rule("CKPT001")])
+        findings = engine.lint_source(
+            'def atomic(path_checkpoint):\n'
+            '    with open(path_checkpoint + ".tmp", "wb") as stream:\n'
+            '        stream.write(b"payload")\n',
+            Path("src/repro/core/checkpoint.py"),
+            module="repro.core.checkpoint",
+        )
+        assert findings == []

@@ -19,9 +19,11 @@ from repro.core.streaming import (
     StreamingAnalyzer,
     StreamingConfig,
     StreamingState,
+    StreamMerger,
     analyze_stream,
     finalize_result,
     finalize_summary,
+    reorder_records,
     stream_trace,
 )
 from repro.errors import AnalysisError
@@ -100,6 +102,37 @@ def _exercise_engine() -> None:
     analyzer.consume(stream_trace(trace.dns[:200], trace.conns[:200]))
     analyzer.finish()
     analyzer.finish()
+
+    # Snapshot/restore of the merge frontier mid-stream: the restored
+    # merger (fed the same, still-positioned input iterators) must
+    # replay exactly the event suffix the original would have.
+    reference = list(stream_trace(trace.dns[:300], trace.conns[:300]))
+    dns_iter = iter(trace.dns[:300])
+    conn_iter = iter(trace.conns[:300])
+    merger = StreamMerger(dns_iter, conn_iter)
+    prefix = [next(merger) for _ in range(100)]
+    resumed = StreamMerger.restore(dns_iter, conn_iter, merger.snapshot())
+    assert prefix + list(resumed) == reference
+
+    # Bounded reorder buffering: a pairwise-shuffled tail re-sorts
+    # inside the window; a record later than the window raises.
+    records = trace.conns[:40]
+    shuffled = [
+        record
+        for pair in zip(records[1::2], records[0::2])
+        for record in pair
+    ]
+    window_s = max(b.ts - a.ts for a, b in zip(records, records[1:])) + 1.0
+    ordered = list(reorder_records(shuffled, window_s))
+    assert [r.ts for r in ordered] == sorted(r.ts for r in shuffled)
+    later = next(record for record in records if record.ts > records[0].ts)
+    far_apart = [later, records[-1], records[0]]
+    for bad_reorder in (
+        lambda: list(reorder_records(far_apart, 0.001)),
+        lambda: list(reorder_records(records, -1.0)),
+    ):
+        with pytest.raises(AnalysisError):
+            bad_reorder()
 
     # Unhappy paths: validation, mode mismatches, degenerate streams.
     for bad in (
