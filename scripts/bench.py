@@ -5,16 +5,19 @@ Generates a seeded week-long synthetic scenario once (timing generation
 separately and checking its trace digest against the pre-optimization
 baseline), runs the full pairing → classification → performance
 pipeline serially and with a worker pool, verifies the outputs are
-identical, and benchmarks a multi-seed generation sweep through
-:func:`repro.core.parallel.run_scenarios`. Writes ``BENCH_pipeline.json``
-(pipeline timings, as before) and ``BENCH_generate.json`` (generation
-before/after plus the sweep fan-out) next to the repository root.
+identical, benchmarks a multi-seed generation sweep through
+:func:`repro.core.parallel.run_scenarios`, and runs a generation-scaling
+grid (house counts x shard counts, with a TSV-vs-binary ingest
+comparison and a binlog round-trip digest gate). Writes
+``BENCH_pipeline.json`` (pipeline timings, as before) and
+``BENCH_generate.json`` (generation before/after, the sweep fan-out,
+and the scaling grid) next to the repository root.
 
 Usage:
     PYTHONPATH=src python scripts/bench.py [--houses N] [--hours H]
         [--seed S] [--workers W] [--repeats R] [--out PATH]
         [--generate-out PATH] [--sweep-seeds N] [--sweep-houses N]
-        [--sweep-hours H]
+        [--sweep-hours H] [--scaling-hours H]
 
 Wall-clock timing lives here (not in ``repro.core``) on purpose: the
 library proper never reads the clock, which is what lets repro-lint
@@ -50,6 +53,12 @@ from repro.core.parallel import (  # noqa: E402
     run_streaming_summary,
 )
 from repro.lint import LintEngine  # noqa: E402
+from repro.monitor.binlog import (  # noqa: E402
+    load_conn_binlog,
+    load_dns_binlog,
+    save_conn_binlog,
+    save_dns_binlog,
+)
 from repro.monitor.capture import Trace, trace_digest  # noqa: E402
 from repro.monitor.logs import (  # noqa: E402
     iter_conn_log,
@@ -63,14 +72,19 @@ from repro.report.tables import render_pipeline_report  # noqa: E402
 from repro.workload.generate import generate_trace, generate_trace_with_pressure  # noqa: E402
 from repro.workload.scenario import PressureConfig, ScenarioConfig  # noqa: E402
 
-#: Committed pre-optimization generation wall time for the default
+#: Committed pre-sharding generation wall time for the default
 #: 8-house x 168 h seed-1 scenario (from ``BENCH_pipeline.json`` at the
-#: baseline commit) — the "before" the acceptance speedup is against.
+#: baseline commit) — the "before" the acceptance speedup (or, on a
+#: single-core host, the parity check) is against.
 BASELINE_GENERATE_WALL_S = 64.076
 
-#: Trace digest of the default scenario at the pre-optimization
-#: baseline. Generation must still produce exactly these bytes.
-BASELINE_TRACE_DIGEST = "4b8ff4a29a3c1d3b2fa0093a68db89c906f01c6628c38fb9c24166b85737ed52"
+#: Trace digest of the default scenario under the per-house generation
+#: decomposition (the canonical output since the intra-scenario
+#: sharding change; the pre-decomposition digest was
+#: 4b8ff4a2... — see tests/test_golden_trace.py for why it moved).
+#: Generation must produce exactly these bytes at every shard and
+#: worker count.
+BASELINE_TRACE_DIGEST = "82512c6f236a12d85ce4d16f0bfcfe9c77e4137e05ff75a0a175660a3b9607a6"
 
 
 def _sweep_digest(config: ScenarioConfig) -> str:
@@ -80,6 +94,125 @@ def _sweep_digest(config: ScenarioConfig) -> str:
     sweep benchmark measures generation fan-out, not pickling.
     """
     return trace_digest(generate_trace(config))
+
+
+#: House counts of the generation-scaling grid.
+SCALING_HOUSES = (4, 8)
+
+#: Shard counts tried at every house count of the scaling grid.
+SCALING_SHARD_COUNTS = (1, 2, 4)
+
+#: Ingest timing repeats (best-of) for the TSV-vs-binary comparison.
+INGEST_REPEATS = 3
+
+
+def _time_ingest(loaders, repeats: int = INGEST_REPEATS) -> float:
+    """Best-of-*repeats* wall time to run every loader in *loaders*."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for loader in loaders:
+            loader()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_generation_scaling(seed: int, hours: float) -> dict:
+    """Generation across the houses x shards grid, plus ingest formats.
+
+    For every house count, generates the same scenario at each shard
+    count and gates on all digests being identical (the determinism
+    contract of the per-house decomposition). The largest trace per
+    house count is then written as both TSV logs and RBLG binlogs;
+    bytes-on-disk and best-of ingest wall time are recorded for each
+    format, and the binlog round-trip is gated on reproducing the
+    generation digest exactly (the binary format loses nothing).
+    """
+    duration = hours * 3600.0
+    grid = []
+    ingest = []
+    shard_digests_identical = True
+    roundtrip_identical = True
+    for houses in SCALING_HOUSES:
+        config = ScenarioConfig(seed=seed, houses=houses, duration=duration)
+        digests = []
+        trace = None
+        for shards in SCALING_SHARD_COUNTS:
+            start = time.perf_counter()
+            trace = generate_trace(config, shards=shards)
+            wall_s = time.perf_counter() - start
+            digest = trace_digest(trace)
+            digests.append(digest)
+            grid.append(
+                {
+                    "houses": houses,
+                    "shards": shards,
+                    "wall_s": round(wall_s, 3),
+                    "trace_digest": digest,
+                }
+            )
+            print(
+                f"  {houses} houses x {shards} shard(s): {wall_s:.1f}s "
+                f"(digest {digest[:12]}...)"
+            )
+        if len(set(digests)) != 1:
+            shard_digests_identical = False
+            print(f"  !! digests diverge across shard counts at {houses} houses")
+
+        with tempfile.TemporaryDirectory(prefix="bench-scaling-") as tmp:
+            dns_tsv = os.path.join(tmp, "dns.log")
+            conn_tsv = os.path.join(tmp, "conn.log")
+            dns_bin = os.path.join(tmp, "dns.rblg")
+            conn_bin = os.path.join(tmp, "conn.rblg")
+            save_dns_log(dns_tsv, trace.dns)
+            save_conn_log(conn_tsv, trace.conns)
+            save_dns_binlog(dns_bin, trace.dns)
+            save_conn_binlog(conn_bin, trace.conns)
+            tsv_bytes = os.path.getsize(dns_tsv) + os.path.getsize(conn_tsv)
+            bin_bytes = os.path.getsize(dns_bin) + os.path.getsize(conn_bin)
+            tsv_wall_s = _time_ingest(
+                (lambda: load_dns_log(dns_tsv), lambda: load_conn_log(conn_tsv))
+            )
+            bin_wall_s = _time_ingest(
+                (lambda: load_dns_binlog(dns_bin), lambda: load_conn_binlog(conn_bin))
+            )
+            rebuilt = Trace(
+                dns=list(load_dns_binlog(dns_bin)),
+                conns=list(load_conn_binlog(conn_bin)),
+                truth=trace.truth,
+                duration=trace.duration,
+                houses=trace.houses,
+            )
+            roundtrip = trace_digest(rebuilt) == digests[-1]
+        if not roundtrip:
+            roundtrip_identical = False
+        speedup = tsv_wall_s / bin_wall_s if bin_wall_s else float("inf")
+        ingest.append(
+            {
+                "houses": houses,
+                "tsv_bytes": tsv_bytes,
+                "bin_bytes": bin_bytes,
+                "bytes_ratio": round(bin_bytes / tsv_bytes, 3),
+                "tsv_ingest_wall_s": round(tsv_wall_s, 3),
+                "bin_ingest_wall_s": round(bin_wall_s, 3),
+                "ingest_speedup": round(speedup, 3),
+                "roundtrip_digest_identical": roundtrip,
+            }
+        )
+        print(
+            f"  {houses} houses ingest: TSV {tsv_wall_s:.3f}s / "
+            f"{tsv_bytes / 1024:.0f} KiB, binary {bin_wall_s:.3f}s / "
+            f"{bin_bytes / 1024:.0f} KiB ({speedup:.1f}x faster, "
+            f"round-trip digest identical: {roundtrip})"
+        )
+    return {
+        "hours": hours,
+        "grid": grid,
+        "ingest": ingest,
+        "shard_digests_identical": shard_digests_identical,
+        "roundtrip_identical": roundtrip_identical,
+        "ingest_speedup_min": min(row["ingest_speedup"] for row in ingest),
+    }
 
 
 def _time_lint() -> dict:
@@ -358,6 +491,7 @@ def main() -> int:
     parser.add_argument("--sweep-seeds", type=int, default=4, help="seed count for the multi-scenario sweep benchmark (0 disables)")
     parser.add_argument("--sweep-houses", type=int, default=4)
     parser.add_argument("--sweep-hours", type=float, default=12.0)
+    parser.add_argument("--scaling-hours", type=float, default=12.0, help="simulated hours per cell of the generation-scaling grid (0 disables)")
     args = parser.parse_args()
 
     config = ScenarioConfig(seed=args.seed, houses=args.houses, duration=args.hours * 3600.0)
@@ -392,6 +526,9 @@ def main() -> int:
             )
             for seed in range(1, args.sweep_seeds + 1)
         ]
+        sweep_workers_effective = effective_worker_count(
+            args.workers, jobs=args.sweep_seeds
+        )
         print(
             f"sweep: {args.sweep_seeds} x ({args.sweep_houses} houses x "
             f"{args.sweep_hours:.0f}h), serial vs {args.workers} workers...",
@@ -400,26 +537,63 @@ def main() -> int:
         start = time.perf_counter()
         sweep_serial = run_scenarios(sweep_configs, _sweep_digest, workers=1)
         sweep_serial_s = time.perf_counter() - start
-        start = time.perf_counter()
-        sweep_parallel = run_scenarios(sweep_configs, _sweep_digest, workers=args.workers)
-        sweep_parallel_s = time.perf_counter() - start
-        sweep_identical = sweep_serial == sweep_parallel
-        sweep_speedup = sweep_serial_s / sweep_parallel_s if sweep_parallel_s else float("inf")
-        print(
-            f"  serial {sweep_serial_s:.3f}s, parallel {sweep_parallel_s:.3f}s "
-            f"({sweep_speedup:.2f}x), identical digests: {sweep_identical}"
-        )
         sweep = {
             "seeds": args.sweep_seeds,
             "houses": args.sweep_houses,
             "hours": args.sweep_hours,
             "workers": args.workers,
-            "workers_effective": effective_worker_count(args.workers, jobs=args.sweep_seeds),
+            "workers_effective": sweep_workers_effective,
             "serial_wall_s": round(sweep_serial_s, 3),
-            "parallel_wall_s": round(sweep_parallel_s, 3),
-            "speedup": round(sweep_speedup, 3),
-            "outputs_identical": sweep_identical,
         }
+        if sweep_workers_effective < 2:
+            # With the pool clamped to one worker the "parallel" leg is
+            # the serial leg plus pool overhead; reporting its ratio as
+            # a speedup is misleading, so skip it and say why.
+            reason = (
+                f"worker clamp: {args.workers} requested, "
+                f"{sweep_workers_effective} effective on this host"
+            )
+            print(f"  serial {sweep_serial_s:.3f}s; parallel leg skipped ({reason})")
+            sweep.update(
+                {
+                    "parallel_wall_s": None,
+                    "speedup": None,
+                    "parallel_skipped": reason,
+                    "outputs_identical": True,
+                }
+            )
+        else:
+            start = time.perf_counter()
+            sweep_parallel = run_scenarios(
+                sweep_configs, _sweep_digest, workers=args.workers
+            )
+            sweep_parallel_s = time.perf_counter() - start
+            sweep_identical = sweep_serial == sweep_parallel
+            sweep_speedup = (
+                sweep_serial_s / sweep_parallel_s if sweep_parallel_s else float("inf")
+            )
+            print(
+                f"  serial {sweep_serial_s:.3f}s, parallel {sweep_parallel_s:.3f}s "
+                f"({sweep_speedup:.2f}x), identical digests: {sweep_identical}"
+            )
+            sweep.update(
+                {
+                    "parallel_wall_s": round(sweep_parallel_s, 3),
+                    "speedup": round(sweep_speedup, 3),
+                    "parallel_skipped": None,
+                    "outputs_identical": sweep_identical,
+                }
+            )
+
+    scaling = None
+    if args.scaling_hours > 0:
+        print(
+            f"generation scaling: houses {SCALING_HOUSES} x shards "
+            f"{SCALING_SHARD_COUNTS} at {args.scaling_hours:.0f}h, "
+            "TSV vs binary ingest:",
+            flush=True,
+        )
+        scaling = _time_generation_scaling(args.seed, args.scaling_hours)
 
     print("streaming vs batch (spawn children, on-disk logs):", flush=True)
     streaming = _time_streaming(trace)
@@ -478,6 +652,7 @@ def main() -> int:
         "baseline_trace_digest": BASELINE_TRACE_DIGEST if default_scenario else None,
         "outputs_identical": generate_identical,
         "sweep": sweep,
+        "scaling": scaling,
     }
     generate_out_path = os.path.abspath(args.generate_out)
     with open(generate_out_path, "w", encoding="utf-8") as stream:
@@ -489,6 +664,10 @@ def main() -> int:
         identical
         and generate_identical is not False
         and (sweep is None or sweep["outputs_identical"])
+        and (
+            scaling is None
+            or (scaling["shard_digests_identical"] and scaling["roundtrip_identical"])
+        )
         and streaming["reports_identical"]
         and checkpoint["within_budget"]
     )

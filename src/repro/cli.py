@@ -14,6 +14,10 @@ Subcommands::
     repro-dns report --houses 20 --hours 12 --seed 1
         Generate and analyse in one step.
 
+    repro-dns convert out/dns.log out/dns.rblg
+        Convert a trace log between Zeek TSV and the RBLG binary
+        columnar format (direction inferred from the input file).
+
     repro-dns lint src/repro
         Run the repro-lint static invariant checker (also available as
         the ``repro-lint`` entry point; extra flags are passed through).
@@ -52,6 +56,19 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.dns.cache import EVICTION_POLICIES
+from repro.monitor.binlog import (
+    CONN_KIND,
+    DNS_KIND,
+    convert_conn_binlog_to_tsv,
+    convert_conn_tsv_to_binlog,
+    convert_dns_binlog_to_tsv,
+    convert_dns_tsv_to_binlog,
+    iter_conn_binlog,
+    iter_dns_binlog,
+    save_conn_binlog,
+    save_dns_binlog,
+    sniff_binlog,
+)
 from repro.monitor.logs import (
     IngestReport,
     iter_conn_log,
@@ -113,6 +130,23 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         duration=args.hours * 3600.0,
         faults=_faults_from_args(args),
         pressure=_pressure_from_args(args),
+    )
+
+
+def _add_generation_sharding_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="generation house shards (default: auto from --workers); the "
+        "trace is byte-identical for every shard count",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="generation worker processes; shards fan out over a fork pool "
+        "and merge byte-identically (default 1)",
     )
 
 
@@ -373,23 +407,31 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
 def cmd_generate(args: argparse.Namespace) -> int:
     os.makedirs(args.out, exist_ok=True)
     config = _scenario_from_args(args)
+    shards = getattr(args, "shards", None)
+    workers = getattr(args, "workers", 1)
     pressure = None
     if config.pressure.enabled:
-        trace, pressure = generate_trace_with_pressure(config)
+        trace, pressure = generate_trace_with_pressure(config, shards=shards, workers=workers)
     else:
-        trace = generate_trace(config)
-    dns_path = os.path.join(args.out, "dns.log")
-    conn_path = os.path.join(args.out, "conn.log")
-    if args.format == "json":
-        from repro.monitor.json_logs import write_conn_json, write_dns_json
+        trace = generate_trace(config, shards=shards, workers=workers)
+    if args.format == "bin":
+        dns_path = os.path.join(args.out, "dns.rblg")
+        conn_path = os.path.join(args.out, "conn.rblg")
+        save_dns_binlog(dns_path, trace.dns)
+        save_conn_binlog(conn_path, trace.conns)
+    else:
+        dns_path = os.path.join(args.out, "dns.log")
+        conn_path = os.path.join(args.out, "conn.log")
+        if args.format == "json":
+            from repro.monitor.json_logs import write_conn_json, write_dns_json
 
-        with open(dns_path, "w", encoding="utf-8") as stream:
-            write_dns_json(stream, trace.dns)
-        with open(conn_path, "w", encoding="utf-8") as stream:
-            write_conn_json(stream, trace.conns)
-    else:
-        save_dns_log(dns_path, trace.dns)
-        save_conn_log(conn_path, trace.conns)
+            with open(dns_path, "w", encoding="utf-8") as stream:
+                write_dns_json(stream, trace.dns)
+            with open(conn_path, "w", encoding="utf-8") as stream:
+                write_conn_json(stream, trace.conns)
+        else:
+            save_dns_log(dns_path, trace.dns)
+            save_conn_log(conn_path, trace.conns)
     print(trace.summary())
     if pressure is not None:
         print()
@@ -464,6 +506,28 @@ def _streaming_inputs(args: argparse.Namespace):
     quarantine lists (plus record counters) through either reader so the
     post-run :class:`IngestReport` can be assembled.
     """
+    dns_is_bin = sniff_binlog(args.dns) is not None
+    conn_is_bin = sniff_binlog(args.conn) is not None
+    if dns_is_bin or conn_is_bin:
+        # Binary inputs: blocks are checksummed, so corruption surfaces
+        # as a hard decode error rather than a quarantineable line, and
+        # the format has no notion of a partially appended record.
+        if args.follow:
+            raise LogFormatError("--follow supports TSV logs only, not RBLG binlogs")
+        if args.lenient:
+            raise LogFormatError(
+                "--lenient applies to TSV logs; RBLG binlogs are "
+                "checksum-verified per block instead"
+            )
+        dns_records = (
+            iter_dns_binlog(args.dns) if dns_is_bin
+            else iter_dns_log(args.dns)
+        )
+        conns = (
+            iter_conn_binlog(args.conn) if conn_is_bin
+            else iter_conn_log(args.conn)
+        )
+        return dns_records, conns, None
     ingest_state = None
     strict = not args.lenient
     dns_quarantine: list = []
@@ -531,10 +595,13 @@ def cmd_report(args: argparse.Namespace) -> int:
         return 2
     config = _scenario_from_args(args)
     pressure = None
+    shards = getattr(args, "shards", None)
     if config.pressure.enabled:
-        trace, pressure = generate_trace_with_pressure(config)
+        trace, pressure = generate_trace_with_pressure(
+            config, shards=shards, workers=args.workers
+        )
     else:
-        trace = generate_trace(config)
+        trace = generate_trace(config, shards=shards, workers=args.workers)
     if args.streaming:
         _run_streaming_report(args, trace.dns, trace.conns)
         if pressure is not None:
@@ -548,6 +615,61 @@ def cmd_report(args: argparse.Namespace) -> int:
         print()
         print("Cache/connection pressure:")
         print(render_pressure(pressure))
+    return 0
+
+
+def _sniff_tsv_kind(path: str) -> str | None:
+    """The ``#path`` label of a Zeek TSV log, when one is present."""
+    with open(path, "r", encoding="utf-8", errors="replace") as stream:
+        for line in stream:
+            if line.startswith("#path"):
+                parts = line.rstrip("\n").split("\t")
+                if len(parts) > 1 and parts[1] in ("dns", "conn"):
+                    return parts[1]
+            if not line.startswith("#"):
+                break
+    return None
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Convert one trace log between TSV and the RBLG binary format.
+
+    Direction is inferred from the input: an RBLG file converts to TSV,
+    anything else is treated as TSV and converts to RBLG. The record
+    kind comes from the RBLG header or the TSV ``#path`` label; pass
+    ``--kind`` for headerless logs. ``--lenient`` (TSV inputs only)
+    quarantines corrupt rows through the standard ingest-report
+    machinery instead of aborting the migration.
+    """
+    bin_kind = sniff_binlog(args.input)
+    if bin_kind is not None:
+        if args.lenient:
+            print("convert --lenient applies to TSV inputs only", file=sys.stderr)
+            return 2
+        kind = "dns" if bin_kind == DNS_KIND else "conn"
+        if args.kind and args.kind != kind:
+            print(
+                f"convert: input is a {kind} binlog, but --kind {args.kind} was given",
+                file=sys.stderr,
+            )
+            return 2
+        convert = convert_dns_binlog_to_tsv if bin_kind == DNS_KIND else convert_conn_binlog_to_tsv
+        total = convert(args.input, args.output)
+        print(f"wrote {args.output} ({total} {kind} records, TSV)")
+        return 0
+    kind = args.kind or _sniff_tsv_kind(args.input)
+    if kind is None:
+        print(
+            "convert: cannot infer the record kind (no #path header); "
+            "pass --kind dns or --kind conn",
+            file=sys.stderr,
+        )
+        return 2
+    convert = convert_dns_tsv_to_binlog if kind == "dns" else convert_conn_tsv_to_binlog
+    total, report = convert(args.input, args.output, lenient=args.lenient)
+    if report is not None:
+        _print_ingest_reports((report,), sys.stderr)
+    print(f"wrote {args.output} ({total} {kind} records, RBLG)")
     return 0
 
 
@@ -574,10 +696,12 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", default="out", help="output directory (default out/)")
     generate.add_argument(
         "--format",
-        choices=("tsv", "json"),
+        choices=("tsv", "json", "bin"),
         default="tsv",
-        help="log format: Zeek TSV (default) or JSON-streaming",
+        help="log format: Zeek TSV (default), JSON-streaming, or the RBLG "
+        "binary columnar format (writes dns.rblg/conn.rblg)",
     )
+    _add_generation_sharding_arguments(generate)
     generate.set_defaults(func=cmd_generate)
 
     analyze = subparsers.add_parser("analyze", help="analyse logs or a pcap")
@@ -614,9 +738,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser("report", help="generate and analyse in one step")
     _add_scenario_arguments(report)
+    report.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="generation house shards (default: auto from --workers); the "
+        "trace is byte-identical for every shard count",
+    )
     _add_workers_argument(report)
     _add_streaming_arguments(report)
     report.set_defaults(func=cmd_report)
+
+    convert = subparsers.add_parser(
+        "convert", help="convert a trace log between TSV and RBLG binary"
+    )
+    convert.add_argument("input", help="source log (Zeek TSV or .rblg)")
+    convert.add_argument("output", help="destination path")
+    convert.add_argument(
+        "--kind",
+        choices=("dns", "conn"),
+        default=None,
+        help="record kind when the input has no #path header (TSV inputs)",
+    )
+    convert.add_argument(
+        "--lenient",
+        action="store_true",
+        help="TSV inputs: quarantine corrupt rows (reported on stderr) "
+        "instead of aborting the migration",
+    )
+    convert.set_defaults(func=cmd_convert)
 
     lint = subparsers.add_parser(
         "lint",

@@ -93,6 +93,12 @@ def _looks_like_json(path: str) -> bool:
 
 
 def _load_any_dns(path: str, strict: bool = True) -> "tuple[list[DnsRecord], IngestReport | None]":
+    # Binary sniff first: a binlog is not valid UTF-8, so the text
+    # probes below would raise before reaching a format decision.
+    from repro.monitor.binlog import is_binlog, load_dns_binlog
+
+    if is_binlog(path):
+        return load_dns_binlog(path), None
     if _looks_like_json(path):
         from repro.monitor.json_logs import read_dns_json
 
@@ -107,6 +113,10 @@ def _load_any_dns(path: str, strict: bool = True) -> "tuple[list[DnsRecord], Ing
 
 
 def _load_any_conn(path: str, strict: bool = True) -> "tuple[list[ConnRecord], IngestReport | None]":
+    from repro.monitor.binlog import is_binlog, load_conn_binlog
+
+    if is_binlog(path):
+        return load_conn_binlog(path), None
     if _looks_like_json(path):
         from repro.monitor.json_logs import read_conn_json
 
@@ -159,8 +169,10 @@ class ContextStudy:
     ) -> "ContextStudy":
         """Analyse previously saved dns.log / conn.log files.
 
-        Both Zeek formats are accepted — TSV (``#fields`` headers) and
-        JSON-streaming (one object per line) — detected per file.
+        Three formats are accepted and detected per file: Zeek TSV
+        (``#fields`` headers), Zeek JSON-streaming (one object per
+        line), and the RBLG binary columnar format
+        (:mod:`repro.monitor.binlog`).
 
         With ``strict=False``, malformed TSV lines are quarantined
         instead of aborting the ingest; the resulting

@@ -509,6 +509,17 @@ def _run_tasks(
 _SCENARIO_FANOUT: tuple[Callable, list] | None = None  # repro-lint: fork-shared(set in the parent before fork, read-only in workers, cleared in run_scenarios' finally; the not-None guard rejects nested fan-out)
 
 
+def in_scenario_fanout() -> bool:
+    """Is this process currently inside a :func:`run_scenarios` fan-out?
+
+    True both in the parent while its pool is live and in a forked
+    worker (which inherits the parent's slot). Nested callers — e.g.
+    sharded trace generation invoked from a sweep task — use this to
+    degrade to their serial path instead of tripping the nesting guard.
+    """
+    return _SCENARIO_FANOUT is not None
+
+
 def _run_scenario_call(task: Callable, config):
     """Pickling-mode worker entry (non-fork start methods)."""
     return task(config)

@@ -1,4 +1,4 @@
-"""CKPT001: checkpoint files are written atomically.
+"""CKPT001/CKPT002: crash-sensitive files are written atomically.
 
 A checkpoint exists to survive a crash — which means the crash can land
 inside the checkpoint writer itself. A plain ``open(path, "w")`` on a
@@ -6,7 +6,16 @@ checkpoint path truncates the previous good snapshot before the new one
 is durable, so a kill mid-write destroys the very state the file was
 meant to preserve. All checkpoint writes must go through
 :func:`repro.core.checkpoint.atomic_write_bytes` (write-temp + fsync +
-rename), which that module owns — it is the single audited exemption.
+rename), which that module owns — it is the single audited exemption
+(CKPT001).
+
+Binary trace files (RBLG binlogs) share the failure mode with a twist:
+TSV logs are line-framed, so a truncated text log is still mostly
+readable, but a binlog truncated mid-block loses its file-header record
+count and the torn block. Binlog writers therefore carry the same
+obligation — serialize fully, then hand the bytes to
+``atomic_write_bytes`` — and CKPT002 flags any write-mode ``open`` on a
+binlog-looking path.
 """
 
 from __future__ import annotations
@@ -81,4 +90,46 @@ class CheckpointAtomicityRule(Rule):
                 f"open({ast.unparse(path_expr)}, {mode!r}) truncates a checkpoint "
                 "in place — a crash mid-write destroys the last good snapshot; "
                 "use repro.core.checkpoint.atomic_write_bytes instead",
+            )
+
+
+#: Path substrings marking an expression as "a binary trace file".
+#: ``rblg`` covers both the extension (``dns.rblg``) and variables named
+#: after the format; ``binlog`` covers paths built from the module name.
+_BINLOG_MARKERS = ("binlog", "rblg")
+
+
+@register_rule
+class BinlogAtomicityRule(Rule):
+    """CKPT002: no bare write-mode open() on binary trace (binlog) paths."""
+
+    rule_id = "CKPT002"
+    title = "binlog writes go through the atomic-rename helper"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if str(ctx.path).replace("\\", "/").endswith(_EXEMPT_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "open"):
+                continue
+            mode = _open_mode(node)
+            if mode is None or not any(flag in mode for flag in "wax+"):
+                continue
+            path_expr = _open_path(node)
+            if path_expr is None:
+                continue
+            source = ast.unparse(path_expr).lower()
+            if not any(marker in source for marker in _BINLOG_MARKERS):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"open({ast.unparse(path_expr)}, {mode!r}) writes a binary "
+                "trace file in place — a crash mid-write leaves a torn, "
+                "unreadable binlog; serialize and hand the bytes to "
+                "repro.core.checkpoint.atomic_write_bytes instead",
             )

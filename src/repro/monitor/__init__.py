@@ -1,6 +1,15 @@
 """Passive monitor substrate: Zeek-style records, logs, capture, pcap ingest."""
 
-from repro.monitor.capture import MonitorCapture, Trace
+from repro.monitor.binlog import (
+    iter_conn_binlog,
+    iter_dns_binlog,
+    load_conn_binlog,
+    load_dns_binlog,
+    save_conn_binlog,
+    save_dns_binlog,
+    sniff_binlog,
+)
+from repro.monitor.capture import MonitorCapture, Trace, merge_traces
 from repro.monitor.logs import (
     load_conn_log,
     load_dns_log,
@@ -37,14 +46,22 @@ __all__ = [
     "Proto",
     "Trace",
     "TruthClass",
+    "iter_conn_binlog",
+    "iter_dns_binlog",
+    "load_conn_binlog",
     "load_conn_log",
+    "load_dns_binlog",
     "load_dns_log",
+    "merge_traces",
     "read_conn_json",
     "read_conn_log",
     "read_dns_json",
     "read_dns_log",
+    "save_conn_binlog",
     "save_conn_log",
+    "save_dns_binlog",
     "save_dns_log",
+    "sniff_binlog",
     "trace_from_pcap",
     "write_conn_json",
     "write_conn_log",

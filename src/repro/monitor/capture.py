@@ -35,6 +35,22 @@ class Trace:
         self.dns.sort(key=attrgetter("ts"))
         self.conns.sort(key=attrgetter("ts"))
 
+    def sort_canonical(self) -> None:
+        """Order both logs by ``(ts, uid)`` — a *total* order.
+
+        Plain ``sort()`` breaks timestamp ties by insertion order, which
+        is exactly what a merge of independently generated parts cannot
+        reproduce: the concatenation order depends on how the parts were
+        partitioned. Generator uids are zero-padded fixed-width hex with
+        the house index leading, so the lexicographic uid tiebreak is
+        simultaneously deterministic, partition-independent, and equal to
+        house-then-capture order — any shard count sorts to the same
+        byte sequence.
+        """
+        key = attrgetter("ts", "uid")
+        self.dns.sort(key=key)
+        self.conns.sort(key=key)
+
     def house_addresses(self) -> set[str]:
         """Distinct originating (house) IPs across both logs."""
         addresses = {record.orig_h for record in self.dns}
@@ -93,15 +109,43 @@ def trace_digest(trace: Trace) -> str:
     return hasher.hexdigest()
 
 
-class MonitorCapture:
-    """Collects monitor observations during a simulation run."""
+def merge_traces(parts: list[Trace], duration_s: float, houses: int) -> Trace:
+    """Combine independently captured trace *parts* into one trace.
 
-    def __init__(self) -> None:
+    The deterministic timeline reduce behind intra-scenario sharding:
+    records are concatenated and re-ordered by the canonical ``(ts,
+    uid)`` total order (see :meth:`Trace.sort_canonical`), truth
+    annotations are united (uids are namespaced per part, so keys never
+    collide). The result is byte-identical for every partition of the
+    houses into parts — including the trivial one-part partition the
+    serial path uses.
+    """
+    merged = Trace(duration=duration_s, houses=houses)
+    for part in parts:
+        merged.dns.extend(part.dns)
+        merged.conns.extend(part.conns)
+        merged.truth.update(part.truth)
+    merged.sort_canonical()
+    return merged
+
+
+class MonitorCapture:
+    """Collects monitor observations during a simulation run.
+
+    ``uid_namespace`` prefixes every minted uid (between the ``D``/``C``
+    kind letter and the fixed-width counter). Per-house captures pass
+    the zero-padded house index so uids stay globally unique across
+    independently simulated houses and sort in house-then-capture order.
+    """
+
+    def __init__(self, uid_namespace: str = "") -> None:
         self.trace = Trace()
         # Plain counters (formatted on use) rather than generator uid
         # streams: next()-ing a generator is measurable at week scale.
         self._dns_uid_count = 0
         self._conn_uid_count = 0
+        self._dns_uid_head = "D" + uid_namespace
+        self._conn_uid_head = "C" + uid_namespace
         self._append_dns = self.trace.dns.append
         self._append_conn = self.trace.conns.append
 
@@ -123,7 +167,7 @@ class MonitorCapture:
         # record factories run once per wire event, week-scale millions.
         record = DnsRecord(
             ts,
-            f"D{self._dns_uid_count:08x}",
+            f"{self._dns_uid_head}{self._dns_uid_count:08x}",
             orig_h,
             orig_p,
             resp_h,
@@ -160,7 +204,7 @@ class MonitorCapture:
         self._conn_uid_count += 1
         record = ConnRecord(
             ts,
-            f"C{self._conn_uid_count:08x}",
+            f"{self._conn_uid_head}{self._conn_uid_count:08x}",
             orig_h,
             orig_p,
             resp_h,

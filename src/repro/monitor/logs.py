@@ -233,6 +233,11 @@ def _dns_from_columns(
         for i, data in enumerate(answer_data)
     )
     rtt_text = _field(columns, index_by_name, "rtt", number)
+    rtt = 0.0 if rtt_text == _UNSET else float(rtt_text)
+    # Boundary validation: the record types are plain NamedTuples, so
+    # untrusted values are checked here, where the bytes come in.
+    if rtt < 0:
+        raise LogFormatError(f"line {number}: rtt cannot be negative: {rtt}")
     return DnsRecord(
         ts=float(_field(columns, index_by_name, "ts", number)),
         uid=_field(columns, index_by_name, "uid", number),
@@ -244,7 +249,7 @@ def _dns_from_columns(
         query=_field(columns, index_by_name, "query", number),
         qtype=_field(columns, index_by_name, "qtype_name", number),
         rcode=_field(columns, index_by_name, "rcode_name", number),
-        rtt=0.0 if rtt_text == _UNSET else float(rtt_text),
+        rtt=rtt,
         answers=answers,
     )
 
@@ -254,6 +259,14 @@ def _conn_from_columns(
 ) -> ConnRecord:
     """Build one :class:`ConnRecord` from a split data line."""
     duration_text = _field(columns, index_by_name, "duration", number)
+    duration = 0.0 if duration_text == _UNSET else float(duration_text)
+    orig_bytes = int(_field(columns, index_by_name, "orig_bytes", number))
+    resp_bytes = int(_field(columns, index_by_name, "resp_bytes", number))
+    # Boundary validation (see _dns_from_columns).
+    if duration < 0:
+        raise LogFormatError(f"line {number}: duration cannot be negative: {duration}")
+    if orig_bytes < 0 or resp_bytes < 0:
+        raise LogFormatError(f"line {number}: byte counts cannot be negative")
     return ConnRecord(
         ts=float(_field(columns, index_by_name, "ts", number)),
         uid=_field(columns, index_by_name, "uid", number),
@@ -263,9 +276,9 @@ def _conn_from_columns(
         resp_p=int(_field(columns, index_by_name, "id.resp_p", number)),
         proto=Proto.parse(_field(columns, index_by_name, "proto", number)),
         service=_field(columns, index_by_name, "service", number),
-        duration=0.0 if duration_text == _UNSET else float(duration_text),
-        orig_bytes=int(_field(columns, index_by_name, "orig_bytes", number)),
-        resp_bytes=int(_field(columns, index_by_name, "resp_bytes", number)),
+        duration=duration,
+        orig_bytes=orig_bytes,
+        resp_bytes=resp_bytes,
         conn_state=_field(columns, index_by_name, "conn_state", number),
     )
 

@@ -13,12 +13,23 @@ types, exactly as the paper's analysis consumed only the two logs. The
 optional :class:`GroundTruth` annotations produced by the synthetic
 workload are used solely by validation tests to check the analysis
 heuristics against simulated truth — never by the analysis itself.
+
+The record types are :class:`typing.NamedTuple` subclasses, not
+dataclasses: a week-scale trace constructs millions of them, and the
+tuple ``__new__`` is a C constructor where a frozen-slots dataclass
+``__init__`` pays a Python-level ``object.__setattr__`` per field —
+the difference is the bulk of log-ingest wall time. They stay
+immutable and hashable; the cost is that per-record validation no
+longer lives in a ``__post_init__``, so sanity checks on untrusted
+values (negative rtt/duration/bytes) belong to the ingest boundaries
+— the TSV/JSON parsers and the binlog block decoder — not here.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.errors import LogFormatError
 
@@ -37,8 +48,7 @@ class Proto(enum.Enum):
             raise LogFormatError(f"unknown protocol {text!r}") from exc
 
 
-@dataclass(frozen=True, slots=True)
-class DnsAnswer:
+class DnsAnswer(NamedTuple):
     """One answer resource record as logged: data string plus TTL."""
 
     data: str
@@ -62,8 +72,7 @@ TIMEOUT_RCODE = "-"
 FAILURE_RCODES = frozenset({TIMEOUT_RCODE, "SERVFAIL", "REFUSED"})
 
 
-@dataclass(frozen=True, slots=True)
-class DnsRecord:
+class DnsRecord(NamedTuple):
     """A Bro-style DNS transaction summary.
 
     ``ts`` is the query time; ``rtt`` the query-to-answer delay, so the
@@ -83,10 +92,6 @@ class DnsRecord:
     rtt: float = 0.0
     answers: tuple[DnsAnswer, ...] = ()
     proto: Proto = Proto.UDP
-
-    def __post_init__(self) -> None:
-        if self.rtt < 0:
-            raise LogFormatError(f"DNS transaction rtt cannot be negative: {self.rtt}")
 
     @property
     def completed_at(self) -> float:
@@ -132,8 +137,7 @@ class DnsRecord:
         return self.completed_at + ttl
 
 
-@dataclass(frozen=True, slots=True)
-class ConnRecord:
+class ConnRecord(NamedTuple):
     """A Bro-style connection summary."""
 
     ts: float
@@ -148,12 +152,6 @@ class ConnRecord:
     resp_bytes: int = 0
     service: str = "-"
     conn_state: str = "SF"
-
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise LogFormatError(f"connection duration cannot be negative: {self.duration}")
-        if self.orig_bytes < 0 or self.resp_bytes < 0:
-            raise LogFormatError("byte counts cannot be negative")
 
     @property
     def total_bytes(self) -> int:

@@ -26,6 +26,23 @@ NAT_PORT_HIGH = 60999
 
 
 @dataclass(frozen=True, slots=True)
+class HousePlan:
+    """Everything needed to build one house, fixed before any sharding.
+
+    The plan phase consumes the shared ``"houses"`` stream exactly as
+    the historical serial builder did — the quota/shuffle draws of
+    :meth:`HouseholdBuilder.plan_kinds` followed by one 64-bit seed per
+    house — so house composition is byte-identical no matter how the
+    houses are later partitioned across shards: every draw a house makes
+    derives from its own ``seed``, never from a shared stream.
+    """
+
+    index: int
+    kind: str
+    seed: int
+
+
+@dataclass(frozen=True, slots=True)
 class HouseholdMixConfig:
     """Knobs controlling the house/resolver sampling.
 
@@ -200,29 +217,26 @@ class HouseholdBuilder:
         too noisy at realistic house counts; quotas keep every scenario
         faithful to Table 1's platform mix.
         """
-        quotas = (
-            ("forwarder", self.mix.forwarder_fraction),
-            ("googledns", self.mix.googledns_fraction),
-            ("cloudflare", self.mix.cloudflare_fraction),
-            ("opendns", self.mix.opendns_fraction),
-        )
-        kinds: list[str] = []
-        for kind, fraction in quotas:
-            wanted = fraction * count
-            n = int(wanted)
-            if self.rng.random() < wanted - n:
-                n += 1
-            if kind == "cloudflare" and n == 0 and count >= 10:
-                n = 1
-            kinds.extend([kind] * n)
-        kinds = kinds[:count]
-        kinds.extend(["plain"] * (count - len(kinds)))
-        self.rng.shuffle(kinds)
-        return kinds
+        return _plan_kinds(self.mix, self.rng, count)
 
     def build_house(self, index: int, kind: str | None = None) -> House:
         """Sample one complete house (of the given kind, or sampled)."""
-        rng = random.Random(self.rng.getrandbits(64))
+        if kind is None:
+            kind = self.plan_kinds(1)[0]
+        return self.build_house_from_plan(
+            HousePlan(index=index, kind=kind, seed=self.rng.getrandbits(64))
+        )
+
+    def build_house_from_plan(self, plan: HousePlan) -> House:
+        """Build one complete house entirely from its fixed plan.
+
+        Every draw comes from ``random.Random(plan.seed)``, so two
+        builders (in different shard processes, with different capture
+        sinks and resolver views) construct byte-identical houses from
+        the same plan.
+        """
+        index = plan.index
+        rng = random.Random(plan.seed)
         house = House(
             index=index,
             ip=house_address(index),
@@ -230,7 +244,7 @@ class HouseholdBuilder:
             universe=self.universe,
             rng=rng,
         )
-        house.kind = kind if kind is not None else self.plan_kinds(1)[0]
+        house.kind = plan.kind
 
         # Favorites are drawn uniformly, not by popularity: a household's
         # recurring niche sites are exactly the names a whole-house cache
@@ -311,7 +325,46 @@ class HouseholdBuilder:
 
     def build(self, count: int) -> list[House]:
         """Sample *count* houses with quota-assigned kinds."""
-        if count <= 0:
-            raise WorkloadError(f"house count must be positive, got {count}")
-        kinds = self.plan_kinds(count)
-        return [self.build_house(index, kind) for index, kind in enumerate(kinds)]
+        plans = plan_houses(self.mix, self.rng, count)
+        return [self.build_house_from_plan(plan) for plan in plans]
+
+
+def _plan_kinds(mix: HouseholdMixConfig, rng: random.Random, count: int) -> list[str]:
+    """The quota/shuffle kind assignment behind :meth:`plan_kinds`."""
+    quotas = (
+        ("forwarder", mix.forwarder_fraction),
+        ("googledns", mix.googledns_fraction),
+        ("cloudflare", mix.cloudflare_fraction),
+        ("opendns", mix.opendns_fraction),
+    )
+    kinds: list[str] = []
+    for kind, fraction in quotas:
+        wanted = fraction * count
+        n = int(wanted)
+        if rng.random() < wanted - n:
+            n += 1
+        if kind == "cloudflare" and n == 0 and count >= 10:
+            n = 1
+        kinds.extend([kind] * n)
+    kinds = kinds[:count]
+    kinds.extend(["plain"] * (count - len(kinds)))
+    rng.shuffle(kinds)
+    return kinds
+
+
+def plan_houses(mix: HouseholdMixConfig, rng: random.Random, count: int) -> list[HousePlan]:
+    """Fix the composition of *count* houses before any of them is built.
+
+    Consumes the shared stream in exactly the order the serial builder
+    historically did — the kind quota draws, then one 64-bit seed per
+    house in index order — and freezes the result into
+    :class:`HousePlan` entries that shard workers can build from
+    independently.
+    """
+    if count <= 0:
+        raise WorkloadError(f"house count must be positive, got {count}")
+    kinds = _plan_kinds(mix, rng, count)
+    return [
+        HousePlan(index=index, kind=kind, seed=rng.getrandbits(64))
+        for index, kind in enumerate(kinds)
+    ]

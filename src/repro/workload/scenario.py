@@ -33,6 +33,16 @@ class PressureConfig:
     connections (``None`` = unbounded), with arrivals queueing up to
     ``*_max_queue_wait_s`` before being shed as REFUSED.
 
+    The ``resolver_*`` capacities and budgets describe the *shared*
+    platform. Since the per-house generation decomposition, every house
+    simulates against its own view of each platform, so a platform-wide
+    limit is split into per-house slices of ``ceil(value / houses)``
+    entries/slots (see ``TrafficGenerator._sliced``). The aggregate
+    limit is preserved up to ceiling rounding, and the slicing — unlike
+    a shared mutable budget — is independent of the shard/worker split,
+    which is what keeps pressure scenarios byte-identical across shard
+    counts. ``stub_*`` knobs are per device and unaffected.
+
     Flash crowds model synchronized demand spikes (a game patch, a live
     event): Poisson windows of ``flash_crowd_duration_s`` during which
     every device runs ``flash_crowd_intensity`` extra browsing-session

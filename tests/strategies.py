@@ -128,6 +128,102 @@ def conn_record_streams(
     return conns
 
 
+#: Text for serialized string fields: any non-surrogate unicode except
+#: the TSV framing characters (tab/newline, which the text log escapes
+#: lossily). Nonempty and never the literal markers "-" (TSV's unset
+#: sentinel) or "(empty)" (its alias for ""), because a field *spelling*
+#: a marker aliases to the marked meaning on TSV read — the binary
+#: format's exactness on those values has its own directed test.
+field_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\t\n\r"),
+    min_size=1,
+    max_size=12,
+).filter(lambda value: value not in ("-", "(empty)"))
+
+#: Text for vector-element fields (answer data/types): TSV joins answer
+#: vectors with ",", so a comma *inside* an element splits it on read —
+#: commas are additionally excluded here.
+vector_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\t\n\r,"),
+    min_size=1,
+    max_size=12,
+).filter(lambda value: value not in ("-", "(empty)"))
+
+#: Valid u16 port numbers (the binary format's column width).
+ports = st.integers(min_value=0, max_value=65535)
+
+#: Nonnegative timestamps/durations that survive ``%.6f`` text
+#: round-trips losslessly enough for byte-stable TSV re-encoding.
+_field_seconds = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def full_dns_records(draw, min_size: int = 0, max_size: int = 20):
+    """DNS records exercising every serialized field independently.
+
+    Unlike :func:`dns_record_streams` (which builds *plausible* traces
+    for the analysis suites), this drives each field across its full
+    domain — unicode names, boundary ports, multi-answer sets — for the
+    format round-trip suites, where pathological values matter more
+    than realism.
+    """
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    records: list[DnsRecord] = []
+    for index in range(count):
+        answers = tuple(
+            DnsAnswer(
+                data=draw(vector_text),
+                ttl=draw(_field_seconds),
+                rtype=draw(vector_text),
+            )
+            for _ in range(draw(st.integers(min_value=0, max_value=4)))
+        )
+        records.append(
+            DnsRecord(
+                ts=draw(_field_seconds),
+                uid=f"D{index:08x}",
+                orig_h=draw(field_text),
+                orig_p=draw(ports),
+                resp_h=draw(field_text),
+                resp_p=draw(ports),
+                query=draw(field_text),
+                qtype=draw(field_text),
+                rcode=draw(field_text),
+                rtt=draw(_field_seconds),
+                answers=answers,
+                proto=draw(st.sampled_from(Proto)),
+            )
+        )
+    return records
+
+
+@st.composite
+def full_conn_records(draw, min_size: int = 0, max_size: int = 20):
+    """Connection records exercising every serialized field (see
+    :func:`full_dns_records` for why this exists next to the plausible
+    stream strategies)."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    records: list[ConnRecord] = []
+    for index in range(count):
+        records.append(
+            ConnRecord(
+                ts=draw(_field_seconds),
+                uid=f"C{index:08x}",
+                orig_h=draw(field_text),
+                orig_p=draw(ports),
+                resp_h=draw(field_text),
+                resp_p=draw(ports),
+                proto=draw(st.sampled_from(Proto)),
+                duration=draw(_field_seconds),
+                orig_bytes=draw(st.integers(min_value=0, max_value=(1 << 64) - 1)),
+                resp_bytes=draw(st.integers(min_value=0, max_value=(1 << 64) - 1)),
+                service=draw(field_text),
+                conn_state=draw(field_text),
+            )
+        )
+    return records
+
+
 @st.composite
 def trace_streams(draw, max_lookups: int = 25, max_conns: int = 30):
     """A correlated ``(dns_records, conns)`` pair, both ``ts``-ordered.

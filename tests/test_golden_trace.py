@@ -1,21 +1,35 @@
 """Golden trace-digest regression tests: generation is byte-frozen.
 
-The digests below were computed at the pre-optimization baseline commit
-(before the engine/DNS fast paths landed) over the full record streams —
-every timestamp rendered with ``repr`` so even a last-bit float change
-flips the digest. Any future change to generation that perturbs a single
-output byte for these fixed seeds fails here immediately; intentional
-behaviour changes must re-pin the digests and say so in the commit.
+The digests below pin the *per-house decomposition* baseline: each house
+simulates against its own resolver views (cross-house cache warming
+folded into the statistical background model — see
+``TrafficGenerator._view_profile``), which is what makes intra-scenario
+sharding deterministic. They were re-pinned when that decomposition
+landed (the previous pins froze the shared-resolver serial engine, whose
+cross-house cache coupling made sharded generation impossible). The
+digests cover the full record streams — every timestamp rendered with
+``repr`` so even a last-bit float change flips the digest. Any future
+change to generation that perturbs a single output byte for these fixed
+seeds fails here immediately; intentional behaviour changes must re-pin
+the digests and say so in the commit.
 
 The scenarios are deliberately tiny (a few houses, one simulated hour,
-a shrunken name universe) so all three run in well under a second.
+a shrunken name universe) so all three run in well under a second. The
+parity tests below additionally pin the sharding contract itself: the
+digest is invariant across shard counts for default, fault, and
+pressure scenario variants.
 """
 
 import pytest
 
 from repro.monitor.capture import trace_digest
-from repro.workload.generate import generate_trace
-from repro.workload.scenario import FaultConfig, ScenarioConfig, UniverseConfig
+from repro.workload.generate import generate_trace, generate_trace_with_pressure
+from repro.workload.scenario import (
+    FaultConfig,
+    PressureConfig,
+    ScenarioConfig,
+    UniverseConfig,
+)
 
 #: Shrunken universe shared by all golden scenarios.
 _UNIVERSE = UniverseConfig(site_count=30, cdn_host_count=8, ads_host_count=5)
@@ -24,14 +38,14 @@ GOLDEN = (
     (
         "seed42",
         ScenarioConfig(houses=3, duration=3600.0, seed=42, universe=_UNIVERSE),
-        "ab4d7352f138e719dccc0605b29fe4039e320a118a20e640383cd817f3052e90",
+        "a6eeb124aeaa68d7c58b47ff8549a080eeb846d1d635643bb929f14ee0f8aa22",
     ),
     (
         "seed7_warmup",
         ScenarioConfig(
             houses=2, duration=3600.0, warmup=600.0, seed=7, universe=_UNIVERSE
         ),
-        "27487837474c7f45a0e8e8360c523696451bca08d1f6f6dd2c59ed742ba63dc0",
+        "fddff8f4672426315d81d1e0212c023ded41cec285ab21e8978095e3e840b4b7",
     ),
     (
         "seed11_faults",
@@ -47,7 +61,7 @@ GOLDEN = (
                 truncation_probability=0.005,
             ),
         ),
-        "80767366f28096bb856f3629c88a3dafd3c06b0058c8ba3f21bf8609e2a0dfdd",
+        "330b2275a973f79de2fb8bb2df11cbffc2f1c748e7c2ff032762dd9377b6ab3c",
     ),
 )
 
@@ -72,3 +86,82 @@ def test_digest_distinguishes_seeds():
         houses=base.houses, duration=base.duration, seed=base.seed + 1, universe=_UNIVERSE
     )
     assert trace_digest(generate_trace(base)) != trace_digest(generate_trace(other))
+
+
+# -- shard-count parity ------------------------------------------------------
+#
+# The tentpole contract of intra-scenario sharding: partitioning the
+# houses into any number of shards — including more shards than a
+# worker will ever run in parallel — produces the byte-identical trace.
+# The 8-house config matches the benchmark's golden scenario shape
+# (scaled down in duration so the whole grid runs in seconds); the
+# variants cover the three code paths that could plausibly diverge
+# under sharding (fault plans, pressure slicing + flash crowds).
+
+_PARITY_VARIANTS = (
+    (
+        "default",
+        ScenarioConfig(houses=8, duration=900.0, seed=1, universe=_UNIVERSE),
+    ),
+    (
+        "faults",
+        ScenarioConfig(
+            houses=8,
+            duration=900.0,
+            seed=1,
+            universe=_UNIVERSE,
+            faults=FaultConfig(
+                timeout_probability=0.01,
+                servfail_probability=0.01,
+                nxdomain_probability=0.005,
+                truncation_probability=0.005,
+            ),
+        ),
+    ),
+    (
+        "pressure",
+        ScenarioConfig(
+            houses=8,
+            duration=900.0,
+            seed=1,
+            universe=_UNIVERSE,
+            pressure=PressureConfig(
+                stub_cache_capacity=4,
+                resolver_cache_capacity=512,
+                resolver_fd_budget=64,
+                flash_crowd_rate_per_hour=1.0,
+            ),
+        ),
+    ),
+)
+
+
+@pytest.mark.parametrize(
+    "config", [config for _, config in _PARITY_VARIANTS],
+    ids=[name for name, _ in _PARITY_VARIANTS],
+)
+def test_digest_invariant_across_shard_counts(config):
+    serial = trace_digest(generate_trace(config))
+    for shards in (1, 2, 4, 8):
+        assert trace_digest(generate_trace(config, shards=shards)) == serial, (
+            f"shards={shards} diverged from the serial digest"
+        )
+
+
+def test_pressure_stats_invariant_across_shard_counts():
+    config = _PARITY_VARIANTS[2][1]
+    serial_trace, serial_stats = generate_trace_with_pressure(config)
+    for shards in (2, 8):
+        trace, stats = generate_trace_with_pressure(config, shards=shards)
+        assert trace_digest(trace) == trace_digest(serial_trace)
+        assert stats == serial_stats
+
+
+def test_sharded_fork_fanout_matches_serial(monkeypatch):
+    """The fork worker pool produces the byte-identical merged trace."""
+    import repro.core.parallel as parallel_mod
+
+    config = _PARITY_VARIANTS[0][1]
+    serial = trace_digest(generate_trace(config))
+    monkeypatch.setattr(parallel_mod, "_available_cpus", lambda: 4)
+    assert trace_digest(generate_trace(config, shards=4, workers=4)) == serial

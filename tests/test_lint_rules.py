@@ -742,3 +742,50 @@ class TestCKPT001CheckpointAtomicity:
             module="repro.core.checkpoint",
         )
         assert findings == []
+
+
+class TestCKPT002BinlogAtomicity:
+    def test_write_mode_open_on_binlog_path_flagged(self):
+        findings = lint(
+            'def save(binlog_path):\n'
+            '    with open(binlog_path, "wb") as stream:\n'
+            '        stream.write(b"RBLG")\n',
+            rules=["CKPT002"],
+        )
+        assert rule_ids(findings) == ["CKPT002"]
+        assert "atomic_write_bytes" in findings[0].message
+
+    def test_rblg_literal_flagged(self):
+        findings = lint(
+            'def save(out_dir):\n'
+            '    open(out_dir / "dns.rblg", "wb").write(b"RBLG")\n',
+            rules=["CKPT002"],
+        )
+        assert rule_ids(findings) == ["CKPT002"]
+
+    def test_read_mode_allowed(self):
+        assert lint(
+            'def load(binlog_path):\n'
+            '    with open(binlog_path, "rb") as stream:\n'
+            '        return stream.read()\n',
+            rules=["CKPT002"],
+        ) == []
+
+    def test_non_binlog_path_allowed(self):
+        assert lint(
+            'def save(log_path):\n'
+            '    with open(log_path, "wb") as stream:\n'
+            '        stream.write(b"line")\n',
+            rules=["CKPT002"],
+        ) == []
+
+    def test_checkpoint_helper_module_exempt(self):
+        engine = LintEngine(rules=[get_rule("CKPT002")])
+        findings = engine.lint_source(
+            'def atomic(binlog_path):\n'
+            '    with open(binlog_path + ".tmp", "wb") as stream:\n'
+            '        stream.write(b"payload")\n',
+            Path("src/repro/core/checkpoint.py"),
+            module="repro.core.checkpoint",
+        )
+        assert findings == []

@@ -71,9 +71,14 @@ class TestRecords:
         assert record.min_ttl() is None
         assert record.expires_at is None
 
-    def test_dns_negative_rtt_rejected(self):
+    def test_dns_negative_rtt_rejected_at_parse(self):
+        # Records are plain NamedTuples; negative-value validation
+        # lives at the ingest boundary, not in the constructor.
+        buffer = io.StringIO()
+        write_dns_log(buffer, [sample_dns(rtt=0.5)])
+        tampered = buffer.getvalue().replace("0.500000", "-1.000000")
         with pytest.raises(LogFormatError):
-            sample_dns(rtt=-1.0)
+            read_dns_log(io.StringIO(tampered))
 
     def test_conn_throughput(self):
         conn = sample_conn(duration=2.0, orig_bytes=1000, resp_bytes=3000)
@@ -86,11 +91,14 @@ class TestRecords:
         assert sample_conn(resp_p=443).uses_reserved_port()
         assert sample_conn(orig_p=50000, resp_p=51000).is_high_port_pair()
 
-    def test_conn_validation(self):
+    def test_conn_validation_at_parse(self):
+        buffer = io.StringIO()
+        write_conn_log(buffer, [sample_conn(duration=7.25, orig_bytes=4321)])
+        clean = buffer.getvalue()
         with pytest.raises(LogFormatError):
-            sample_conn(duration=-1.0)
+            read_conn_log(io.StringIO(clean.replace("7.250000", "-7.250000")))
         with pytest.raises(LogFormatError):
-            sample_conn(orig_bytes=-5)
+            read_conn_log(io.StringIO(clean.replace("\t4321\t", "\t-4321\t")))
 
     def test_proto_parse(self):
         assert Proto.parse("TCP") == Proto.TCP
